@@ -1,0 +1,188 @@
+// Package unitycatalog's root benchmark file exposes one testing.B entry
+// per table and figure of the paper's evaluation (Section 6), each backed by
+// the corresponding experiment in internal/bench, plus micro-benchmarks of
+// the hot paths the figures depend on. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full experiment harness with detailed tables is cmd/ucbench.
+package unitycatalog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"unitycatalog/internal/bench"
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/store"
+	"unitycatalog/internal/workload"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(bench.Options{Seed: int64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s: %s", tbl.ID, tbl.Finding)
+		}
+	}
+}
+
+// Figure 4: per-metastore working-set size CDF.
+func BenchmarkFig4WorkingSetCDF(b *testing.B) { runExperiment(b, "fig4") }
+
+// Figure 5: inter-arrival CDF of same-asset re-accesses.
+func BenchmarkFig5InterArrivalCDF(b *testing.B) { runExperiment(b, "fig5") }
+
+// Figure 6(a): schema composition by asset types.
+func BenchmarkFig6aSchemaComposition(b *testing.B) { runExperiment(b, "fig6a") }
+
+// Figure 6(b): table type distribution.
+func BenchmarkFig6bTableTypes(b *testing.B) { runExperiment(b, "fig6b") }
+
+// Figure 7: volume creation growth.
+func BenchmarkFig7VolumeGrowth(b *testing.B) { runExperiment(b, "fig7") }
+
+// Figure 8(a): table storage format distribution.
+func BenchmarkFig8aFormats(b *testing.B) { runExperiment(b, "fig8a") }
+
+// Figure 8(b): table type growth over time.
+func BenchmarkFig8bTableGrowth(b *testing.B) { runExperiment(b, "fig8b") }
+
+// Figure 8(c): top-5 foreign table type growth.
+func BenchmarkFig8cForeignGrowth(b *testing.B) { runExperiment(b, "fig8c") }
+
+// Figure 9: external client × operation diversity, UC vs HMS.
+func BenchmarkFig9ClientDiversity(b *testing.B) { runExperiment(b, "fig9") }
+
+// Figure 10(a): TPC-H/TPC-DS query latency, UC vs local HMS.
+func BenchmarkFig10aUCvsHMS(b *testing.B) { runExperiment(b, "fig10a") }
+
+// Figure 10(b): latency vs throughput with the cache on/off.
+func BenchmarkFig10bCacheThroughput(b *testing.B) { runExperiment(b, "fig10b") }
+
+// Figure 10(c): predictive optimization speedup.
+func BenchmarkFig10cPredictiveOpt(b *testing.B) { runExperiment(b, "fig10c") }
+
+// Figure 11: table access method mix (name vs path).
+func BenchmarkFig11AccessMethods(b *testing.B) { runExperiment(b, "fig11") }
+
+// Section 6.1 aggregate statistics table.
+func BenchmarkStatsAggregate(b *testing.B) { runExperiment(b, "stats") }
+
+// Design-choice ablations called out in DESIGN.md.
+func BenchmarkAblationBatching(b *testing.B)   { runExperiment(b, "ablate-batch") }
+func BenchmarkAblationReconcile(b *testing.B)  { runExperiment(b, "ablate-reconcile") }
+func BenchmarkAblationPathIndex(b *testing.B)  { runExperiment(b, "ablate-trie") }
+func BenchmarkAblationTokenCache(b *testing.B) { runExperiment(b, "ablate-tokens") }
+
+// --- micro-benchmarks of the hot query-path operations ---
+
+func benchService(b *testing.B) (*catalog.Service, catalog.Ctx, *workload.Population) {
+	b.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.CreateMetastore("bench", "bench", "r", "admin", "s3://root/bench"); err != nil {
+		b.Fatal(err)
+	}
+	admin := catalog.Ctx{Principal: "admin", Metastore: "bench", TrustedEngine: true}
+	pop, err := workload.Generate(svc, admin, workload.PopulationSpec{Seed: 1, Catalogs: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc, admin, pop
+}
+
+// BenchmarkGetAssetCached measures the cached metadata point lookup — the
+// dominant operation in production (98.2% reads).
+func BenchmarkGetAssetCached(b *testing.B) {
+	svc, admin, pop := benchService(b)
+	names := tableNames(b, pop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.GetAsset(admin, names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveWithCredentials measures the batched query-path call.
+func BenchmarkResolveWithCredentials(b *testing.B) {
+	svc, admin, pop := benchService(b)
+	names := tableNames(b, pop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Resolve(admin, catalog.ResolveRequest{
+			Names: []string{names[i%len(names)]}, WithCredentials: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTempCredentialByPath measures path→asset resolution plus vending.
+func BenchmarkTempCredentialByPath(b *testing.B) {
+	svc, admin, pop := benchService(b)
+	var paths []string
+	for _, t := range pop.Tables() {
+		if t.StoragePath != "" {
+			paths = append(paths, t.StoragePath+"/part-0")
+		}
+	}
+	if len(paths) == 0 {
+		b.Fatal("no storage paths")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.TempCredentialForPath(admin, paths[i%len(paths)], cloudsim.AccessRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCreateTable measures the serializable write path including name
+// uniqueness and one-asset-per-path checks.
+func BenchmarkCreateTable(b *testing.B) {
+	svc, admin, _ := benchService(b)
+	if _, err := svc.CreateCatalog(admin, "benchcat", ""); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.CreateSchema(admin, "benchcat", "s", ""); err != nil {
+		b.Fatal(err)
+	}
+	cols := []catalog.ColumnInfo{{Name: "x", Type: "BIGINT"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench_t%08d", i)
+		if _, err := svc.CreateTable(admin, "benchcat.s", name, catalog.TableSpec{Columns: cols}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func tableNames(b *testing.B, pop *workload.Population) []string {
+	b.Helper()
+	var out []string
+	for _, t := range pop.Tables() {
+		out = append(out, t.FullName)
+	}
+	if len(out) == 0 {
+		b.Fatal("no tables")
+	}
+	return out
+}

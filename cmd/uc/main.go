@@ -1,0 +1,257 @@
+// Command uc is a CLI client for a running Unity Catalog server.
+//
+// Usage:
+//
+//	uc -server http://localhost:8080 -as admin -metastore ms1 <command> [args]
+//
+// Commands:
+//
+//	catalogs                              list catalogs
+//	create-catalog <name> [comment]       create a catalog
+//	create-schema <catalog> <name>        create a schema
+//	create-table <cat.sch> <name> <col:type,...>  create a managed table
+//	get <full-name>                       show an asset
+//	ls <parent> [type]                    list children
+//	rm <full-name>                        delete an asset
+//	grant <securable> <principal> <priv>  grant a privilege
+//	revoke <securable> <principal> <priv> revoke a privilege
+//	grants <securable>                    list grants
+//	cred <full-name> [READ|READ_WRITE]    vend a temporary credential
+//	search <query>                        discovery search
+//	tag <securable> <key> <value>         set a tag
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/client"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/privilege"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "http://localhost:8080", "Unity Catalog server URL")
+		as        = flag.String("as", "admin", "principal to act as")
+		ms        = flag.String("metastore", "ms1", "metastore id")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := client.New(*serverURL, *as, *ms)
+	cmd, rest := args[0], args[1:]
+	if err := run(c, cmd, rest); err != nil {
+		log.Fatalf("uc %s: %v", cmd, err)
+	}
+}
+
+func run(c *client.Client, cmd string, args []string) error {
+	need := func(n int, usage string) error {
+		if len(args) < n {
+			return fmt.Errorf("usage: uc %s", usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "catalogs":
+		cats, err := c.ListAssets("", erm.TypeCatalog)
+		if err != nil {
+			return err
+		}
+		for _, e := range cats {
+			fmt.Printf("%-30s owner=%s  %s\n", e.Name, e.Owner, e.Comment)
+		}
+		return nil
+	case "create-catalog":
+		if err := need(1, "create-catalog <name> [comment]"); err != nil {
+			return err
+		}
+		comment := ""
+		if len(args) > 1 {
+			comment = strings.Join(args[1:], " ")
+		}
+		e, err := c.CreateCatalog(args[0], comment)
+		if err != nil {
+			return err
+		}
+		return printJSON(e)
+	case "create-schema":
+		if err := need(2, "create-schema <catalog> <name>"); err != nil {
+			return err
+		}
+		e, err := c.CreateSchema(args[0], args[1], "")
+		if err != nil {
+			return err
+		}
+		return printJSON(e)
+	case "create-table":
+		if err := need(3, "create-table <cat.sch> <name> <col:type,...>"); err != nil {
+			return err
+		}
+		var cols []catalog.ColumnInfo
+		for i, def := range strings.Split(args[2], ",") {
+			name, typ, ok := strings.Cut(def, ":")
+			if !ok {
+				return fmt.Errorf("bad column %q (want name:TYPE)", def)
+			}
+			cols = append(cols, catalog.ColumnInfo{Name: name, Type: strings.ToUpper(typ), Nullable: true, Position: i})
+		}
+		e, err := c.CreateTable(args[0], args[1], catalog.TableSpec{Columns: cols}, "")
+		if err != nil {
+			return err
+		}
+		return printJSON(e)
+	case "get":
+		if err := need(1, "get <full-name>"); err != nil {
+			return err
+		}
+		e, err := c.GetAsset(args[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(e)
+	case "ls":
+		if err := need(1, "ls <parent> [type]"); err != nil {
+			return err
+		}
+		t := erm.SecurableType("")
+		if len(args) > 1 {
+			t = erm.SecurableType(strings.ToUpper(args[1]))
+		}
+		es, err := c.ListAssets(args[0], t)
+		if err != nil {
+			return err
+		}
+		for _, e := range es {
+			fmt.Printf("%-12s %-40s owner=%s\n", e.Type, e.FullName, e.Owner)
+		}
+		return nil
+	case "rm":
+		if err := need(1, "rm <full-name>"); err != nil {
+			return err
+		}
+		return c.DeleteAsset(args[0], len(args) > 1 && args[1] == "-f")
+	case "grant":
+		if err := need(3, "grant <securable> <principal> <privilege>"); err != nil {
+			return err
+		}
+		return c.Grant(args[0], args[1], privilege.Privilege(strings.ToUpper(strings.Join(args[2:], " "))))
+	case "revoke":
+		if err := need(3, "revoke <securable> <principal> <privilege>"); err != nil {
+			return err
+		}
+		return c.Revoke(args[0], args[1], privilege.Privilege(strings.ToUpper(strings.Join(args[2:], " "))))
+	case "grants":
+		if err := need(1, "grants <securable>"); err != nil {
+			return err
+		}
+		gs, err := c.GrantsOn(args[0])
+		if err != nil {
+			return err
+		}
+		for _, g := range gs {
+			fmt.Printf("%-20s %s\n", g.Principal, g.Privilege)
+		}
+		return nil
+	case "cred":
+		if err := need(1, "cred <full-name> [READ|READ_WRITE]"); err != nil {
+			return err
+		}
+		level := cloudsim.AccessRead
+		if len(args) > 1 && strings.EqualFold(args[1], "READ_WRITE") {
+			level = cloudsim.AccessReadWrite
+		}
+		tc, err := c.TempCredentialForAsset(args[0], level)
+		if err != nil {
+			return err
+		}
+		return printJSON(tc)
+	case "search":
+		if err := need(1, "search <query>"); err != nil {
+			return err
+		}
+		res, err := c.Search(strings.Join(args, " "), 0)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			fmt.Printf("%-12s %s\n", r.Type, r.FullName)
+		}
+		return nil
+	case "tag":
+		if err := need(3, "tag <securable> <key> <value>"); err != nil {
+			return err
+		}
+		return c.SetTag(args[0], "", args[1], args[2])
+	case "clone":
+		if err := need(3, "clone <src-table> <target-schema> <target-name>"); err != nil {
+			return err
+		}
+		e, err := c.CloneTable(args[0], args[1], args[2])
+		if err != nil {
+			return err
+		}
+		return printJSON(e)
+	case "rename":
+		if err := need(2, "rename <full-name> <new-name>"); err != nil {
+			return err
+		}
+		e, err := c.RenameAsset(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(e)
+	case "vol-put":
+		if err := need(3, "vol-put <volume> <name> <file-or-literal>"); err != nil {
+			return err
+		}
+		data, rerr := os.ReadFile(args[2])
+		if rerr != nil {
+			data = []byte(args[2]) // treat the argument as literal content
+		}
+		return c.WriteVolumeFile(args[0], args[1], data)
+	case "vol-get":
+		if err := need(2, "vol-get <volume> <name>"); err != nil {
+			return err
+		}
+		data, err := c.ReadVolumeFile(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	case "vol-ls":
+		if err := need(1, "vol-ls <volume>"); err != nil {
+			return err
+		}
+		files, err := c.ListVolumeFiles(args[0])
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			fmt.Printf("%10d  %s\n", f.Size, f.Name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}

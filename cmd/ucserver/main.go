@@ -1,0 +1,67 @@
+// Command ucserver runs the Unity Catalog service as an HTTP server,
+// exposing the UC REST API, the Delta Sharing protocol endpoint, and the
+// Iceberg REST catalog facade.
+//
+// Usage:
+//
+//	ucserver -addr :8080 -wal uc.wal -metastore ms1 -owner admin
+//
+// Identity is carried via "Authorization: Bearer <principal>" and
+// "X-UC-Metastore: <id>" headers (see internal/server).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"unitycatalog/uc"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		wal       = flag.String("wal", "", "write-ahead log path for metadata durability (empty = in-memory)")
+		metastore = flag.String("metastore", "ms1", "metastore id to create or open at startup")
+		name      = flag.String("name", "main", "metastore name")
+		region    = flag.String("region", "us-east-1", "metastore home region")
+		owner     = flag.String("owner", "admin", "metastore owner principal")
+		root      = flag.String("root", "", "managed-storage root path (default s3://uc-managed/<metastore>)")
+		trusted   = flag.String("trusted-engines", "", "comma-separated machine identities treated as trusted engines")
+	)
+	flag.Parse()
+
+	cat, err := uc.Open(uc.Config{WALPath: *wal})
+	if err != nil {
+		log.Fatalf("open catalog: %v", err)
+	}
+	defer cat.Close()
+
+	rootPath := *root
+	if rootPath == "" {
+		rootPath = "s3://uc-managed/" + *metastore
+	}
+	if _, err := cat.CreateMetastore(*metastore, *name, *region, uc.Principal(*owner), rootPath); err != nil {
+		// Try opening an existing metastore (WAL replay case).
+		if _, err2 := cat.Service.OpenMetastore(*metastore); err2 != nil {
+			log.Fatalf("create metastore: %v (open: %v)", err, err2)
+		}
+		log.Printf("opened existing metastore %s", *metastore)
+	} else {
+		log.Printf("created metastore %s (owner %s)", *metastore, *owner)
+	}
+	for _, t := range strings.Split(*trusted, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			cat.TrustEngine(uc.Principal(t))
+			log.Printf("trusted engine identity: %s", t)
+		}
+	}
+
+	fmt.Printf("Unity Catalog server listening on %s\n", *addr)
+	fmt.Printf("  REST API:      http://localhost%s/api/2.1/unity-catalog/\n", *addr)
+	fmt.Printf("  Delta Sharing: http://localhost%s/delta-sharing/\n", *addr)
+	fmt.Printf("  Iceberg REST:  http://localhost%s/iceberg/%s/v1/\n", *addr, *metastore)
+	log.Fatal(http.ListenAndServe(*addr, cat.Handler()))
+}

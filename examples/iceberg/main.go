@@ -1,0 +1,73 @@
+// Iceberg interoperability (paper §1 "External access"): an Iceberg-only
+// client reads a UC-governed Delta table through the Iceberg REST catalog
+// facade and UniForm-generated metadata — no data copies, full governance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unitycatalog/internal/iceberg"
+	"unitycatalog/uc"
+)
+
+func main() {
+	cat, err := uc.Open(uc.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cat.Close()
+	cat.CreateMetastore("ms1", "main", "us-east-1", "admin", "s3://acme/ms1")
+	admin := cat.Session("admin", "ms1")
+
+	// A governed Delta table with data.
+	admin.CreateCatalog("lake", "")
+	admin.CreateSchema("lake", "bronze", "")
+	cols := []uc.ColumnInfo{{Name: "ts", Type: "BIGINT"}, {Name: "event", Type: "STRING"}}
+	tbl, err := admin.CreateTable("lake.bronze", "events", uc.TableSpec{Columns: cols}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat.BootstrapDeltaTable(tbl.StoragePath, cols)
+	eng := cat.NewEngine("etl", true)
+	if _, err := eng.Execute(admin.Ctx(), "INSERT INTO lake.bronze.events VALUES (1, 'click'), (2, 'view'), (3, 'click')"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The Iceberg REST facade over the same metastore.
+	ice := iceberg.New(cat.Service, "ms1")
+
+	// An Iceberg client's flow: list namespaces, list tables, load table.
+	ns, _ := ice.ListNamespaces("admin")
+	fmt.Printf("namespaces visible to admin: %v\n", ns)
+	tables, _ := ice.ListTables("admin", "lake.bronze")
+	fmt.Printf("tables in lake.bronze: %v\n", tables)
+
+	res, err := ice.LoadTable("admin", "lake.bronze", "events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded Iceberg metadata: format v%d, snapshot %d, %s records\n",
+		res.Metadata.FormatVersion, res.Metadata.CurrentSnapshotID,
+		res.Metadata.Snapshots[0].Summary["total-records"])
+
+	// The response carries a vended, table-scoped storage token; the client
+	// fetches the listed data files directly.
+	token := res.Config["storage.token"]
+	for _, f := range res.Metadata.Snapshots[0].ManifestList {
+		data, err := cat.Cloud.Get(token, f.FilePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fetched %s (%d bytes) with the vended token\n", f.FilePath[len(tbl.StoragePath)+1:], len(data))
+	}
+
+	// Governance applies identically on this interface: an unprivileged
+	// Iceberg client sees nothing and loads nothing.
+	if ns, _ := ice.ListNamespaces("intruder"); len(ns) != 0 {
+		log.Fatal("intruder saw namespaces")
+	}
+	if _, err := ice.LoadTable("intruder", "lake.bronze", "events"); err != nil {
+		fmt.Println("unprivileged Iceberg client denied ✓")
+	}
+}

@@ -1,0 +1,121 @@
+// Quickstart: stand up an embedded Unity Catalog, build a governed
+// namespace, load a Delta table through a trusted engine, grant access, and
+// run SQL as different principals — the life of a SQL query from the paper's
+// Section 3.4, end to end.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"unitycatalog/uc"
+)
+
+func main() {
+	cat, err := uc.Open(uc.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cat.Close()
+
+	// 1. A metastore is the namespace root; its owner bootstraps access.
+	if _, err := cat.CreateMetastore("ms1", "main", "us-east-1", "admin", "s3://acme-uc/ms1"); err != nil {
+		log.Fatal(err)
+	}
+	admin := cat.Session("admin", "ms1")
+
+	// 2. Three-level namespace: catalog.schema.table.
+	must(admin.CreateCatalog("sales", "revenue data"))
+	must(admin.CreateSchema("sales", "raw", ""))
+	table, err := admin.CreateTable("sales.raw", "orders", uc.TableSpec{
+		Columns: []uc.ColumnInfo{
+			{Name: "id", Type: "BIGINT"},
+			{Name: "amount", Type: "DOUBLE"},
+			{Name: "region", Type: "STRING"},
+		},
+	}, "") // empty path -> catalog-managed storage
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %s (managed storage at %s)\n", table.FullName, table.StoragePath)
+
+	// 3. A trusted engine writes and reads through the catalog: batched
+	// metadata resolution, credential vending, direct storage access.
+	eng := cat.NewEngine("dbr-quickstart", true)
+	mustExec := func(sql string, who uc.Principal) {
+		ctx := uc.Ctx{Principal: who, Metastore: "ms1"}
+		res, err := eng.Execute(ctx, sql)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		switch {
+		case res.Batch == nil:
+			fmt.Printf("  [%s] %q -> %d rows inserted\n", who, sql, res.RowsReturned)
+		case res.Count > 0:
+			fmt.Printf("  [%s] %q -> count=%d\n", who, sql, res.Count)
+		default:
+			fmt.Printf("  [%s] %q -> %d rows (files scanned=%d skipped=%d)\n",
+				who, sql, res.RowsReturned, res.FilesScanned, res.FilesSkipped)
+		}
+	}
+	// The engine must first create the Delta log; INSERT does the rest.
+	if _, err := admin.Resolve(uc.ResolveRequest{Names: []string{"sales.raw.orders"}}); err != nil {
+		log.Fatal(err)
+	}
+	bootstrapDelta(cat, table.StoragePath)
+	mustExec("INSERT INTO sales.raw.orders VALUES (1, 10.5, 'US'), (2, 20.0, 'EU'), (3, 7.25, 'US'), (4, 99.0, 'APAC')", "admin")
+	mustExec("SELECT id, amount FROM sales.raw.orders WHERE region = 'US'", "admin")
+	mustExec("SELECT COUNT(*) FROM sales.raw.orders", "admin")
+
+	// 4. Governance: default deny, SQL-style grants with usage gating.
+	alice := uc.Ctx{Principal: "alice", Metastore: "ms1"}
+	if _, err := eng.Execute(alice, "SELECT id FROM sales.raw.orders"); errors.Is(err, uc.ErrPermissionDenied) {
+		fmt.Println("  [alice] denied before grants (default deny) ✓")
+	}
+	check(admin.Grant("sales", "alice", uc.UseCatalog))
+	check(admin.Grant("sales.raw", "alice", uc.UseSchema))
+	check(admin.Grant("sales.raw.orders", "alice", uc.Select))
+	mustExec("SELECT id FROM sales.raw.orders WHERE amount >= 10", "alice")
+
+	// 5. Credential vending: by name and by raw storage path, with the
+	// one-asset-per-path invariant resolving the path to the same table.
+	cred, err := admin.Credential("sales.raw.orders", uc.AccessRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vended credential scoped to %s (expires %s)\n", cred.Credential.Scope, cred.Credential.ExpiresAt.Format("15:04:05"))
+	pathCred, err := admin.CredentialForPath(table.StoragePath+"/some/file.dpf", uc.AccessRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path-based access resolved to asset %s — same governance either way\n", pathCred.AssetName)
+
+	// 6. The audit trail recorded everything.
+	stats := cat.Audit().Stats()
+	fmt.Printf("audit: %d API events (%d reads, %d writes, %d denied)\n",
+		stats.Total, stats.Reads, stats.Writes, stats.Denied)
+}
+
+// bootstrapDelta initializes the Delta log for a fresh managed table (the
+// DDL path a full engine would run on CREATE TABLE).
+func bootstrapDelta(cat *uc.Catalog, path string) {
+	if err := cat.BootstrapDeltaTable(path, []uc.ColumnInfo{
+		{Name: "id", Type: "BIGINT"}, {Name: "amount", Type: "DOUBLE"}, {Name: "region", Type: "STRING"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(e *uc.Entity, err error) *uc.Entity {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

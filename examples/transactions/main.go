@@ -1,0 +1,117 @@
+// Multi-table transactions (paper §6.3): the catalog acting as the commit
+// coordinator for transactions spanning several Delta tables — possibly on
+// different storage buckets — so a transfer either lands in full or not at
+// all, even under concurrent writers.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/txn"
+	"unitycatalog/uc"
+)
+
+func main() {
+	cat, err := uc.Open(uc.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cat.Close()
+	cat.CreateMetastore("ms1", "main", "us-east-1", "admin", "s3://acme/ms1")
+	admin := cat.Session("admin", "ms1")
+	admin.CreateCatalog("bank", "")
+	admin.CreateSchema("bank", "ledger", "")
+
+	cols := []uc.ColumnInfo{{Name: "account", Type: "BIGINT"}, {Name: "delta_amount", Type: "DOUBLE"}}
+	for _, name := range []string{"checking", "savings"} {
+		tbl, err := admin.CreateTable("bank.ledger", name, uc.TableSpec{Columns: cols}, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cat.BootstrapDeltaTable(tbl.StoragePath, cols); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	coord := cat.NewTransactionCoordinator()
+	adminCtx := admin.Ctx()
+	schema := delta.Schema{Fields: []delta.SchemaField{
+		{Name: "account", Type: delta.TypeInt64}, {Name: "delta_amount", Type: delta.TypeFloat64},
+	}}
+	transfer := func(account int64, amount float64) error {
+		tx, err := coord.Begin(adminCtx, []string{"bank.ledger.checking", "bank.ledger.savings"})
+		if err != nil {
+			return err
+		}
+		debit := delta.NewBatch(schema)
+		debit.AppendRow(account, -amount)
+		credit := delta.NewBatch(schema)
+		credit.AppendRow(account, amount)
+		if err := tx.StageAppend("bank.ledger.checking", debit); err != nil {
+			return err
+		}
+		if err := tx.StageAppend("bank.ledger.savings", credit); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+
+	// One atomic transfer.
+	if err := transfer(1, 250); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transfer committed atomically across two tables")
+
+	// Eight concurrent workers, retrying on serialization conflicts — the
+	// classic ledger test: the two sides always balance.
+	var wg sync.WaitGroup
+	conflicts := 0
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				for {
+					err := transfer(int64(w), 10)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, txn.ErrConflict) {
+						mu.Lock()
+						conflicts++
+						mu.Unlock()
+						continue
+					}
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Verify the invariant through a fresh transaction snapshot.
+	tx, err := coord.Begin(adminCtx, []string{"bank.ledger.checking", "bank.ledger.savings"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tx.Abort()
+	sum := func(table string) float64 {
+		res, err := tx.Scan(table, []string{"delta_amount"}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0.0
+		for _, v := range res.Batch.Floats["delta_amount"] {
+			total += v
+		}
+		return total
+	}
+	out, in := sum("bank.ledger.checking"), sum("bank.ledger.savings")
+	fmt.Printf("41 transfers done (%d conflicts retried); checking %+.0f, savings %+.0f — balanced: %v\n",
+		conflicts, out, in, out+in == 0)
+}

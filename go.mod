@@ -1,0 +1,3 @@
+module unitycatalog
+
+go 1.22

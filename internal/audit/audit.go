@@ -1,0 +1,168 @@
+// Package audit implements the Unity Catalog audit trail (paper §4.2.1):
+// an append-only log of API requests, object lifecycle changes, access
+// control decisions, and credential vending events, for all asset types.
+//
+// The log is in-memory with an optional sink (io.Writer receiving JSON
+// lines) and bounded retention, and exposes simple query and aggregate
+// interfaces used by the evaluation harness (e.g. the read/write API mix of
+// §6.1).
+package audit
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"unitycatalog/internal/clock"
+	"unitycatalog/internal/ids"
+)
+
+// Kind classifies an audit record.
+type Kind string
+
+// Audit record kinds.
+const (
+	KindAPIRequest Kind = "API_REQUEST"
+	KindLifecycle  Kind = "LIFECYCLE"
+	KindAuthz      Kind = "AUTHZ_DECISION"
+	KindCredential Kind = "CREDENTIAL_VEND"
+)
+
+// Record is one audit trail entry.
+type Record struct {
+	Time      time.Time         `json:"time"`
+	Kind      Kind              `json:"kind"`
+	Metastore string            `json:"metastore,omitempty"`
+	Principal string            `json:"principal,omitempty"`
+	Operation string            `json:"operation,omitempty"` // e.g. "GetTable", "CreateSchema"
+	Securable ids.ID            `json:"securable,omitempty"`
+	Allowed   bool              `json:"allowed"`
+	ReadOnly  bool              `json:"read_only"`
+	Detail    string            `json:"detail,omitempty"`
+	Extra     map[string]string `json:"extra,omitempty"`
+}
+
+// Log is the audit trail. The zero value is not usable; call NewLog.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	max     int
+	sink    io.Writer
+	clk     clock.Clock
+
+	// aggregate counters survive retention trimming
+	total, reads, writes, denied int64
+	byOperation                  map[string]int64
+}
+
+// NewLog returns a Log retaining up to max records (0 means 100000).
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = 100000
+	}
+	return &Log{max: max, clk: clock.Real{}, byOperation: map[string]int64{}}
+}
+
+// SetSink directs a copy of every record, JSON-encoded one per line, to w.
+func (l *Log) SetSink(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = w
+}
+
+// SetClock overrides the clock (for simulations).
+func (l *Log) SetClock(c clock.Clock) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clk = c
+}
+
+// Append records r, stamping its time if unset.
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.Time.IsZero() {
+		r.Time = l.clk.Now()
+	}
+	l.records = append(l.records, r)
+	if len(l.records) > l.max {
+		// Amortized trim: drop the oldest half in one copy so sustained
+		// high-rate appends stay O(1) per record instead of O(max).
+		keep := l.max / 2
+		l.records = append([]Record(nil), l.records[len(l.records)-keep:]...)
+	}
+	l.total++
+	if r.ReadOnly {
+		l.reads++
+	} else {
+		l.writes++
+	}
+	if !r.Allowed {
+		l.denied++
+	}
+	if r.Operation != "" {
+		l.byOperation[r.Operation]++
+	}
+	if l.sink != nil {
+		if b, err := json.Marshal(r); err == nil {
+			l.sink.Write(append(b, '\n'))
+		}
+	}
+}
+
+// Recent returns up to n most recent records, newest last.
+func (l *Log) Recent(n int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > len(l.records) {
+		n = len(l.records)
+	}
+	out := make([]Record, n)
+	copy(out, l.records[len(l.records)-n:])
+	return out
+}
+
+// Filter returns retained records matching pred, oldest first.
+func (l *Log) Filter(pred func(Record) bool) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the full history (not just retained records).
+type Stats struct {
+	Total       int64
+	Reads       int64
+	Writes      int64
+	Denied      int64
+	ByOperation map[string]int64
+}
+
+// Stats returns aggregate counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	byOp := make(map[string]int64, len(l.byOperation))
+	for k, v := range l.byOperation {
+		byOp[k] = v
+	}
+	return Stats{Total: l.total, Reads: l.reads, Writes: l.writes, Denied: l.denied, ByOperation: byOp}
+}
+
+// ReadFraction returns the fraction of requests that were read-only
+// (the paper reports 98.2% for production UC).
+func (l *Log) ReadFraction() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.total == 0 {
+		return 0
+	}
+	return float64(l.reads) / float64(l.total)
+}

@@ -1,0 +1,88 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/clock"
+)
+
+func TestAppendAndStats(t *testing.T) {
+	l := NewLog(0)
+	l.Append(Record{Kind: KindAPIRequest, Operation: "GetTable", Allowed: true, ReadOnly: true})
+	l.Append(Record{Kind: KindAPIRequest, Operation: "GetTable", Allowed: true, ReadOnly: true})
+	l.Append(Record{Kind: KindAPIRequest, Operation: "CreateTable", Allowed: true})
+	l.Append(Record{Kind: KindAuthz, Operation: "GetTable", Allowed: false, ReadOnly: true})
+
+	st := l.Stats()
+	if st.Total != 4 || st.Reads != 3 || st.Writes != 1 || st.Denied != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByOperation["GetTable"] != 3 {
+		t.Fatalf("byOp = %v", st.ByOperation)
+	}
+	if got := l.ReadFraction(); got != 0.75 {
+		t.Fatalf("read fraction = %v", got)
+	}
+}
+
+func TestRetentionTrimsButCountersSurvive(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 50; i++ {
+		l.Append(Record{Kind: KindAPIRequest, ReadOnly: true, Allowed: true})
+	}
+	if got := len(l.Recent(0)); got > 10 || got < 5 {
+		t.Fatalf("retained = %d, want within (max/2, max]", got)
+	}
+	if st := l.Stats(); st.Total != 50 {
+		t.Fatalf("total = %d", st.Total)
+	}
+}
+
+func TestRecentAndFilter(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 5; i++ {
+		l.Append(Record{Operation: "Op", Principal: "alice", Allowed: i%2 == 0})
+	}
+	if got := len(l.Recent(3)); got != 3 {
+		t.Fatalf("recent = %d", got)
+	}
+	denied := l.Filter(func(r Record) bool { return !r.Allowed })
+	if len(denied) != 2 {
+		t.Fatalf("denied = %d", len(denied))
+	}
+}
+
+func TestSinkReceivesJSONLines(t *testing.T) {
+	l := NewLog(0)
+	var buf bytes.Buffer
+	l.SetSink(&buf)
+	l.Append(Record{Operation: "GetTable", Principal: "bob", Allowed: true})
+	line := strings.TrimSpace(buf.String())
+	var r Record
+	if err := json.Unmarshal([]byte(line), &r); err != nil {
+		t.Fatalf("sink line not JSON: %v (%q)", err, line)
+	}
+	if r.Operation != "GetTable" || r.Principal != "bob" {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestClockStamping(t *testing.T) {
+	l := NewLog(0)
+	fake := clock.NewFake(time.Unix(1000, 0))
+	l.SetClock(fake)
+	l.Append(Record{Operation: "X"})
+	if got := l.Recent(1)[0].Time; !got.Equal(time.Unix(1000, 0)) {
+		t.Fatalf("time = %v", got)
+	}
+	// Explicit times are preserved.
+	explicit := time.Unix(42, 0)
+	l.Append(Record{Operation: "Y", Time: explicit})
+	if got := l.Recent(1)[0].Time; !got.Equal(explicit) {
+		t.Fatalf("explicit time = %v", got)
+	}
+}

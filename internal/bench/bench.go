@@ -1,0 +1,185 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 6). Each experiment builds its
+// workload with the workload package, drives the live Unity Catalog code
+// paths, and emits a Table of the same rows/series the paper plots, plus a
+// one-line comparison against the paper's claim. Absolute numbers differ
+// from the paper (simulated substrate, laptop scale); the *shape* — who
+// wins, by what factor, where curves bend — is the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/store"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	Paper  string // the paper's claim for this figure
+	Header []string
+	Rows   [][]string
+	// Finding is the measured headline for EXPERIMENTS.md.
+	Finding string
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "   paper:    %s\n", t.Paper)
+	fmt.Fprintf(w, "   measured: %s\n", t.Finding)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				sb.WriteString(fmt.Sprintf("  %-*s", widths[i], c))
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Options tunes all experiments for runtime vs fidelity.
+type Options struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// DBReadLatency models the remote metastore database round trip.
+	DBReadLatency time.Duration
+	// NetworkRTT models the engine↔catalog-service network hop that exists
+	// because UC is a separate service (paper §4.5: "additional network
+	// hops between engines and the catalog service"). Applied once per
+	// simulated API call in the experiments that model remote engines.
+	NetworkRTT time.Duration
+	// Quick shrinks workloads for CI/benchmark runs.
+	Quick bool
+}
+
+// Defaults fills zero fields.
+func (o *Options) Defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.DBReadLatency == 0 {
+		o.DBReadLatency = 300 * time.Microsecond
+	}
+	if o.NetworkRTT == 0 {
+		o.NetworkRTT = 500 * time.Microsecond
+	}
+}
+
+// apiHop simulates one engine→catalog network round trip.
+func (o Options) apiHop() {
+	if o.NetworkRTT > 0 {
+		time.Sleep(o.NetworkRTT)
+	}
+}
+
+// Experiment is a runnable evaluation experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig4", "Per-metastore working-set size CDF", Fig4WorkingSet},
+		{"fig5", "Inter-arrival CDF of same-asset re-accesses", Fig5InterArrival},
+		{"fig6a", "Schema composition by asset types", Fig6aSchemaComposition},
+		{"fig6b", "Table type distribution", Fig6bTableTypes},
+		{"fig7", "Volume creation growth", Fig7VolumeGrowth},
+		{"fig8a", "Table storage format distribution", Fig8aFormats},
+		{"fig8b", "Table type growth over time", Fig8bTableGrowth},
+		{"fig8c", "Top-5 foreign table type growth", Fig8cForeignGrowth},
+		{"fig9", "External client × operation diversity, UC vs HMS", Fig9ClientDiversity},
+		{"fig10a", "TPC-H/TPC-DS latency: UC vs HMS local", Fig10aUCvsHMS},
+		{"fig10b", "Latency vs throughput, cache on/off", Fig10bCacheThroughput},
+		{"fig10c", "Predictive optimization speedup", Fig10cPredictiveOpt},
+		{"fig11", "Table access method: name vs path", Fig11AccessMethods},
+		{"stats", "Aggregate usage statistics (§6.1)", StatsAggregate},
+		{"ablate-batch", "Ablation: batched vs per-object resolution", AblationBatching},
+		{"ablate-reconcile", "Ablation: full vs selective cache reconciliation", AblationReconcile},
+		{"ablate-trie", "Ablation: trie vs index-walk path resolution", AblationPathIndex},
+		{"ablate-tokens", "Ablation: credential token cache on/off", AblationTokenCache},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ---
+
+// newService builds a catalog service over a fresh DB with the configured
+// latency and one metastore owned by "admin".
+func newService(o Options, msID string, latency time.Duration) (*catalog.Service, catalog.Ctx, error) {
+	db, err := store.Open(store.Options{ReadLatency: latency, CommitLatency: latency})
+	if err != nil {
+		return nil, catalog.Ctx{}, err
+	}
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		return nil, catalog.Ctx{}, err
+	}
+	if _, err := svc.CreateMetastore(msID, msID, "region-1", "admin", "s3://root/"+msID); err != nil {
+		return nil, catalog.Ctx{}, err
+	}
+	return svc, catalog.Ctx{Principal: "admin", Metastore: msID, TrustedEngine: true}, nil
+}
+
+// percentile returns the p-th percentile (0..100) of sorted data.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func sortFloats(xs []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp
+}
+
+// durationsMillis converts durations to float milliseconds.
+func durationsMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+func f(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func fi(v int) string     { return fmt.Sprintf("%d", v) }
+func f64(v int64) string  { return fmt.Sprintf("%d", v) }
+func pc(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

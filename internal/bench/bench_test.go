@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment runtime small for the test suite.
+func quickOpts() Options {
+	return Options{Seed: 1, Quick: true}
+}
+
+// TestAllExperimentsRun executes every experiment end to end in quick mode
+// and sanity-checks that each produces a non-empty table and finding.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q != experiment id %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 || len(tbl.Header) == 0 {
+				t.Fatalf("%s produced an empty table", e.ID)
+			}
+			if tbl.Finding == "" || tbl.Paper == "" {
+				t.Fatalf("%s missing finding/paper claim", e.ID)
+			}
+			var sb strings.Builder
+			tbl.Print(&sb)
+			if !strings.Contains(sb.String(), tbl.Title) {
+				t.Fatal("Print output missing title")
+			}
+			if testing.Verbose() {
+				tbl.Print(os.Stdout)
+			}
+		})
+	}
+}
+
+// TestFindLooksUpEveryExperiment checks the registry round trip.
+func TestFindLooksUpEveryExperiment(t *testing.T) {
+	for _, e := range All() {
+		if got, ok := Find(e.ID); !ok || got.ID != e.ID {
+			t.Fatalf("Find(%q) = %v, %v", e.ID, got.ID, ok)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find of unknown id should fail")
+	}
+}
+
+// TestFig5LocalityShape asserts the headline shape of Figure 5: container
+// re-access is faster than leaf re-access.
+func TestFig5LocalityShape(t *testing.T) {
+	tbl, err := Fig5InterArrival(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p90 := map[string]float64{}
+	for _, r := range tbl.Rows {
+		v, _ := strconv.ParseFloat(r[2], 64)
+		p90[r[0]] = v
+	}
+	if !(p90["catalog"] < p90["table"]) {
+		t.Fatalf("catalog p90 %.2f should be < table p90 %.2f", p90["catalog"], p90["table"])
+	}
+}
+
+// TestFig10bCacheWins asserts the headline shape of Figure 10(b).
+func TestFig10bCacheWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	tbl, err := Fig10bCacheThroughput(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last "on" row and last "off" row: cache-on throughput must exceed
+	// cache-off.
+	var onT, offT float64
+	for _, r := range tbl.Rows {
+		v, _ := strconv.ParseFloat(r[2], 64)
+		if r[0] == "on" {
+			if v > onT {
+				onT = v
+			}
+		} else if v > offT {
+			offT = v
+		}
+	}
+	if onT <= offT {
+		t.Fatalf("cache-on peak %.0f should beat cache-off %.0f", onT, offT)
+	}
+}
+
+// TestFig10cOptimizationWins asserts the headline shape of Figure 10(c).
+func TestFig10cOptimizationWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy test")
+	}
+	tbl, err := Fig10cPredictiveOpt(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := strconv.ParseFloat(tbl.Rows[0][2], 64)
+	after, _ := strconv.ParseFloat(tbl.Rows[1][2], 64)
+	if after >= before {
+		t.Fatalf("optimization did not help: %.2fms -> %.2fms", before, after)
+	}
+	// Matched rows identical before/after.
+	if tbl.Rows[0][5] != tbl.Rows[1][5] {
+		t.Fatalf("row counts differ: %s vs %s", tbl.Rows[0][5], tbl.Rows[1][5])
+	}
+}

@@ -1,0 +1,586 @@
+// Package cache implements the mutable-metadata cache of the paper's
+// Section 4.5: a write-through, multi-version, in-memory cache over the
+// ACID metadata store that preserves metastore-level snapshot reads and
+// serializable writes without distributed consensus.
+//
+// Design, mirroring the paper:
+//
+//   - A cache node *owns* one or more metastores and caches only those.
+//     Ownership is best effort and not exclusive: two nodes may cache the
+//     same metastore and correctness is preserved by optimistic version
+//     checks against the database.
+//   - Each owned metastore has an in-memory *known version*. The invariant
+//     is that every cached record's newest version is the latest as of the
+//     known version.
+//   - Reads are served at a pinned version (snapshot isolation). Cache
+//     misses fall through to the database; before caching the result, the
+//     node validates that its known version is still the database's current
+//     version, reconciling otherwise.
+//   - Writes go through UpdateCAS: commit conditioned on the known version.
+//     On success the written records are inserted into the cache at the new
+//     version (write-through); on a version mismatch — another node wrote —
+//     the node reconciles and retries.
+//   - Reconciliation is either Full (evict everything for the metastore) or
+//     Selective (consult the store's change log and invalidate only the
+//     records that changed) — both strategies from the paper, compared in
+//     the ablation benchmarks.
+//   - Two eviction mechanisms bound memory: an LRU or LFU policy evicts
+//     unpopular records with all their versions, and old versions of
+//     popular records are pruned lazily once past the API-timeout horizon,
+//     because no in-flight request can still need them.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"unitycatalog/internal/store"
+)
+
+// ReconcileStrategy selects how the cache catches up after discovering the
+// database moved past its known version.
+type ReconcileStrategy int
+
+// Reconciliation strategies.
+const (
+	// ReconcileFull evicts all cached state for the metastore.
+	ReconcileFull ReconcileStrategy = iota
+	// ReconcileSelective invalidates only records the change log names,
+	// falling back to full eviction when the log has been trimmed.
+	ReconcileSelective
+)
+
+// EvictionPolicy selects the whole-record eviction algorithm.
+type EvictionPolicy int
+
+// Eviction policies.
+const (
+	EvictLRU EvictionPolicy = iota
+	EvictLFU
+)
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntriesPerMetastore bounds cached records per metastore
+	// (0 means 1<<20).
+	MaxEntriesPerMetastore int
+	// Strategy selects the reconciliation strategy (default selective).
+	Strategy ReconcileStrategy
+	// Policy selects the eviction policy (default LRU).
+	Policy EvictionPolicy
+	// VersionRetention is how long superseded record versions are kept for
+	// in-flight readers — the paper ties this to the API timeout enforced
+	// by the upstream proxy. Zero means 30 seconds.
+	VersionRetention time.Duration
+	// Disabled bypasses the cache entirely (every read hits the database);
+	// used by the Figure 10(b) benchmark's no-cache arm.
+	Disabled bool
+}
+
+// Metrics exposes cache effectiveness counters.
+type Metrics struct {
+	Hits, Misses         int64
+	ScanHits, ScanMisses int64
+	FullReconciles       int64
+	SelectiveReconciles  int64
+	Evictions            int64
+	WriteConflicts       int64
+}
+
+type cachedVersion struct {
+	version  uint64
+	value    []byte
+	deleted  bool
+	cachedAt time.Time
+}
+
+type cachedRecord struct {
+	versions []cachedVersion // ascending by version
+	// bookkeeping for eviction
+	lastUsed time.Time
+	uses     int64
+}
+
+func (r *cachedRecord) at(v uint64) (value []byte, deleted, ok bool) {
+	for i := len(r.versions) - 1; i >= 0; i-- {
+		if r.versions[i].version <= v {
+			cv := r.versions[i]
+			return cv.value, cv.deleted, true
+		}
+	}
+	return nil, false, false
+}
+
+type cachedScan struct {
+	version uint64
+	kvs     []store.KV
+	// bookkeeping
+	lastUsed time.Time
+	uses     int64
+}
+
+type msCache struct {
+	mu           sync.RWMutex
+	knownVersion uint64
+	// records keyed by table+"\x00"+key; these include the secondary-key
+	// index records (name→id, path→id), so the cache serves lookups by ID,
+	// name, or path, as the paper describes.
+	records map[string]*cachedRecord
+	scans   map[string]*cachedScan
+}
+
+// Cache is a cache node, owning and caching a set of metastores over one DB.
+type Cache struct {
+	db   *store.DB
+	opts Options
+
+	mu     sync.RWMutex
+	owned  map[string]*msCache
+	closed bool
+
+	metricsMu sync.Mutex
+	metrics   Metrics
+}
+
+// New returns a cache node over db.
+func New(db *store.DB, opts Options) *Cache {
+	if opts.MaxEntriesPerMetastore == 0 {
+		opts.MaxEntriesPerMetastore = 1 << 20
+	}
+	if opts.VersionRetention == 0 {
+		opts.VersionRetention = 30 * time.Second
+	}
+	return &Cache{db: db, opts: opts, owned: map[string]*msCache{}}
+}
+
+// Metrics returns a copy of the cache counters.
+func (c *Cache) Metrics() Metrics {
+	c.metricsMu.Lock()
+	defer c.metricsMu.Unlock()
+	return c.metrics
+}
+
+func (c *Cache) count(f func(*Metrics)) {
+	c.metricsMu.Lock()
+	f(&c.metrics)
+	c.metricsMu.Unlock()
+}
+
+// Own registers a metastore with this node, initializing its known version
+// from the database.
+func (c *Cache) Own(msID string) error {
+	v, err := c.db.Version(msID)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.owned[msID]; !ok {
+		c.owned[msID] = &msCache{knownVersion: v, records: map[string]*cachedRecord{}, scans: map[string]*cachedScan{}}
+	}
+	return nil
+}
+
+// Disown forgets a metastore and all its cached state.
+func (c *Cache) Disown(msID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.owned, msID)
+}
+
+func (c *Cache) owner(msID string) (*msCache, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.owned[msID]
+	if !ok {
+		return nil, fmt.Errorf("cache: metastore %s not owned by this node", msID)
+	}
+	return m, nil
+}
+
+func recordKey(table, key string) string { return table + "\x00" + key }
+func scanKey(table, prefix string) string {
+	return table + "\x00" + prefix
+}
+
+// reconcile brings the metastore cache up to the database's current version.
+// Caller must hold m.mu for writing.
+func (c *Cache) reconcileLocked(msID string, m *msCache) error {
+	dbV, err := c.db.Version(msID)
+	if err != nil {
+		return err
+	}
+	if dbV == m.knownVersion {
+		return nil
+	}
+	if c.opts.Strategy == ReconcileSelective {
+		changes, err := c.db.ChangesSince(msID, m.knownVersion)
+		if err == nil {
+			for _, ch := range changes {
+				delete(m.records, recordKey(ch.Table, ch.Key))
+				// Invalidate scans over the changed table whose prefix
+				// covers the changed key.
+				for sk := range m.scans {
+					tbl, prefix, _ := strings.Cut(sk, "\x00")
+					if tbl == ch.Table && strings.HasPrefix(ch.Key, prefix) {
+						delete(m.scans, sk)
+					}
+				}
+			}
+			// Surviving entries remain the latest as of dbV.
+			for _, s := range m.scans {
+				s.version = dbV
+			}
+			m.knownVersion = dbV
+			c.count(func(mt *Metrics) { mt.SelectiveReconciles++ })
+			return nil
+		}
+		if !errors.Is(err, store.ErrChangeLogTrimmed) {
+			return err
+		}
+		// fall through to full eviction
+	}
+	m.records = map[string]*cachedRecord{}
+	m.scans = map[string]*cachedScan{}
+	m.knownVersion = dbV
+	c.count(func(mt *Metrics) { mt.FullReconciles++ })
+	return nil
+}
+
+// View is a snapshot-isolated read view of one metastore served from the
+// cache with database fallback. The view's version is pinned lazily: a view
+// whose *first* access misses the cache validates the node's known version
+// against the database and reconciles before pinning — the paper's "on
+// every DB read, the node checks that its in-memory version is the latest"
+// — so fresh requests observe other nodes' committed writes, while accesses
+// after pinning stay on one consistent snapshot. Close releases the
+// underlying DB snapshot if one was opened.
+type View struct {
+	c       *Cache
+	msID    string
+	m       *msCache
+	Version uint64
+	pinned  bool
+	snap    *store.Snapshot // cache-disabled mode reads straight from this
+}
+
+// NewView opens a read view of the metastore. When the cache is disabled,
+// views read straight from a DB snapshot.
+func (c *Cache) NewView(msID string) (*View, error) {
+	if c.opts.Disabled {
+		snap, err := c.db.Snapshot(msID)
+		if err != nil {
+			return nil, err
+		}
+		return &View{c: c, msID: msID, Version: snap.Version, pinned: true, snap: snap}, nil
+	}
+	m, err := c.owner(msID)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	v := m.knownVersion
+	m.mu.RUnlock()
+	return &View{c: c, msID: msID, m: m, Version: v}, nil
+}
+
+// pinOnMiss validates the known version against the database (reconciling
+// if another node advanced it) and pins the view. Only called while the
+// view is still unpinned.
+func (v *View) pinOnMiss() {
+	v.m.mu.Lock()
+	if err := v.c.reconcileLocked(v.msID, v.m); err == nil {
+		v.Version = v.m.knownVersion
+	}
+	v.m.mu.Unlock()
+	v.pinned = true
+}
+
+// Get returns the value of (table, key) as of the view's version.
+func (v *View) Get(table, key string) ([]byte, bool) {
+	if v.snap != nil { // cache disabled
+		return v.snap.Get(table, key)
+	}
+	rk := recordKey(table, key)
+	v.m.mu.RLock()
+	rec, ok := v.m.records[rk]
+	if ok {
+		if val, deleted, found := rec.at(v.Version); found {
+			rec.lastUsed = time.Now()
+			rec.uses++
+			v.m.mu.RUnlock()
+			v.pinned = true
+			v.c.count(func(mt *Metrics) { mt.Hits++ })
+			if deleted {
+				return nil, false
+			}
+			return val, true
+		}
+	}
+	v.m.mu.RUnlock()
+	v.c.count(func(mt *Metrics) { mt.Misses++ })
+
+	// First-access miss: validate the node's version against the DB and
+	// reconcile, so this view observes other nodes' commits.
+	if !v.pinned {
+		v.pinOnMiss()
+		// The reconciled cache may now hold the record (selective
+		// reconciliation keeps unchanged entries).
+		v.m.mu.RLock()
+		if rec, ok := v.m.records[rk]; ok {
+			if val, deleted, found := rec.at(v.Version); found {
+				v.m.mu.RUnlock()
+				v.c.count(func(mt *Metrics) { mt.Hits++ })
+				if deleted {
+					return nil, false
+				}
+				return val, true
+			}
+		}
+		v.m.mu.RUnlock()
+	}
+
+	// Miss: read from the database at the pinned version.
+	snap, err := v.c.db.SnapshotAt(v.msID, v.Version)
+	if err != nil {
+		return nil, false
+	}
+	val, found := snap.Get(table, key)
+	snap.Close()
+
+	// Cache the result only when the view is at the cache's current known
+	// version; otherwise a change in (view, known] could make the insert
+	// stale with respect to newer readers.
+	v.m.mu.Lock()
+	if v.m.knownVersion == v.Version {
+		v.c.insertLocked(v.m, rk, cachedVersion{version: v.Version, value: val, deleted: !found, cachedAt: time.Now()})
+	}
+	v.m.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	return val, true
+}
+
+// Scan returns live pairs with the key prefix as of the view's version,
+// served from the scan cache when possible.
+func (v *View) Scan(table, prefix string) []store.KV {
+	if v.snap != nil { // cache disabled
+		return v.snap.Scan(table, prefix)
+	}
+	sk := scanKey(table, prefix)
+	v.m.mu.RLock()
+	if s, ok := v.m.scans[sk]; ok && s.version >= v.Version {
+		// The scan result is the latest as of s.version >= view version and
+		// unchanged since the view version (otherwise invalidated), so it is
+		// valid for this view only if it was already valid at view version.
+		// Entries are only stored/bumped when proven unchanged, so >= is safe.
+		s.lastUsed = time.Now()
+		s.uses++
+		out := s.kvs
+		v.m.mu.RUnlock()
+		v.pinned = true
+		v.c.count(func(mt *Metrics) { mt.ScanHits++ })
+		return out
+	}
+	v.m.mu.RUnlock()
+	v.c.count(func(mt *Metrics) { mt.ScanMisses++ })
+
+	if !v.pinned {
+		v.pinOnMiss()
+	}
+	snap, err := v.c.db.SnapshotAt(v.msID, v.Version)
+	if err != nil {
+		return nil
+	}
+	kvs := snap.Scan(table, prefix)
+	snap.Close()
+
+	v.m.mu.Lock()
+	if v.m.knownVersion == v.Version {
+		v.m.scans[sk] = &cachedScan{version: v.Version, kvs: kvs, lastUsed: time.Now(), uses: 1}
+	}
+	v.m.mu.Unlock()
+	return kvs
+}
+
+// Close releases resources held by the view.
+func (v *View) Close() {
+	if v.snap != nil {
+		v.snap.Close()
+		v.snap = nil
+	}
+}
+
+// insertLocked adds a version to a record, pruning stale versions lazily.
+// Caller holds m.mu.
+func (c *Cache) insertLocked(m *msCache, rk string, cv cachedVersion) {
+	rec, ok := m.records[rk]
+	if !ok {
+		if len(m.records) >= c.opts.MaxEntriesPerMetastore {
+			c.evictOneLocked(m)
+		}
+		rec = &cachedRecord{}
+		m.records[rk] = rec
+	}
+	// Keep versions ascending; drop any version >= cv.version (shouldn't
+	// happen, but reconciliation races are possible when disabled checks
+	// are off) and versions older than the retention horizon except the
+	// newest one below cv.
+	cutoff := time.Now().Add(-c.opts.VersionRetention)
+	kept := rec.versions[:0]
+	for _, old := range rec.versions {
+		if old.version >= cv.version {
+			continue
+		}
+		kept = append(kept, old)
+	}
+	// Lazy timeout-based pruning: versions older than the API-timeout
+	// horizon can no longer be needed by in-flight requests.
+	for len(kept) > 1 && kept[0].cachedAt.Before(cutoff) {
+		kept = kept[1:]
+	}
+	rec.versions = append(kept, cv)
+	rec.lastUsed = time.Now()
+	rec.uses++
+}
+
+// evictOneLocked removes one record according to the eviction policy.
+func (c *Cache) evictOneLocked(m *msCache) {
+	var victim string
+	switch c.opts.Policy {
+	case EvictLFU:
+		var min int64 = 1<<63 - 1
+		for k, r := range m.records {
+			if r.uses < min {
+				min, victim = r.uses, k
+			}
+		}
+	default: // LRU
+		var oldest time.Time
+		first := true
+		for k, r := range m.records {
+			if first || r.lastUsed.Before(oldest) {
+				oldest, victim, first = r.lastUsed, k, false
+			}
+		}
+	}
+	if victim != "" {
+		delete(m.records, victim)
+		c.count(func(mt *Metrics) { mt.Evictions++ })
+	}
+}
+
+// maxWriteRetries bounds optimistic write retries after version conflicts.
+const maxWriteRetries = 16
+
+// Update runs fn in a serializable write transaction with write-through
+// caching. It retries on version conflicts caused by other cache nodes.
+func (c *Cache) Update(msID string, fn func(tx *store.Tx) error) (uint64, error) {
+	if c.opts.Disabled {
+		return c.db.Update(msID, fn)
+	}
+	m, err := c.owner(msID)
+	if err != nil {
+		return 0, err
+	}
+	for attempt := 0; attempt < maxWriteRetries; attempt++ {
+		m.mu.Lock()
+		known := m.knownVersion
+		m.mu.Unlock()
+
+		var captured []store.Write
+		newV, err := c.db.UpdateCAS(msID, known, func(tx *store.Tx) error {
+			if err := fn(tx); err != nil {
+				return err
+			}
+			captured = tx.Writes()
+			return nil
+		})
+		if errors.Is(err, store.ErrVersionMismatch) {
+			c.count(func(mt *Metrics) { mt.WriteConflicts++ })
+			m.mu.Lock()
+			rerr := c.reconcileLocked(msID, m)
+			m.mu.Unlock()
+			if rerr != nil {
+				return 0, rerr
+			}
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		if newV == known {
+			return newV, nil // read-only transaction
+		}
+		// Write-through: install the new versions and advance known version.
+		m.mu.Lock()
+		if m.knownVersion == known {
+			now := time.Now()
+			for _, w := range captured {
+				rk := recordKey(w.Table, w.Key)
+				c.insertLocked(m, rk, cachedVersion{version: newV, value: w.Value, deleted: w.Deleted, cachedAt: now})
+				for sk := range m.scans {
+					tbl, prefix, _ := strings.Cut(sk, "\x00")
+					if tbl == w.Table && strings.HasPrefix(w.Key, prefix) {
+						delete(m.scans, sk)
+					}
+				}
+			}
+			for _, s := range m.scans {
+				s.version = newV
+			}
+			m.knownVersion = newV
+		}
+		m.mu.Unlock()
+		return newV, nil
+	}
+	return 0, fmt.Errorf("cache: update on %s exceeded %d retries", msID, maxWriteRetries)
+}
+
+// Refresh forces the metastore cache to reconcile with the database. Used
+// by background sweeps and tests.
+func (c *Cache) Refresh(msID string) error {
+	if c.opts.Disabled {
+		return nil
+	}
+	m, err := c.owner(msID)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return c.reconcileLocked(msID, m)
+}
+
+// KnownVersion returns the node's in-memory version for the metastore.
+func (c *Cache) KnownVersion(msID string) (uint64, error) {
+	if c.opts.Disabled {
+		return c.db.Version(msID)
+	}
+	m, err := c.owner(msID)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.knownVersion, nil
+}
+
+// EntryCount returns the number of cached records for the metastore.
+func (c *Cache) EntryCount(msID string) int {
+	m, err := c.owner(msID)
+	if err != nil {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.records)
+}
+
+// DB exposes the underlying database for components that need direct access
+// (e.g. administrative tooling).
+func (c *Cache) DB() *store.DB { return c.db }

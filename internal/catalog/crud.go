@@ -1,0 +1,672 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/events"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/store"
+)
+
+// CreateRequest describes a new asset of any registered type.
+type CreateRequest struct {
+	Type       erm.SecurableType
+	Name       string
+	ParentFull string // "" for metastore-level securables, "cat" or "cat.sch" otherwise
+	Comment    string
+	Properties map[string]string
+	// StoragePath is the external location for EXTERNAL assets; leave empty
+	// to have the catalog allocate managed storage (when supported).
+	StoragePath string
+	// Spec is the type-specific metadata (e.g. *TableSpec).
+	Spec any
+}
+
+// CreateAsset creates an asset of any registered type, enforcing the
+// manifest's hierarchy rules, the creator privilege on the parent, name
+// validity and uniqueness, and the one-asset-per-path invariant.
+func (s *Service) CreateAsset(ctx Ctx, req CreateRequest) (e *erm.Entity, err error) {
+	defer func() { s.apiAudit(ctx, "Create"+string(req.Type), entityID(e), false, err) }()
+	ms, err := s.meta(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	man, ok := s.reg.Manifest(req.Type)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown asset type %s", ErrInvalidArgument, req.Type)
+	}
+	if err := s.reg.ValidateName(req.Type, req.Name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidArgument, err)
+	}
+	if req.Comment != "" {
+		if fr, ok := man.Fields["comment"]; ok && fr.MaxLen > 0 && len(req.Comment) > fr.MaxLen {
+			return nil, fmt.Errorf("%w: comment longer than %d", ErrInvalidArgument, fr.MaxLen)
+		}
+	}
+
+	ms.writeMu.Lock()
+	defer ms.writeMu.Unlock()
+
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+
+	// Resolve and validate the parent.
+	var parent *erm.Entity
+	if req.ParentFull == "" {
+		parent, ok = erm.GetEntity(v, ms.info.EntityID)
+		if !ok {
+			return nil, fmt.Errorf("%w: metastore entity", ErrNotFound)
+		}
+	} else {
+		parent, err = s.resolveEntity(v, ms, req.ParentFull)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !s.reg.ValidParent(req.Type, parent.Type) {
+		return nil, fmt.Errorf("%w: %s cannot contain %s", ErrInvalidArgument, parent.Type, req.Type)
+	}
+	if err := s.check(ctx, v, man.CreatePrivilege, parent.ID, "Create"+string(req.Type)); err != nil {
+		return nil, err
+	}
+
+	now := s.clk.Now()
+	e = &erm.Entity{
+		ID:         ids.New(),
+		Type:       req.Type,
+		Name:       req.Name,
+		ParentID:   parent.ID,
+		Owner:      ctx.Principal,
+		Comment:    req.Comment,
+		Properties: req.Properties,
+		State:      erm.StateActive,
+		CreatedAt:  now,
+		UpdatedAt:  now,
+	}
+	if req.ParentFull == "" {
+		e.FullName = req.Name
+	} else {
+		e.FullName = req.ParentFull + "." + req.Name
+	}
+	if req.Spec != nil {
+		if err := e.EncodeSpec(req.Spec); err != nil {
+			return nil, err
+		}
+	}
+
+	// Storage assignment.
+	if man.HasStorage {
+		switch {
+		case req.StoragePath != "":
+			e.StoragePath = strings.TrimSuffix(req.StoragePath, "/")
+			// Registering an external path requires authority over it:
+			// a covering external location (or metastore admin for
+			// ungoverned prefixes). External locations themselves are the
+			// grant of that authority and skip the check.
+			if req.Type != erm.TypeExternalLocation {
+				if err := s.authorizeExternalPath(ctx, v, ms.info.EntityID, e.StoragePath); err != nil {
+					return nil, err
+				}
+			}
+		case man.SupportsManaged:
+			if ms.info.RootPath == "" {
+				return nil, fmt.Errorf("%w: metastore has no root path for managed storage", ErrInvalidArgument)
+			}
+			e.StoragePath = fmt.Sprintf("%s/%s/%s", ms.info.RootPath, strings.ToLower(string(req.Type)), e.ID)
+			e.Managed = true
+		}
+	} else if req.StoragePath != "" {
+		return nil, fmt.Errorf("%w: type %s has no storage", ErrInvalidArgument, req.Type)
+	}
+
+	group := groupFor(s.reg, req.Type)
+	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+		// Name uniqueness within the group.
+		if _, exists := tx.Get(erm.TableName, erm.NameKey(group, parent.ID, req.Name)); exists {
+			return fmt.Errorf("%w: %s %q in %s", ErrAlreadyExists, req.Type, req.Name, parentLabel(parent))
+		}
+		// One-asset-per-path, checked authoritatively inside the transaction.
+		// External locations check against their own index (they contain
+		// asset paths but may not overlap each other).
+		if e.StoragePath != "" {
+			if req.Type == erm.TypeExternalLocation {
+				if err := checkExtLocFree(tx, e.StoragePath); err != nil {
+					return err
+				}
+			} else if err := checkPathFree(tx, e.StoragePath); err != nil {
+				return err
+			}
+		}
+		return erm.PutEntity(tx, e, group)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.StoragePath != "" && req.Type != erm.TypeExternalLocation {
+		// External locations are containers of asset paths, not assets;
+		// the trie only resolves paths to their unique governing asset.
+		_ = ms.trie.Insert(e.StoragePath, e.ID)
+	}
+	s.publish(ctx, newV, events.OpCreate, e, "")
+	return e, nil
+}
+
+func parentLabel(p *erm.Entity) string {
+	if p.FullName != "" {
+		return p.FullName
+	}
+	return string(p.Type)
+}
+
+func entityID(e *erm.Entity) ids.ID {
+	if e == nil {
+		return ids.Nil
+	}
+	return e.ID
+}
+
+// checkPathFree enforces the one-asset-per-path invariant inside a write
+// transaction: no registered path may be a prefix of path, equal to it, or
+// extend it.
+func checkPathFree(tx *store.Tx, path string) error {
+	// Any registered ancestor prefix (including exact match)?
+	for _, prefix := range pathPrefixes(path) {
+		if idb, ok := tx.Get(erm.TablePath, prefix); ok {
+			return fmt.Errorf("%w: %s conflicts with asset %s at %s", ErrPathOverlap, path, ids.ID(idb).Short(), prefix)
+		}
+	}
+	// Any registered descendant?
+	if kvs := tx.Scan(erm.TablePath, path+"/"); len(kvs) > 0 {
+		return fmt.Errorf("%w: %s contains asset path %s", ErrPathOverlap, path, kvs[0].Key)
+	}
+	return nil
+}
+
+// pathPrefixes lists every segment-boundary prefix of a storage URL,
+// including the URL itself, from shortest to longest.
+// "s3://b/a/c" -> ["s3://b", "s3://b/a", "s3://b/a/c"].
+func pathPrefixes(path string) []string {
+	path = strings.TrimSuffix(path, "/")
+	start := 0
+	if i := strings.Index(path, "://"); i >= 0 {
+		start = i + 3
+	}
+	var out []string
+	for i := start; i < len(path); i++ {
+		if path[i] == '/' {
+			out = append(out, path[:i])
+		}
+	}
+	out = append(out, path)
+	return out
+}
+
+// GetAsset resolves a full name and returns the entity after authorizing the
+// type's read privilege (with container usage gating).
+func (s *Service) GetAsset(ctx Ctx, full string) (e *erm.Entity, err error) {
+	defer func() { s.apiAudit(ctx, "GetAsset", entityID(e), true, err) }()
+	ms, err := s.meta(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	e, err = s.resolveEntity(v, ms, full)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.authorizeRead(ctx, v, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// authorizeRead checks the manifest read privilege for e, treating container
+// types without gating (their own privilege is the gate).
+func (s *Service) authorizeRead(ctx Ctx, r erm.Reader, e *erm.Entity) error {
+	man, ok := s.reg.Manifest(e.Type)
+	if !ok || man.ReadPrivilege == "" {
+		return nil
+	}
+	if e.Type == erm.TypeCatalog || e.Type == erm.TypeSchema {
+		if err := s.checkWorkspaceBinding(ctx, r, e.ID); err != nil {
+			return err
+		}
+		eng := s.engine(r)
+		if d := eng.CheckNoGate(ctx.Principal, man.ReadPrivilege, e.ID); !d.Allowed {
+			return fmt.Errorf("%w: %s", ErrPermissionDenied, d.Reason)
+		}
+		return nil
+	}
+	return s.check(ctx, r, man.ReadPrivilege, e.ID, "Get"+string(e.Type))
+}
+
+// ListAssets lists the children of parentFull having the given type that the
+// principal is allowed to see (owners always see their assets). An empty
+// type lists all children.
+func (s *Service) ListAssets(ctx Ctx, parentFull string, t erm.SecurableType) (out []*erm.Entity, err error) {
+	defer func() { s.apiAudit(ctx, "ListAssets", ids.Nil, true, err) }()
+	ms, err := s.meta(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	var parent *erm.Entity
+	if parentFull == "" {
+		var ok bool
+		parent, ok = erm.GetEntity(v, ms.info.EntityID)
+		if !ok {
+			return nil, fmt.Errorf("%w: metastore entity", ErrNotFound)
+		}
+	} else {
+		parent, err = s.resolveEntity(v, ms, parentFull)
+		if err != nil {
+			return nil, err
+		}
+		// Listing inside a container requires its usage privilege.
+		if err := s.authorizeRead(ctx, v, parent); err != nil {
+			return nil, err
+		}
+	}
+	eng := s.engine(v)
+	children := erm.ListChildren(v, parent.ID, t)
+	out = make([]*erm.Entity, 0, len(children))
+	for _, c := range children {
+		if c.State == erm.StateSoftDeleted {
+			continue
+		}
+		if s.visible(ctx, eng, v, c) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// visible reports whether the principal may know the asset exists: owners,
+// admins, and holders of any grantable privilege on it (direct or inherited).
+func (s *Service) visible(ctx Ctx, eng *privilege.Engine, r erm.Reader, e *erm.Entity) bool {
+	if eng.IsOwner(ctx.Principal, e.ID) {
+		return true
+	}
+	man, ok := s.reg.Manifest(e.Type)
+	if !ok {
+		return false
+	}
+	if man.ReadPrivilege != "" {
+		if d := eng.CheckNoGate(ctx.Principal, man.ReadPrivilege, e.ID); d.Allowed {
+			return true
+		}
+	}
+	for _, p := range man.GrantablePrivileges {
+		if d := eng.CheckNoGate(ctx.Principal, p, e.ID); d.Allowed {
+			return true
+		}
+	}
+	return s.abacGrants(ctx, r, man.ReadPrivilege, e.ID)
+}
+
+// UpdateRequest patches mutable asset fields. Nil pointers leave fields
+// unchanged.
+type UpdateRequest struct {
+	Comment    *string
+	Owner      *privilege.Principal
+	Properties map[string]string // merged; empty-string value deletes a key
+	// Spec replaces the type-specific metadata when non-nil.
+	Spec any
+}
+
+// UpdateAsset applies an update after validating field rules from the
+// manifest and authorizing the write (owner changes require ownership).
+func (s *Service) UpdateAsset(ctx Ctx, full string, req UpdateRequest) (e *erm.Entity, err error) {
+	defer func() { s.apiAudit(ctx, "UpdateAsset", entityID(e), false, err) }()
+	ms, err := s.meta(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	ms.writeMu.Lock()
+	defer ms.writeMu.Unlock()
+
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	e, err = s.resolveEntity(v, ms, full)
+	if err != nil {
+		return nil, err
+	}
+	man, _ := s.reg.Manifest(e.Type)
+
+	if req.Owner != nil {
+		if err := s.checkOwner(ctx, v, e.ID, "UpdateOwner"); err != nil {
+			return nil, err
+		}
+	}
+	if req.Comment != nil || req.Properties != nil || req.Spec != nil {
+		wp := privilege.Modify
+		if man != nil && man.WritePrivilege != "" {
+			wp = man.WritePrivilege
+		}
+		if wp == privilege.Manage {
+			if err := s.checkOwner(ctx, v, e.ID, "UpdateAsset"); err != nil {
+				return nil, err
+			}
+		} else if err := s.check(ctx, v, wp, e.ID, "UpdateAsset"); err != nil {
+			return nil, err
+		}
+	}
+	if req.Comment != nil && man != nil {
+		fr, ok := man.Fields["comment"]
+		if !ok || !fr.Updatable {
+			return nil, fmt.Errorf("%w: comment not updatable on %s", ErrInvalidArgument, e.Type)
+		}
+		if fr.MaxLen > 0 && len(*req.Comment) > fr.MaxLen {
+			return nil, fmt.Errorf("%w: comment longer than %d", ErrInvalidArgument, fr.MaxLen)
+		}
+	}
+
+	updated := e.Clone()
+	if req.Comment != nil {
+		updated.Comment = *req.Comment
+	}
+	if req.Owner != nil {
+		updated.Owner = *req.Owner
+	}
+	if req.Properties != nil {
+		if updated.Properties == nil {
+			updated.Properties = map[string]string{}
+		}
+		for k, val := range req.Properties {
+			if val == "" {
+				delete(updated.Properties, k)
+			} else {
+				updated.Properties[k] = val
+			}
+		}
+	}
+	if req.Spec != nil {
+		if err := updated.EncodeSpec(req.Spec); err != nil {
+			return nil, err
+		}
+	}
+	updated.UpdatedAt = s.clk.Now()
+
+	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+		if _, ok := erm.GetEntity(tx, e.ID); !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, full)
+		}
+		return erm.UpdateEntity(tx, updated)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.publish(ctx, newV, events.OpUpdate, updated, "")
+	return updated, nil
+}
+
+// --- typed convenience constructors ---
+
+// CreateCatalog creates a regular catalog.
+func (s *Service) CreateCatalog(ctx Ctx, name, comment string) (*erm.Entity, error) {
+	return s.CreateAsset(ctx, CreateRequest{
+		Type: erm.TypeCatalog, Name: name, Comment: comment,
+		Spec: &CatalogSpec{Kind: CatalogRegular},
+	})
+}
+
+// CreateSchema creates a schema inside a catalog.
+func (s *Service) CreateSchema(ctx Ctx, catalogName, name, comment string) (*erm.Entity, error) {
+	return s.CreateAsset(ctx, CreateRequest{
+		Type: erm.TypeSchema, Name: name, ParentFull: catalogName, Comment: comment,
+	})
+}
+
+// CreateTable creates a table in "catalog.schema". An empty storagePath
+// allocates managed storage.
+func (s *Service) CreateTable(ctx Ctx, schemaFull, name string, spec TableSpec, storagePath string) (*erm.Entity, error) {
+	if len(spec.Columns) == 0 && spec.TableType != TableForeign {
+		return nil, fmt.Errorf("%w: table needs at least one column", ErrInvalidArgument)
+	}
+	if spec.TableType == "" {
+		if storagePath == "" {
+			spec.TableType = TableManaged
+		} else {
+			spec.TableType = TableExternal
+		}
+	}
+	if spec.Format == "" {
+		spec.Format = FormatDelta
+	}
+	return s.CreateAsset(ctx, CreateRequest{
+		Type: erm.TypeTable, Name: name, ParentFull: schemaFull,
+		StoragePath: storagePath, Spec: &spec,
+	})
+}
+
+// CreateView creates a view in "catalog.schema".
+func (s *Service) CreateView(ctx Ctx, schemaFull, name string, spec ViewSpec) (*erm.Entity, error) {
+	if spec.Definition == "" {
+		return nil, fmt.Errorf("%w: view needs a definition", ErrInvalidArgument)
+	}
+	return s.CreateAsset(ctx, CreateRequest{
+		Type: erm.TypeView, Name: name, ParentFull: schemaFull, Spec: &spec,
+	})
+}
+
+// CreateVolume creates a volume in "catalog.schema". An empty storagePath
+// allocates managed storage.
+func (s *Service) CreateVolume(ctx Ctx, schemaFull, name, storagePath string) (*erm.Entity, error) {
+	vt := "MANAGED"
+	if storagePath != "" {
+		vt = "EXTERNAL"
+	}
+	return s.CreateAsset(ctx, CreateRequest{
+		Type: erm.TypeVolume, Name: name, ParentFull: schemaFull,
+		StoragePath: storagePath, Spec: &VolumeSpec{VolumeType: vt},
+	})
+}
+
+// CreateFunction creates a function in "catalog.schema".
+func (s *Service) CreateFunction(ctx Ctx, schemaFull, name string, spec FunctionSpec) (*erm.Entity, error) {
+	return s.CreateAsset(ctx, CreateRequest{
+		Type: erm.TypeFunction, Name: name, ParentFull: schemaFull, Spec: &spec,
+	})
+}
+
+// RenameAsset renames a leaf asset (or an empty container) within its
+// parent, updating the name index atomically; full names of descendants are
+// derived from parents, so containers with children cannot be renamed.
+// Requires ownership.
+func (s *Service) RenameAsset(ctx Ctx, full, newName string) (e *erm.Entity, err error) {
+	defer func() { s.apiAudit(ctx, "RenameAsset", entityID(e), false, err) }()
+	ms, err := s.meta(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	ms.writeMu.Lock()
+	defer ms.writeMu.Unlock()
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	cur, err := s.resolveEntity(v, ms, full)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.reg.ValidateName(cur.Type, newName); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidArgument, err)
+	}
+	if err := s.checkOwner(ctx, v, cur.ID, "RenameAsset"); err != nil {
+		return nil, err
+	}
+	live := 0
+	for _, c := range erm.ListChildren(v, cur.ID, "") {
+		if c.State != erm.StateSoftDeleted {
+			live++
+		}
+	}
+	if live > 0 {
+		return nil, fmt.Errorf("%w: cannot rename %s with %d children", ErrNotEmpty, full, live)
+	}
+
+	group := groupFor(s.reg, cur.Type)
+	renamed := cur.Clone()
+	renamed.Name = newName
+	if i := strings.LastIndex(cur.FullName, "."); i >= 0 {
+		renamed.FullName = cur.FullName[:i+1] + newName
+	} else {
+		renamed.FullName = newName
+	}
+	renamed.UpdatedAt = s.clk.Now()
+
+	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+		if _, taken := tx.Get(erm.TableName, erm.NameKey(group, cur.ParentID, newName)); taken {
+			return fmt.Errorf("%w: %s %q", ErrAlreadyExists, cur.Type, newName)
+		}
+		tx.Delete(erm.TableName, erm.NameKey(group, cur.ParentID, cur.Name))
+		tx.Put(erm.TableName, erm.NameKey(group, cur.ParentID, newName), []byte(cur.ID))
+		return erm.UpdateEntity(tx, renamed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.publish(ctx, newV, events.OpUpdate, renamed, "renamed from "+cur.Name)
+	return renamed, nil
+}
+
+// CloneTable creates a shallow clone of srcFull as dstSchemaFull.dstName:
+// a new governed table whose Delta log references the base table's data
+// files without copying them (paper §4.3.2). The caller needs SELECT on the
+// source and CREATE TABLE on the destination schema; afterwards, a grant on
+// the clone carries authority over the referenced base data, so reading a
+// clone without base privileges requires a trusted engine.
+func (s *Service) CloneTable(ctx Ctx, srcFull, dstSchemaFull, dstName string) (e *erm.Entity, err error) {
+	defer func() { s.apiAudit(ctx, "CloneTable", entityID(e), false, err) }()
+	src, err := s.GetAsset(ctx, srcFull)
+	if err != nil {
+		return nil, err
+	}
+	srcSpec, err := TableSpecOf(src)
+	if err != nil {
+		return nil, err
+	}
+	if src.StoragePath == "" {
+		return nil, fmt.Errorf("%w: %s has no storage to clone", ErrInvalidArgument, srcFull)
+	}
+	// Data-read authority over the source is required to mint a clone.
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	err = s.check(ctx, v, privilege.Select, src.ID, "CloneTable")
+	v.Close()
+	if err != nil {
+		return nil, err
+	}
+	base := delta.NewTable(src.StoragePath, delta.ServiceBlobs{Store: s.cloud})
+	baseSnap, err := base.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("%w: source has no delta log: %v", ErrInvalidArgument, err)
+	}
+	spec := *srcSpec
+	spec.TableType = TableShallowClone
+	spec.BaseTable = src.ID
+	spec.FGAC = privilege.FGACPolicy{} // policies do not transfer; clone grants stand alone
+	e, err = s.CreateAsset(ctx, CreateRequest{
+		Type: erm.TypeTable, Name: dstName, ParentFull: dstSchemaFull, Spec: &spec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := delta.CloneFrom(delta.ServiceBlobs{Store: s.cloud}, e.StoragePath, dstName, baseSnap); err != nil {
+		// Roll the entity back; the log never materialized.
+		s.DeleteAsset(ctx, e.FullName, true)
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetWorkspaceBindings restricts a catalog to the given workspaces (empty
+// unbinds it, making it reachable from all workspaces). Admin only.
+func (s *Service) SetWorkspaceBindings(ctx Ctx, catalogName string, workspaces []string) error {
+	ms, err := s.meta(ctx.Metastore)
+	if err != nil {
+		return err
+	}
+	ms.writeMu.Lock()
+	defer ms.writeMu.Unlock()
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	e, err := s.resolveEntity(v, ms, catalogName)
+	if err != nil {
+		return err
+	}
+	if e.Type != erm.TypeCatalog {
+		return fmt.Errorf("%w: %s is not a catalog", ErrInvalidArgument, catalogName)
+	}
+	if err := s.checkOwner(ctx, v, e.ID, "SetWorkspaceBindings"); err != nil {
+		return err
+	}
+	var spec CatalogSpec
+	if err := e.DecodeSpec(&spec); err != nil {
+		return err
+	}
+	spec.WorkspaceBindings = workspaces
+	upd := e.Clone()
+	if err := upd.EncodeSpec(&spec); err != nil {
+		return err
+	}
+	upd.UpdatedAt = s.clk.Now()
+	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+		return erm.UpdateEntity(tx, upd)
+	})
+	if err != nil {
+		return err
+	}
+	s.publish(ctx, newV, events.OpUpdate, upd, "workspace bindings")
+	return nil
+}
+
+// TableSpecOf decodes a table entity's spec.
+func TableSpecOf(e *erm.Entity) (*TableSpec, error) {
+	if e.Type != erm.TypeTable {
+		return nil, fmt.Errorf("%w: %s is a %s, not a table", ErrInvalidArgument, e.FullName, e.Type)
+	}
+	var spec TableSpec
+	if err := e.DecodeSpec(&spec); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// ViewSpecOf decodes a view entity's spec.
+func ViewSpecOf(e *erm.Entity) (*ViewSpec, error) {
+	if e.Type != erm.TypeView {
+		return nil, fmt.Errorf("%w: %s is a %s, not a view", ErrInvalidArgument, e.FullName, e.Type)
+	}
+	var spec ViewSpec
+	if err := e.DecodeSpec(&spec); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}

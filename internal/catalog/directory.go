@@ -1,0 +1,131 @@
+package catalog
+
+import (
+	"sync"
+	"time"
+
+	"unitycatalog/internal/clock"
+	"unitycatalog/internal/privilege"
+)
+
+// Directory is a user/group membership service with TTL-cached resolution.
+// The paper treats user/group information as metadata UC obtains from other
+// services and caches with simple TTL bounds on staleness (§4.5,
+// "immutable metadata or metadata where weak consistency is acceptable");
+// Directory plays that role in this reproduction: memberships are updated
+// through its API and group resolution serves from a TTL cache.
+type Directory struct {
+	mu sync.RWMutex
+	// members maps group -> direct member principals (users or groups).
+	members map[privilege.Principal]map[privilege.Principal]bool
+
+	// TTL cache of transitive group closures per principal.
+	ttl     time.Duration
+	clk     clock.Clock
+	cacheMu sync.Mutex
+	cache   map[privilege.Principal]cachedGroups
+
+	// Lookups/CacheHits instrument the TTL cache for tests and stats.
+	Lookups   int64
+	CacheHits int64
+}
+
+type cachedGroups struct {
+	groups  []privilege.Principal
+	expires time.Time
+}
+
+// NewDirectory returns a Directory whose group resolution is cached for ttl
+// (0 means 30 seconds).
+func NewDirectory(ttl time.Duration) *Directory {
+	if ttl == 0 {
+		ttl = 30 * time.Second
+	}
+	return &Directory{
+		members: map[privilege.Principal]map[privilege.Principal]bool{},
+		ttl:     ttl,
+		clk:     clock.Real{},
+		cache:   map[privilege.Principal]cachedGroups{},
+	}
+}
+
+// SetClock overrides the clock (tests).
+func (d *Directory) SetClock(c clock.Clock) { d.clk = c }
+
+// AddMember puts principal into group. Groups nest: a member may itself be
+// a group.
+func (d *Directory) AddMember(group, member privilege.Principal) {
+	d.mu.Lock()
+	if d.members[group] == nil {
+		d.members[group] = map[privilege.Principal]bool{}
+	}
+	d.members[group][member] = true
+	d.mu.Unlock()
+	d.invalidate()
+}
+
+// RemoveMember removes principal from group. The change becomes visible to
+// authorization within the TTL bound.
+func (d *Directory) RemoveMember(group, member privilege.Principal) {
+	d.mu.Lock()
+	if m := d.members[group]; m != nil {
+		delete(m, member)
+	}
+	d.mu.Unlock()
+	// Deliberately NOT invalidating the cache: removal propagates within
+	// the TTL, modeling the paper's bounded-staleness tradeoff.
+}
+
+func (d *Directory) invalidate() {
+	d.cacheMu.Lock()
+	d.cache = map[privilege.Principal]cachedGroups{}
+	d.cacheMu.Unlock()
+}
+
+// GroupsOf implements privilege.GroupResolver with transitive closure and
+// TTL caching.
+func (d *Directory) GroupsOf(p privilege.Principal) []privilege.Principal {
+	now := d.clk.Now()
+	d.cacheMu.Lock()
+	d.Lookups++
+	if c, ok := d.cache[p]; ok && now.Before(c.expires) {
+		d.CacheHits++
+		d.cacheMu.Unlock()
+		return c.groups
+	}
+	d.cacheMu.Unlock()
+
+	groups := d.resolve(p)
+	d.cacheMu.Lock()
+	d.cache[p] = cachedGroups{groups: groups, expires: now.Add(d.ttl)}
+	d.cacheMu.Unlock()
+	return groups
+}
+
+// resolve computes the transitive group closure of p.
+func (d *Directory) resolve(p privilege.Principal) []privilege.Principal {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := map[privilege.Principal]bool{}
+	var out []privilege.Principal
+	// BFS over "which groups contain x".
+	frontier := []privilege.Principal{p}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for group, members := range d.members {
+			if seen[group] {
+				continue
+			}
+			for _, f := range frontier {
+				if members[f] {
+					seen[group] = true
+					out = append(out, group)
+					next = append(next, group)
+					break
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}

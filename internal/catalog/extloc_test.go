@@ -1,0 +1,145 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/privilege"
+)
+
+func setupExtLoc(t *testing.T) (*Service, Ctx) {
+	t.Helper()
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	if _, err := svc.CreateStorageCredential(admin, "lake_cred", StorageCredentialSpec{Provider: "s3", Identity: "arn:aws:iam::1:role/lake"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateExternalLocation(admin, "lake_raw", "s3://lake/raw", "lake_cred", ""); err != nil {
+		t.Fatal(err)
+	}
+	return svc, admin
+}
+
+func TestExternalLocationRequiresCredential(t *testing.T) {
+	svc, admin := testService(t)
+	if _, err := svc.CreateExternalLocation(admin, "x", "s3://b/p", "missing_cred", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing credential: %v", err)
+	}
+	if _, err := svc.CreateExternalLocation(admin, "x", "", "c", ""); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("empty url: %v", err)
+	}
+}
+
+func TestExternalLocationsCannotOverlapEachOther(t *testing.T) {
+	svc, admin := setupExtLoc(t)
+	for _, bad := range []string{"s3://lake/raw", "s3://lake/raw/sub", "s3://lake"} {
+		if _, err := svc.CreateExternalLocation(admin, "dup_"+bad[len(bad)-3:], bad, "lake_cred", ""); !errors.Is(err, ErrPathOverlap) {
+			t.Errorf("location at %q should overlap: %v", bad, err)
+		}
+	}
+	// Disjoint siblings are fine.
+	if _, err := svc.CreateExternalLocation(admin, "lake_curated", "s3://lake/curated", "lake_cred", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExternalTableNeedsLocationAuthority(t *testing.T) {
+	svc, admin := setupExtLoc(t)
+	// bob can create tables in the schema but has no location privilege.
+	svc.Grant(admin, "sales", "bob", privilege.UseCatalog)
+	svc.Grant(admin, "sales.raw", "bob", privilege.UseSchema)
+	svc.Grant(admin, "sales.raw", "bob", privilege.CreateTable)
+	bob := Ctx{Principal: "bob", Metastore: "ms1"}
+
+	if _, err := svc.CreateTable(bob, "sales.raw", "ext1", TableSpec{Columns: cols("x")}, "s3://lake/raw/ext1"); !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("external create without location grant: %v", err)
+	}
+	// CREATE TABLE on the location unlocks it.
+	if err := svc.Grant(admin, "lake_raw", "bob", privilege.CreateTable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateTable(bob, "sales.raw", "ext1", TableSpec{Columns: cols("x")}, "s3://lake/raw/ext1"); err != nil {
+		t.Fatalf("external create with location grant: %v", err)
+	}
+	// Paths with no covering location are admin-only.
+	if _, err := svc.CreateTable(bob, "sales.raw", "rogue", TableSpec{Columns: cols("x")}, "s3://rogue/bucket/t"); !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("ungoverned path as non-admin: %v", err)
+	}
+	if _, err := svc.CreateTable(admin, "sales.raw", "adm", TableSpec{Columns: cols("x")}, "s3://rogue/bucket/t"); err != nil {
+		t.Fatalf("ungoverned path as admin: %v", err)
+	}
+}
+
+func TestFunctionDependencyResolution(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	if _, err := svc.CreateFunction(admin, "sales.raw", "top_orders", FunctionSpec{
+		Language: "SQL", Body: "SELECT id FROM sales.raw.orders WHERE amount >= 100",
+		Dependencies: []string{"sales.raw.orders"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The closure includes the base table.
+	resp, err := svc.Resolve(admin, ResolveRequest{Names: []string{"sales.raw.top_orders"}, WithCredentials: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assets) != 2 || resp.Assets["sales.raw.orders"] == nil {
+		t.Fatalf("closure = %v", keysOf(resp.Assets))
+	}
+	// EXECUTE-only access flows through the function on a trusted engine.
+	svc.Grant(admin, "sales", "fiona", privilege.UseCatalog)
+	svc.Grant(admin, "sales.raw", "fiona", privilege.UseSchema)
+	svc.Grant(admin, "sales.raw.top_orders", "fiona", privilege.Execute)
+	fiona := Ctx{Principal: "fiona", Metastore: "ms1", TrustedEngine: true}
+	resp, err = svc.Resolve(fiona, ResolveRequest{Names: []string{"sales.raw.top_orders"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra := resp.Assets["sales.raw.orders"]; ra == nil || !ra.ViaView {
+		t.Fatalf("dependency should flow via the function: %+v", ra)
+	}
+	// Untrusted engines are refused, as for views.
+	fionaUntrusted := fiona
+	fionaUntrusted.TrustedEngine = false
+	if _, err := svc.Resolve(fionaUntrusted, ResolveRequest{Names: []string{"sales.raw.top_orders"}}); !errors.Is(err, ErrTrustedEngineRequired) {
+		t.Fatalf("untrusted function resolution: %v", err)
+	}
+}
+
+func TestPathCredentialFallsBackToLocation(t *testing.T) {
+	svc, admin := setupExtLoc(t)
+	// No asset governs this path, but the location does.
+	path := "s3://lake/raw/staging/file.csv"
+	if _, err := svc.TempCredentialForPath(Ctx{Principal: "carol", Metastore: "ms1"}, path, cloudsim.AccessRead); !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("location files access without grant: %v", err)
+	}
+	svc.Grant(admin, "lake_raw", "carol", privilege.ReadFiles)
+	carol := Ctx{Principal: "carol", Metastore: "ms1"}
+	tc, err := svc.TempCredentialForPath(carol, path, cloudsim.AccessRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down-scoped to the requested path, not the whole location.
+	if tc.Credential.Scope != path {
+		t.Fatalf("scope = %q", tc.Credential.Scope)
+	}
+	// READ FILES does not grant writes.
+	if _, err := svc.TempCredentialForPath(carol, path, cloudsim.AccessReadWrite); !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("write without WRITE FILES: %v", err)
+	}
+	// Fully ungoverned paths still 404.
+	if _, err := svc.TempCredentialForPath(admin, "s3://elsewhere/f", cloudsim.AccessRead); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ungoverned path: %v", err)
+	}
+	// An asset under the location takes precedence over the location.
+	tbl, err := svc.CreateTable(admin, "sales.raw", "ext1", TableSpec{Columns: cols("x")}, "s3://lake/raw/ext1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err = svc.TempCredentialForPath(admin, "s3://lake/raw/ext1/part-0", cloudsim.AccessRead)
+	if err != nil || tc.Asset != tbl.ID {
+		t.Fatalf("asset precedence: %+v, %v", tc, err)
+	}
+}

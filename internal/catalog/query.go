@@ -1,0 +1,200 @@
+package catalog
+
+import (
+	"sort"
+	"strings"
+
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/ids"
+)
+
+// This file implements the metadata query API with filter pushdown that
+// backs information-schema functionality (paper §4.2.2) and aggregate
+// statistics used by the evaluation harness.
+
+// Filter selects entities in a metadata query. Zero values match everything.
+type Filter struct {
+	Type         erm.SecurableType
+	CatalogName  string
+	SchemaName   string
+	NameContains string
+	Owner        string
+	TagKey       string
+	TagValue     string // only with TagKey; "" matches any value
+	IncludeSoft  bool   // include soft-deleted entities
+	Limit        int    // 0 means unlimited
+}
+
+// QueryAssets evaluates the filter over one consistent snapshot, applying
+// the filters during the scan (pushdown) and returning only entities the
+// principal may see.
+func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) {
+	defer func() { s.apiAudit(ctx, "QueryAssets", ids.Nil, true, err) }()
+	v, err := s.view(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	eng := s.engine(v)
+
+	// Push catalog/schema filters down to the child index when possible
+	// instead of scanning every entity.
+	var candidates []*erm.Entity
+	switch {
+	case f.CatalogName != "" && f.SchemaName != "":
+		ms, merr := s.meta(ctx.Metastore)
+		if merr != nil {
+			return nil, merr
+		}
+		schema, rerr := s.resolveEntity(v, ms, f.CatalogName+"."+f.SchemaName)
+		if rerr != nil {
+			return nil, rerr
+		}
+		candidates = erm.ListChildren(v, schema.ID, f.Type)
+	case f.CatalogName != "":
+		ms, merr := s.meta(ctx.Metastore)
+		if merr != nil {
+			return nil, merr
+		}
+		cat, rerr := s.resolveEntity(v, ms, f.CatalogName)
+		if rerr != nil {
+			return nil, rerr
+		}
+		for _, schema := range erm.ListChildren(v, cat.ID, erm.TypeSchema) {
+			candidates = append(candidates, erm.ListChildren(v, schema.ID, f.Type)...)
+		}
+		if f.Type == "" || f.Type == erm.TypeSchema {
+			candidates = append(candidates, erm.ListChildren(v, cat.ID, erm.TypeSchema)...)
+		}
+	default:
+		for _, kv := range v.Scan(erm.TableEntity, "") {
+			var e erm.Entity
+			if derr := decodeJSON(kv.Value, &e); derr != nil {
+				continue
+			}
+			if f.Type != "" && e.Type != f.Type {
+				continue
+			}
+			ec := e
+			candidates = append(candidates, &ec)
+		}
+	}
+
+	seen := map[ids.ID]bool{}
+	for _, e := range candidates {
+		if seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		if f.Type != "" && e.Type != f.Type {
+			continue
+		}
+		if !f.IncludeSoft && e.State == erm.StateSoftDeleted {
+			continue
+		}
+		if f.NameContains != "" && !strings.Contains(strings.ToLower(e.Name), strings.ToLower(f.NameContains)) {
+			continue
+		}
+		if f.Owner != "" && string(e.Owner) != f.Owner {
+			continue
+		}
+		if f.TagKey != "" {
+			tags, colTags := entityTags(v, e.ID)
+			val, ok := tags[f.TagKey]
+			if !ok {
+				for _, ct := range colTags {
+					if cv, cok := ct[f.TagKey]; cok {
+						val, ok = cv, true
+						break
+					}
+				}
+			}
+			if !ok || (f.TagValue != "" && val != f.TagValue) {
+				continue
+			}
+		}
+		if !s.visible(ctx, eng, v, e) {
+			continue
+		}
+		out = append(out, e)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName < out[j].FullName })
+	return out, nil
+}
+
+// AllEntities returns every live entity in a metastore without authorization
+// filtering. It exists for trusted second-tier services (search indexing,
+// discovery exports) that enforce access at query time via AuthorizeBatch.
+func (s *Service) AllEntities(msID string) []*erm.Entity {
+	v, err := s.view(msID)
+	if err != nil {
+		return nil
+	}
+	defer v.Close()
+	var out []*erm.Entity
+	for _, kv := range v.Scan(erm.TableEntity, "") {
+		var e erm.Entity
+		if derr := decodeJSON(kv.Value, &e); derr != nil {
+			continue
+		}
+		if e.State == erm.StateSoftDeleted {
+			continue
+		}
+		ec := e
+		out = append(out, &ec)
+	}
+	return out
+}
+
+// TagsByID returns entity- and column-level tags for an asset without
+// authorization (trusted second-tier use; callers filter results).
+func (s *Service) TagsByID(msID string, id ids.ID) (map[string]string, map[string]map[string]string) {
+	v, err := s.view(msID)
+	if err != nil {
+		return nil, nil
+	}
+	defer v.Close()
+	return entityTags(v, id)
+}
+
+// TypeCounts tallies live entities per securable type across a metastore.
+// Used by the usage-statistics experiments.
+func (s *Service) TypeCounts(msID string) (map[erm.SecurableType]int, error) {
+	v, err := s.view(msID)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	out := map[erm.SecurableType]int{}
+	for _, kv := range v.Scan(erm.TableEntity, "") {
+		var e erm.Entity
+		if derr := decodeJSON(kv.Value, &e); derr != nil {
+			continue
+		}
+		if e.State == erm.StateSoftDeleted {
+			continue
+		}
+		out[e.Type]++
+	}
+	return out, nil
+}
+
+// WorkingSetBytes measures the serialized size of all metadata records of a
+// metastore — the per-metastore "working set" of Figure 4.
+func (s *Service) WorkingSetBytes(msID string) (int64, error) {
+	v, err := s.view(msID)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Close()
+	var total int64
+	for _, table := range []string{erm.TableEntity, erm.TableName, erm.TablePath, erm.TableChild, erm.TableGrant, erm.TableTag, erm.TableABAC} {
+		for _, kv := range v.Scan(table, "") {
+			total += int64(len(kv.Key) + len(kv.Value))
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,480 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"unitycatalog/internal/audit"
+	"unitycatalog/internal/cache"
+	"unitycatalog/internal/clock"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/events"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/pathtrie"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/store"
+)
+
+// Config assembles the dependencies of a Service.
+type Config struct {
+	DB    *store.DB
+	Cloud *cloudsim.Store
+	// CacheOpts configures the mutable-metadata cache; CacheOpts.Disabled
+	// turns caching off (used in benchmarks).
+	CacheOpts cache.Options
+	Clock     clock.Clock
+	Audit     *audit.Log
+	Bus       *events.Bus
+	Registry  *erm.Registry
+	Groups    privilege.GroupResolver
+	// CredentialTTL bounds vended temporary credentials (default 15m).
+	CredentialTTL time.Duration
+	// DisableTokenCache turns off credential reuse (ablation).
+	DisableTokenCache bool
+	// SoftDeleteRetention is how long soft-deleted entities are kept before
+	// garbage collection (default 7 days).
+	SoftDeleteRetention time.Duration
+}
+
+// Service is the Unity Catalog core service.
+type Service struct {
+	db     *store.DB
+	cache  *cache.Cache
+	cloud  *cloudsim.Store
+	clk    clock.Clock
+	audit  *audit.Log
+	bus    *events.Bus
+	reg    *erm.Registry
+	groups privilege.GroupResolver
+
+	credTTL     time.Duration
+	tokenCache  *tokenCache
+	gcRetention time.Duration
+
+	mu    sync.RWMutex
+	metas map[string]*metaState
+}
+
+// metaState is per-metastore in-memory state owned by this service node.
+type metaState struct {
+	info MetastoreInfo
+	// trie indexes storage paths for complex reads (overlap listings);
+	// authoritative overlap checks go through the store's path table.
+	trie *pathtrie.Trie
+	// writeMu serializes this node's writes per metastore so the trie stays
+	// in step with committed state.
+	writeMu sync.Mutex
+}
+
+// New assembles a Service. Missing optional dependencies get defaults.
+func New(cfg Config) (*Service, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("catalog: Config.DB is required")
+	}
+	if cfg.Cloud == nil {
+		cfg.Cloud = cloudsim.New()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Audit == nil {
+		cfg.Audit = audit.NewLog(0)
+	}
+	if cfg.Bus == nil {
+		cfg.Bus = events.NewBus(0, 0)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = erm.NewRegistry()
+	}
+	if cfg.Groups == nil {
+		cfg.Groups = privilege.NoGroups{}
+	}
+	if cfg.CredentialTTL == 0 {
+		cfg.CredentialTTL = 15 * time.Minute
+	}
+	if cfg.SoftDeleteRetention == 0 {
+		cfg.SoftDeleteRetention = 7 * 24 * time.Hour
+	}
+	s := &Service{
+		db:          cfg.DB,
+		cache:       cache.New(cfg.DB, cfg.CacheOpts),
+		cloud:       cfg.Cloud,
+		clk:         cfg.Clock,
+		audit:       cfg.Audit,
+		bus:         cfg.Bus,
+		reg:         cfg.Registry,
+		groups:      cfg.Groups,
+		credTTL:     cfg.CredentialTTL,
+		gcRetention: cfg.SoftDeleteRetention,
+		metas:       map[string]*metaState{},
+	}
+	if !cfg.DisableTokenCache {
+		s.tokenCache = newTokenCache(cfg.Clock)
+	}
+	return s, nil
+}
+
+// Accessors for collaborators (used by the server, benches, and tests).
+
+// Audit returns the audit log.
+func (s *Service) Audit() *audit.Log { return s.audit }
+
+// Bus returns the change-event bus.
+func (s *Service) Bus() *events.Bus { return s.bus }
+
+// Cloud returns the governed object store.
+func (s *Service) Cloud() *cloudsim.Store { return s.cloud }
+
+// Registry returns the asset-type registry.
+func (s *Service) Registry() *erm.Registry { return s.reg }
+
+// CacheMetrics returns the metadata cache counters.
+func (s *Service) CacheMetrics() cache.Metrics { return s.cache.Metrics() }
+
+// DB exposes the backing metadata store for trusted collaborators (the
+// multi-table transaction coordinator persists its commit records there).
+func (s *Service) DB() *store.DB { return s.db }
+
+// Clock returns the service clock.
+func (s *Service) Clock() clock.Clock { return s.clk }
+
+// GroupsOf exposes group resolution (used by second-tier services).
+func (s *Service) GroupsOf(p privilege.Principal) []privilege.Principal {
+	return s.groups.GroupsOf(p)
+}
+
+// --- metastore management ---
+
+const metaInfoKey = "metastore_info"
+
+// CreateMetastore creates a metastore and registers it with this node.
+// The owner becomes the metastore admin who bootstraps all access.
+func (s *Service) CreateMetastore(id, name, region string, owner privilege.Principal, rootPath string) (MetastoreInfo, error) {
+	if id == "" || name == "" || owner == "" {
+		return MetastoreInfo{}, fmt.Errorf("%w: metastore id, name and owner are required", ErrInvalidArgument)
+	}
+	if err := s.db.CreateMetastore(id); err != nil {
+		return MetastoreInfo{}, fmt.Errorf("%w: metastore %s", ErrAlreadyExists, id)
+	}
+	if err := s.cache.Own(id); err != nil {
+		return MetastoreInfo{}, err
+	}
+	now := s.clk.Now()
+	entity := &erm.Entity{
+		ID:        ids.New(),
+		Type:      erm.TypeMetastore,
+		Name:      name,
+		FullName:  name,
+		Owner:     owner,
+		State:     erm.StateActive,
+		CreatedAt: now,
+		UpdatedAt: now,
+	}
+	info := MetastoreInfo{ID: id, Name: name, Region: region, Owner: owner, RootPath: strings.TrimSuffix(rootPath, "/"), EntityID: entity.ID}
+	_, err := s.cache.Update(id, func(tx *store.Tx) error {
+		if err := erm.PutEntity(tx, entity, string(erm.TypeMetastore)); err != nil {
+			return err
+		}
+		b, err := encodeJSON(info)
+		if err != nil {
+			return err
+		}
+		tx.Put("config", metaInfoKey, b)
+		return nil
+	})
+	if err != nil {
+		return MetastoreInfo{}, err
+	}
+	s.mu.Lock()
+	s.metas[id] = &metaState{info: info, trie: pathtrie.New()}
+	s.mu.Unlock()
+	s.audit.Append(audit.Record{Kind: audit.KindLifecycle, Metastore: id, Principal: string(owner), Operation: "CreateMetastore", Securable: entity.ID, Allowed: true})
+	return info, nil
+}
+
+// OpenMetastore attaches this node to an existing metastore (e.g. after
+// restart), rebuilding in-memory state from the store.
+func (s *Service) OpenMetastore(id string) (MetastoreInfo, error) {
+	if err := s.cache.Own(id); err != nil {
+		return MetastoreInfo{}, err
+	}
+	snap, err := s.db.Snapshot(id)
+	if err != nil {
+		return MetastoreInfo{}, err
+	}
+	defer snap.Close()
+	b, ok := snap.Get("config", metaInfoKey)
+	if !ok {
+		return MetastoreInfo{}, fmt.Errorf("%w: metastore %s has no info record", ErrNotFound, id)
+	}
+	var info MetastoreInfo
+	if err := decodeJSON(b, &info); err != nil {
+		return MetastoreInfo{}, err
+	}
+	trie := pathtrie.New()
+	for _, kv := range snap.Scan(erm.TablePath, "") {
+		_ = trie.Insert(kv.Key, ids.ID(kv.Value))
+	}
+	s.mu.Lock()
+	s.metas[id] = &metaState{info: info, trie: trie}
+	s.mu.Unlock()
+	return info, nil
+}
+
+// Metastore returns the info for an attached metastore.
+func (s *Service) Metastore(id string) (MetastoreInfo, error) {
+	ms, err := s.meta(id)
+	if err != nil {
+		return MetastoreInfo{}, err
+	}
+	return ms.info, nil
+}
+
+// Metastores lists metastore IDs attached to this node.
+func (s *Service) Metastores() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.metas))
+	for id := range s.metas {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (s *Service) meta(id string) (*metaState, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ms, ok := s.metas[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: metastore %s not attached", ErrNotFound, id)
+	}
+	return ms, nil
+}
+
+// MetastoreVersion returns the cache node's known version for a metastore.
+func (s *Service) MetastoreVersion(id string) (uint64, error) {
+	return s.cache.KnownVersion(id)
+}
+
+// --- authorization plumbing ---
+
+// viewResolver adapts an erm.Reader to the privilege engine's interfaces.
+type viewResolver struct{ r erm.Reader }
+
+// Securable implements privilege.HierarchyResolver.
+func (v viewResolver) Securable(id ids.ID) (privilege.Securable, bool) {
+	e, ok := erm.GetEntity(v.r, id)
+	if !ok {
+		return privilege.Securable{}, false
+	}
+	return privilege.Securable{ID: e.ID, Type: string(e.Type), Parent: e.ParentID, Owner: e.Owner}, true
+}
+
+// viewGrants adapts stored grants to privilege.Store.
+type viewGrants struct{ r erm.Reader }
+
+// GrantsOn implements privilege.Store.
+func (v viewGrants) GrantsOn(id ids.ID) []privilege.Grant {
+	kvs := v.r.Scan(erm.TableGrant, erm.GrantPrefix(id))
+	out := make([]privilege.Grant, 0, len(kvs))
+	for _, kv := range kvs {
+		var g privilege.Grant
+		if err := decodeJSON(kv.Value, &g); err == nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// engine builds a privilege engine over a read view.
+func (s *Service) engine(r erm.Reader) *privilege.Engine {
+	return privilege.NewEngine(viewResolver{r}, viewGrants{r}, s.groups)
+}
+
+// view opens a cached read view for a metastore.
+func (s *Service) view(msID string) (*cache.View, error) {
+	return s.cache.NewView(msID)
+}
+
+// checkWorkspaceBinding enforces catalog workspace bindings (paper §3.2)
+// for the securable and its ancestors: a catalog bound to specific
+// workspaces is unreachable from any other workspace, regardless of grants.
+func (s *Service) checkWorkspaceBinding(ctx Ctx, r erm.Reader, id ids.ID) error {
+	for _, anc := range scopeChain(r, id) {
+		e, ok := erm.GetEntity(r, anc)
+		if !ok || e.Type != erm.TypeCatalog {
+			continue
+		}
+		var spec CatalogSpec
+		if err := e.DecodeSpec(&spec); err != nil || len(spec.WorkspaceBindings) == 0 {
+			continue
+		}
+		bound := false
+		for _, w := range spec.WorkspaceBindings {
+			if w == ctx.Workspace {
+				bound = true
+				break
+			}
+		}
+		if !bound {
+			return fmt.Errorf("%w: %s", ErrWorkspaceBinding, e.FullName)
+		}
+	}
+	return nil
+}
+
+// check authorizes priv on id (with container gating) including dynamic
+// ABAC grants, and records the decision in the audit log.
+func (s *Service) check(ctx Ctx, r erm.Reader, priv privilege.Privilege, id ids.ID, op string) error {
+	if err := s.checkWorkspaceBinding(ctx, r, id); err != nil {
+		s.audit.Append(audit.Record{
+			Kind: audit.KindAuthz, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
+			Operation: op, Securable: id, Allowed: false, ReadOnly: true, Detail: "workspace binding",
+		})
+		return err
+	}
+	eng := s.engine(r)
+	d := eng.Check(ctx.Principal, priv, id)
+	if !d.Allowed {
+		if s.abacGrants(ctx, r, priv, id) {
+			d.Allowed = true
+			d.Reason = "abac grant"
+		}
+	}
+	s.audit.Append(audit.Record{
+		Kind: audit.KindAuthz, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
+		Operation: op, Securable: id, Allowed: d.Allowed, ReadOnly: true, Detail: d.Reason,
+	})
+	if !d.Allowed {
+		return fmt.Errorf("%w: %s", ErrPermissionDenied, d.Reason)
+	}
+	return nil
+}
+
+// checkOwner requires administrative rights over id.
+func (s *Service) checkOwner(ctx Ctx, r erm.Reader, id ids.ID, op string) error {
+	eng := s.engine(r)
+	ok := eng.IsOwner(ctx.Principal, id)
+	s.audit.Append(audit.Record{
+		Kind: audit.KindAuthz, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
+		Operation: op, Securable: id, Allowed: ok, ReadOnly: true, Detail: "ownership",
+	})
+	if !ok {
+		return fmt.Errorf("%w: requires ownership or MANAGE", ErrPermissionDenied)
+	}
+	return nil
+}
+
+// apiAudit records an API request outcome.
+func (s *Service) apiAudit(ctx Ctx, op string, sec ids.ID, readOnly bool, err error) {
+	s.audit.Append(audit.Record{
+		Kind: audit.KindAPIRequest, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
+		Operation: op, Securable: sec, Allowed: err == nil, ReadOnly: readOnly,
+		Detail: errDetail(err),
+	})
+}
+
+func errDetail(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// publish emits a change event at the given metastore version.
+func (s *Service) publish(ctx Ctx, version uint64, op events.Op, e *erm.Entity, detail string) {
+	ev := events.Event{
+		Metastore: ctx.Metastore, Version: version, Op: op,
+		Principal: string(ctx.Principal), Detail: detail, Time: s.clk.Now(),
+	}
+	if e != nil {
+		ev.EntityID = e.ID
+		ev.Type = string(e.Type)
+		ev.FullName = e.FullName
+	}
+	s.bus.Publish(ev)
+}
+
+// --- name resolution helpers ---
+
+// resolvePathParts walks catalog[.schema[.asset[.sub]]] name parts to an
+// entity, returning it and its ancestors (metastore entity first).
+func (s *Service) resolvePathParts(r erm.Reader, ms *metaState, parts []string) ([]*erm.Entity, error) {
+	chain := make([]*erm.Entity, 0, len(parts)+1)
+	root, ok := erm.GetEntity(r, ms.info.EntityID)
+	if !ok {
+		return nil, fmt.Errorf("%w: metastore entity", ErrNotFound)
+	}
+	chain = append(chain, root)
+	parent := root
+	// Expected types level by level: catalog, schema, asset(any leaf), sub-asset.
+	for i, part := range parts {
+		var e *erm.Entity
+		var found bool
+		switch i {
+		case 0:
+			// Metastore-level securables: catalogs plus configuration
+			// assets (external locations, credentials, connections,
+			// shares, recipients).
+			for _, g := range []string{
+				string(erm.TypeCatalog), string(erm.TypeExternalLocation),
+				string(erm.TypeStorageCredential), string(erm.TypeConnection),
+				string(erm.TypeShare), string(erm.TypeRecipient),
+			} {
+				if e, found = erm.GetByName(r, g, parent.ID, part); found {
+					break
+				}
+			}
+		case 1:
+			e, found = erm.GetByName(r, string(erm.TypeSchema), parent.ID, part)
+		case 2:
+			// Leaf assets: try each name group under the schema.
+			for _, g := range []string{relationGroup, string(erm.TypeVolume), string(erm.TypeFunction), string(erm.TypeRegisteredModel)} {
+				if e, found = erm.GetByName(r, g, parent.ID, part); found {
+					break
+				}
+			}
+		default:
+			// Sub-assets (e.g. model versions) under the leaf.
+			e, found = erm.GetByName(r, string(erm.TypeModelVersion), parent.ID, part)
+		}
+		if !found || e.State == erm.StateSoftDeleted {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, FullName(parts[:i+1]...))
+		}
+		chain = append(chain, e)
+		parent = e
+	}
+	return chain, nil
+}
+
+// resolveEntity resolves a full name to its entity using a fresh view.
+// The caller is responsible for authorization.
+func (s *Service) resolveEntity(r erm.Reader, ms *metaState, full string) (*erm.Entity, error) {
+	parts, err := SplitFullName(full, 1, 4)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := s.resolvePathParts(r, ms, parts)
+	if err != nil {
+		return nil, err
+	}
+	return chain[len(chain)-1], nil
+}
+
+// GetEntityByID returns an entity by ID (no authorization; internal use and
+// trusted second-tier services).
+func (s *Service) GetEntityByID(msID string, id ids.ID) (*erm.Entity, error) {
+	v, err := s.view(msID)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	e, ok := erm.GetEntity(v, id)
+	if !ok {
+		return nil, fmt.Errorf("%w: entity %s", ErrNotFound, id.Short())
+	}
+	return e, nil
+}

@@ -1,0 +1,67 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"unitycatalog/internal/catalog"
+)
+
+func TestAPIErrorUnwrapsToSentinels(t *testing.T) {
+	cases := []struct {
+		status int
+		want   error
+	}{
+		{http.StatusNotFound, catalog.ErrNotFound},
+		{http.StatusForbidden, catalog.ErrPermissionDenied},
+		{http.StatusConflict, catalog.ErrAlreadyExists},
+		{http.StatusBadRequest, catalog.ErrInvalidArgument},
+	}
+	for _, c := range cases {
+		err := &APIError{Status: c.status, Message: "x"}
+		if !errors.Is(err, c.want) {
+			t.Errorf("status %d should unwrap to %v", c.status, c.want)
+		}
+	}
+	// 500 unwraps to nothing but still formats.
+	err := &APIError{Status: 500, Message: "boom"}
+	if errors.Is(err, catalog.ErrNotFound) || err.Error() == "" {
+		t.Fatalf("500 error handling: %v", err)
+	}
+}
+
+func TestClientSendsIdentityHeaders(t *testing.T) {
+	var gotAuth, gotMS string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAuth = r.Header.Get("Authorization")
+		gotMS = r.Header.Get("X-UC-Metastore")
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, "alice", "ms9")
+	if err := c.do("GET", "/whatever", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if gotAuth != "Bearer alice" || gotMS != "ms9" {
+		t.Fatalf("headers = %q, %q", gotAuth, gotMS)
+	}
+}
+
+func TestClientErrorBodyParsing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"catalog: not found: x","code":404}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, "a", "m")
+	err := c.do("GET", "/x", nil, nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 404 || ae.Message != "catalog: not found: x" {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, catalog.ErrNotFound) {
+		t.Fatal("should unwrap to ErrNotFound")
+	}
+}

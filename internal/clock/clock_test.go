@@ -1,0 +1,50 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now out of range: %v", got)
+	}
+}
+
+func TestFakeAdvanceAndSet(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("now = %v", f.Now())
+	}
+	got := f.Advance(90 * time.Second)
+	if !got.Equal(start.Add(90*time.Second)) || !f.Now().Equal(got) {
+		t.Fatalf("advance = %v", got)
+	}
+	target := time.Unix(5000, 0)
+	f.Set(target)
+	if !f.Now().Equal(target) {
+		t.Fatalf("set = %v", f.Now())
+	}
+}
+
+func TestFakeConcurrentSafe(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			f.Advance(time.Millisecond)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		f.Now()
+	}
+	<-done
+	if f.Now().Sub(time.Unix(0, 0)) != time.Second {
+		t.Fatalf("final = %v", f.Now())
+	}
+}

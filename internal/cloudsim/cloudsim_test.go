@@ -1,0 +1,140 @@
+package cloudsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/clock"
+)
+
+func TestServicePutGet(t *testing.T) {
+	s := New()
+	if err := s.ServicePut("s3://b/wh/t1/f1", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ServiceGet("s3://b/wh/t1/f1")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	if _, err := s.ServiceGet("s3://b/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestTokenScope(t *testing.T) {
+	s := New()
+	s.ServicePut("s3://b/wh/t1/f", []byte("x"))
+	s.ServicePut("s3://b/wh/t2/f", []byte("y"))
+
+	cred := s.MintCredential("s3://b/wh/t1", AccessRead)
+	if _, err := s.Get(cred.Token, "s3://b/wh/t1/f"); err != nil {
+		t.Fatalf("in-scope read: %v", err)
+	}
+	if _, err := s.Get(cred.Token, "s3://b/wh/t2/f"); !errors.Is(err, ErrTokenScope) {
+		t.Fatalf("out-of-scope read: %v", err)
+	}
+	// Prefix trickery: "t1x" shares a string prefix but not a segment.
+	s.ServicePut("s3://b/wh/t1x/f", []byte("z"))
+	if _, err := s.Get(cred.Token, "s3://b/wh/t1x/f"); !errors.Is(err, ErrTokenScope) {
+		t.Fatalf("segment-boundary violation: %v", err)
+	}
+}
+
+func TestReadOnlyToken(t *testing.T) {
+	s := New()
+	ro := s.MintCredential("s3://b/p", AccessRead)
+	if err := s.Put(ro.Token, "s3://b/p/f", []byte("x")); !errors.Is(err, ErrTokenReadOnly) {
+		t.Fatalf("write with read token: %v", err)
+	}
+	rw := s.MintCredential("s3://b/p", AccessReadWrite)
+	if err := s.Put(rw.Token, "s3://b/p/f", []byte("x")); err != nil {
+		t.Fatalf("write with rw token: %v", err)
+	}
+	if err := s.Delete(rw.Token, "s3://b/p/f"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := s.Delete(rw.Token, "s3://b/p/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	s := New()
+	fake := clock.NewFake(time.Unix(1000, 0))
+	s.Clock = fake
+	s.ServicePut("s3://b/p/f", []byte("x"))
+	cred := s.MintCredentialTTL("s3://b/p", AccessRead, time.Minute)
+	if _, err := s.Get(cred.Token, "s3://b/p/f"); err != nil {
+		t.Fatalf("fresh token: %v", err)
+	}
+	fake.Advance(2 * time.Minute)
+	if _, err := s.Get(cred.Token, "s3://b/p/f"); !errors.Is(err, ErrTokenExpired) {
+		t.Fatalf("expired token: %v", err)
+	}
+	if !cred.Expired(fake.Now()) {
+		t.Fatal("Expired() should report true")
+	}
+}
+
+func TestTokenTamperRejected(t *testing.T) {
+	s := New()
+	s.ServicePut("s3://b/p/f", []byte("x"))
+	cred := s.MintCredential("s3://b/other", AccessRead)
+	// Flip a byte in the signed body.
+	tampered := "x" + cred.Token[1:]
+	if _, err := s.Get(tampered, "s3://b/p/f"); !errors.Is(err, ErrTokenInvalid) {
+		t.Fatalf("tampered token: %v", err)
+	}
+	if _, err := s.Get("garbage", "s3://b/p/f"); !errors.Is(err, ErrTokenInvalid) {
+		t.Fatalf("garbage token: %v", err)
+	}
+	// A token from a different store (different secret) is rejected.
+	other := New().MintCredential("s3://b/p", AccessRead)
+	if _, err := s.Get(other.Token, "s3://b/p/f"); !errors.Is(err, ErrTokenInvalid) {
+		t.Fatalf("foreign token: %v", err)
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	s := New()
+	cred := s.MintCredential("s3://b/log", AccessReadWrite)
+	if err := s.PutIfAbsent(cred.Token, "s3://b/log/000.json", []byte("c0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutIfAbsent(cred.Token, "s3://b/log/000.json", []byte("c0b")); !errors.Is(err, ErrExists) {
+		t.Fatalf("conflicting commit: %v", err)
+	}
+	got, _ := s.Get(cred.Token, "s3://b/log/000.json")
+	if string(got) != "c0" {
+		t.Fatalf("winner = %q", got)
+	}
+}
+
+func TestListAndPrefixOps(t *testing.T) {
+	s := New()
+	s.ServicePut("s3://b/t/a", []byte("1"))
+	s.ServicePut("s3://b/t/b/c", []byte("22"))
+	s.ServicePut("s3://b/u/x", []byte("333"))
+
+	cred := s.MintCredential("s3://b/t", AccessRead)
+	infos, err := s.List(cred.Token, "s3://b/t")
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("list = %v, %v", infos, err)
+	}
+	if infos[0].Path != "s3://b/t/a" || infos[1].Path != "s3://b/t/b/c" {
+		t.Fatalf("order = %v", infos)
+	}
+	if n := s.ObjectCount("s3://b"); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+	if b := s.TotalBytes("s3://b/t"); b != 3 {
+		t.Fatalf("bytes = %d", b)
+	}
+	if n := s.ServiceDeletePrefix("s3://b/t"); n != 2 {
+		t.Fatalf("deleted = %d", n)
+	}
+	if n := s.ObjectCount(""); n != 1 {
+		t.Fatalf("remaining = %d", n)
+	}
+}

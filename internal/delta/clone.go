@@ -1,0 +1,103 @@
+package delta
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/ids"
+)
+
+// This file implements shallow clones: a new table whose log references the
+// base table's data files by absolute URL instead of copying them. Reading
+// a clone therefore needs access to both the clone's own storage and the
+// base table's files — which is why the paper (§4.3.2) subjects shallow
+// clones to the same trusted-engine rules as views: a grant on the clone
+// carries authority over the referenced subset of the base table's data.
+
+// CloneFrom creates a shallow clone at path from the base snapshot: the
+// clone's version 0 re-adds every live base file by absolute URL (stats and
+// deletion vectors included). Later writes to the clone add its own files;
+// the base table is never modified.
+func CloneFrom(blobs Blobs, path, name string, base *Snapshot) (*Table, error) {
+	t := NewTable(path, blobs)
+	schemaJSON, err := json.Marshal(base.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("delta: encode schema: %w", err)
+	}
+	actions := []Action{
+		{Protocol: &Protocol{MinReaderVersion: 1, MinWriterVersion: 2}},
+		{MetaData: &MetaData{
+			ID: ids.New().String(), Name: name, Format: base.Meta.Format,
+			SchemaString: string(schemaJSON), PartitionColumns: base.Meta.PartitionColumns,
+			CreatedTime: nowMillis(t.Now()),
+			Configuration: map[string]string{
+				"clone.sourcePath":    base.Path,
+				"clone.sourceVersion": fmt.Sprint(base.Version),
+			},
+		}},
+	}
+	baseTable := &Table{Path: base.Path}
+	for _, f := range base.Files {
+		af := f
+		af.Path = baseTable.filePath(f.Path)
+		if f.DeletionVector != nil {
+			dv := *f.DeletionVector
+			dv.Path = baseTable.filePath(f.DeletionVector.Path)
+			af.DeletionVector = &dv
+		}
+		af.DataChange = false
+		actions = append(actions, Action{Add: &af})
+	}
+	actions = append(actions, Action{CommitInfo: &CommitInfo{
+		Timestamp: nowMillis(t.Now()), Operation: "SHALLOW CLONE",
+		Params: map[string]string{"source": base.Path},
+	}})
+	if err := t.writeCommit(0, actions); err != nil {
+		if errors.Is(err, cloudsim.ErrExists) {
+			return nil, fmt.Errorf("delta: table already exists at %s", path)
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// RoutingBlobs dispatches object operations to different Blobs by path
+// prefix — how an engine reads a shallow clone: the clone's own credential
+// covers its storage root, and the base table's credential (obtained via
+// the clone's authority) covers the referenced absolute paths.
+type RoutingBlobs struct {
+	// Default handles paths no route matches (the clone's own storage).
+	Default Blobs
+	// Routes maps a path prefix to the Blobs holding its credential.
+	Routes map[string]Blobs
+}
+
+func (r RoutingBlobs) pick(path string) Blobs {
+	for prefix, b := range r.Routes {
+		if path == prefix || (len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/') {
+			return b
+		}
+	}
+	return r.Default
+}
+
+// Put implements Blobs.
+func (r RoutingBlobs) Put(path string, data []byte) error { return r.pick(path).Put(path, data) }
+
+// PutIfAbsent implements Blobs.
+func (r RoutingBlobs) PutIfAbsent(path string, data []byte) error {
+	return r.pick(path).PutIfAbsent(path, data)
+}
+
+// Get implements Blobs.
+func (r RoutingBlobs) Get(path string) ([]byte, error) { return r.pick(path).Get(path) }
+
+// List implements Blobs.
+func (r RoutingBlobs) List(prefix string) ([]cloudsim.ObjectInfo, error) {
+	return r.pick(prefix).List(prefix)
+}
+
+// Delete implements Blobs.
+func (r RoutingBlobs) Delete(path string) error { return r.pick(path).Delete(path) }

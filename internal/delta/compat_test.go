@@ -1,0 +1,63 @@
+package delta
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestActionWireFormat pins the log's JSON field names to the Delta
+// protocol's canonical spelling, so external tooling that understands Delta
+// logs can at least parse the action envelope.
+func TestActionWireFormat(t *testing.T) {
+	a := Action{Add: &AddFile{Path: "part-1.dpf", Size: 10, DataChange: true,
+		Stats: &FileStats{NumRecords: 3, MinValues: map[string]any{"id": 1}}}}
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"add"`, `"path"`, `"size"`, `"dataChange"`, `"stats"`, `"numRecords"`, `"minValues"`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("add action missing %s: %s", field, b)
+		}
+	}
+	m := Action{MetaData: &MetaData{ID: "x", SchemaString: "{}"}}
+	b, _ = json.Marshal(m)
+	for _, field := range []string{`"metaData"`, `"schemaString"`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("metaData action missing %s: %s", field, b)
+		}
+	}
+	p := Action{Protocol: &Protocol{MinReaderVersion: 1, MinWriterVersion: 2}}
+	b, _ = json.Marshal(p)
+	for _, field := range []string{`"protocol"`, `"minReaderVersion"`, `"minWriterVersion"`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("protocol action missing %s: %s", field, b)
+		}
+	}
+	r := Action{Remove: &RemoveFile{Path: "p", DeletionTimestamp: 5}}
+	b, _ = json.Marshal(r)
+	for _, field := range []string{`"remove"`, `"deletionTimestamp"`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("remove action missing %s: %s", field, b)
+		}
+	}
+	// Exactly one action field is set per line (the envelope invariant).
+	var decoded map[string]json.RawMessage
+	json.Unmarshal(b, &decoded)
+	if len(decoded) != 1 {
+		t.Fatalf("action envelope has %d fields: %v", len(decoded), decoded)
+	}
+}
+
+// TestLogFileNaming pins the zero-padded 20-digit log entry names the Delta
+// protocol specifies.
+func TestLogFileNaming(t *testing.T) {
+	tbl := NewTable("s3://b/t", nil)
+	if got := tbl.logPath(0); got != "s3://b/t/_delta_log/00000000000000000000.json" {
+		t.Fatalf("log path = %q", got)
+	}
+	if got := tbl.logPath(1234); got != "s3://b/t/_delta_log/00000000000000001234.json" {
+		t.Fatalf("log path = %q", got)
+	}
+}

@@ -1,0 +1,363 @@
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"unitycatalog/internal/cloudsim"
+)
+
+func testSchema() Schema {
+	return Schema{Fields: []SchemaField{
+		{Name: "id", Type: TypeInt64},
+		{Name: "amount", Type: TypeFloat64, Nullable: true},
+		{Name: "region", Type: TypeString, Nullable: true},
+	}}
+}
+
+func testTable(t *testing.T) (*Table, *cloudsim.Store) {
+	t.Helper()
+	cs := cloudsim.New()
+	tbl, err := Create(ServiceBlobs{cs}, "s3://lake/wh/orders", "orders", testSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, cs
+}
+
+func fillBatch(t *testing.T, n int, startID int64) *Batch {
+	t.Helper()
+	b := NewBatch(testSchema())
+	regions := []string{"US", "EU", "APAC"}
+	for i := 0; i < n; i++ {
+		id := startID + int64(i)
+		if err := b.AppendRow(id, float64(id)*1.5, regions[int(id)%3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestCreateAndSnapshot(t *testing.T) {
+	tbl, _ := testTable(t)
+	snap, err := tbl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 0 || len(snap.Files) != 0 {
+		t.Fatalf("snapshot = v%d, %d files", snap.Version, len(snap.Files))
+	}
+	if len(snap.Schema.Fields) != 3 {
+		t.Fatalf("schema = %+v", snap.Schema)
+	}
+	// Creating again fails.
+	if _, err := Create(tbl.Blobs, tbl.Path, "orders", testSchema(), nil); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	// Snapshot of a non-table fails.
+	if _, err := NewTable("s3://lake/empty", tbl.Blobs).Snapshot(); !errors.Is(err, ErrNotDeltaTable) {
+		t.Fatalf("non-table: %v", err)
+	}
+}
+
+func TestAppendAndScan(t *testing.T) {
+	tbl, _ := testTable(t)
+	if _, err := tbl.Append(fillBatch(t, 100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tbl.Append(fillBatch(t, 50, 100))
+	if err != nil || v != 2 {
+		t.Fatalf("append: v=%d err=%v", v, err)
+	}
+	snap, _ := tbl.Snapshot()
+	if len(snap.Files) != 2 || snap.NumRecords() != 150 {
+		t.Fatalf("files=%d records=%d", len(snap.Files), snap.NumRecords())
+	}
+	res, err := tbl.Scan(snap, nil, nil)
+	if err != nil || res.Batch.NumRows != 150 {
+		t.Fatalf("scan = %d rows, %v", res.Batch.NumRows, err)
+	}
+	// Projection.
+	res, err = tbl.Scan(snap, []string{"id"}, nil)
+	if err != nil || len(res.Batch.Ints["id"]) != 150 || len(res.Batch.Strings["region"]) != 0 {
+		t.Fatalf("projected scan: %v (%d ids)", err, len(res.Batch.Ints["id"]))
+	}
+}
+
+func TestPredicateFilteringAndPruning(t *testing.T) {
+	tbl, _ := testTable(t)
+	// Three files with disjoint id ranges.
+	tbl.Append(fillBatch(t, 100, 0))
+	tbl.Append(fillBatch(t, 100, 100))
+	tbl.Append(fillBatch(t, 100, 200))
+	snap, _ := tbl.Snapshot()
+
+	res, err := tbl.Scan(snap, []string{"id"}, []Predicate{{Column: "id", Op: "=", Value: int64(150)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch.NumRows != 1 || res.Batch.Ints["id"][0] != 150 {
+		t.Fatalf("point lookup = %v", res.Batch.Ints["id"])
+	}
+	if res.FilesSkipped != 2 || res.FilesScanned != 1 {
+		t.Fatalf("pruning: scanned=%d skipped=%d", res.FilesScanned, res.FilesSkipped)
+	}
+	// Range scan.
+	res, _ = tbl.Scan(snap, []string{"id"}, []Predicate{{Column: "id", Op: ">=", Value: int64(250)}})
+	if res.Batch.NumRows != 50 || res.FilesSkipped != 2 {
+		t.Fatalf("range scan rows=%d skipped=%d", res.Batch.NumRows, res.FilesSkipped)
+	}
+	// String predicate cannot prune here (all files span all regions) but filters.
+	res, _ = tbl.Scan(snap, nil, []Predicate{{Column: "region", Op: "=", Value: "EU"}})
+	if res.Batch.NumRows != 100 {
+		t.Fatalf("region filter rows=%d", res.Batch.NumRows)
+	}
+}
+
+func TestOptimisticConcurrencyConflict(t *testing.T) {
+	tbl, _ := testTable(t)
+	snap, _ := tbl.Snapshot()
+	if _, err := tbl.Commit(snap, nil, "A"); err != nil {
+		t.Fatal(err)
+	}
+	// Committing again from the same base loses.
+	if _, err := tbl.Commit(snap, nil, "B"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale commit: %v", err)
+	}
+}
+
+func TestConcurrentAppendsAllSurvive(t *testing.T) {
+	tbl, _ := testTable(t)
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = tbl.Append(fillBatch(t, 10, int64(w*1000)))
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	snap, _ := tbl.Snapshot()
+	if snap.NumRecords() != writers*10 {
+		t.Fatalf("records = %d, want %d (lost appends)", snap.NumRecords(), writers*10)
+	}
+	if snap.Version != writers {
+		t.Fatalf("version = %d", snap.Version)
+	}
+}
+
+func TestRemoveAndVacuum(t *testing.T) {
+	tbl, cs := testTable(t)
+	tbl.Append(fillBatch(t, 10, 0))
+	snap, _ := tbl.Snapshot()
+	old := snap.Files[0]
+
+	// Rewrite: remove the file, add a replacement (as OPTIMIZE does).
+	replacement := fillBatch(t, 10, 0)
+	data := EncodeBatch(replacement)
+	cs.ServicePut(tbl.Path+"/part-new.dpf", data)
+	_, err := tbl.Commit(snap, []Action{
+		{Remove: &RemoveFile{Path: old.Path, DeletionTimestamp: nowMillis(time.Now().Add(-time.Hour)), DataChange: false}},
+		{Add: &AddFile{Path: "part-new.dpf", Size: int64(len(data)), Stats: ComputeStats(replacement)}},
+	}, "OPTIMIZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = tbl.Snapshot()
+	if len(snap.Files) != 1 || snap.Files[0].Path != "part-new.dpf" {
+		t.Fatalf("files = %+v", snap.Files)
+	}
+	if len(snap.Tombstones) != 1 {
+		t.Fatalf("tombstones = %+v", snap.Tombstones)
+	}
+	// The old blob still exists until vacuum.
+	if _, err := cs.ServiceGet(tbl.Path + "/" + old.Path); err != nil {
+		t.Fatal("blob removed before vacuum")
+	}
+	n, err := tbl.Vacuum(snap, 30*time.Minute)
+	if err != nil || n != 1 {
+		t.Fatalf("vacuum = %d, %v", n, err)
+	}
+	if _, err := cs.ServiceGet(tbl.Path + "/" + old.Path); err == nil {
+		t.Fatal("blob survived vacuum")
+	}
+}
+
+func TestCheckpointSpeedsUpAndMatches(t *testing.T) {
+	tbl, _ := testTable(t)
+	for i := 0; i < 10; i++ {
+		tbl.Append(fillBatch(t, 5, int64(i*5)))
+	}
+	snap, _ := tbl.Snapshot()
+	if err := tbl.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	// More appends after the checkpoint.
+	tbl.Append(fillBatch(t, 5, 1000))
+	snap2, err := tbl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Version != 11 || snap2.NumRecords() != 55 {
+		t.Fatalf("post-checkpoint snapshot v%d records=%d", snap2.Version, snap2.NumRecords())
+	}
+	// Snapshot at a historical version still works.
+	snapOld, err := tbl.SnapshotAt(3)
+	if err != nil || snapOld.NumRecords() != 15 {
+		t.Fatalf("time travel: %v records=%d", err, snapOld.NumRecords())
+	}
+}
+
+func TestBatchEncodeDecodeRoundTrip(t *testing.T) {
+	b := fillBatch(t, 37, 5)
+	data := EncodeBatch(b)
+	got, err := DecodeBatch(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows != 37 {
+		t.Fatalf("rows = %d", got.NumRows)
+	}
+	for r := 0; r < 37; r++ {
+		if got.Ints["id"][r] != b.Ints["id"][r] ||
+			got.Floats["amount"][r] != b.Floats["amount"][r] ||
+			got.Strings["region"][r] != b.Strings["region"][r] {
+			t.Fatalf("row %d mismatch", r)
+		}
+	}
+	if _, err := DecodeBatch([]byte("garbage"), nil); err == nil {
+		t.Fatal("garbage should fail to decode")
+	}
+	if _, err := DecodeBatch(data[:10], nil); err == nil {
+		t.Fatal("truncated data should fail to decode")
+	}
+}
+
+func TestQuickBatchRoundTrip(t *testing.T) {
+	f := func(idv []int64, amt []float64, regs []string) bool {
+		n := len(idv)
+		if len(amt) < n {
+			n = len(amt)
+		}
+		if len(regs) < n {
+			n = len(regs)
+		}
+		b := NewBatch(testSchema())
+		for i := 0; i < n; i++ {
+			if err := b.AppendRow(idv[i], amt[i], regs[i]); err != nil {
+				return false
+			}
+		}
+		got, err := DecodeBatch(EncodeBatch(b), nil)
+		if err != nil || got.NumRows != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Ints["id"][i] != idv[i] || got.Strings["region"][i] != regs[i] {
+				return false
+			}
+			a, g := amt[i], got.Floats["amount"][i]
+			if a != g && !(a != a && g != g) { // NaN-safe compare
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsComputation(t *testing.T) {
+	b := fillBatch(t, 10, 100)
+	st := ComputeStats(b)
+	if st.NumRecords != 10 {
+		t.Fatalf("records = %d", st.NumRecords)
+	}
+	if st.MinValues["id"].(int64) != 100 || st.MaxValues["id"].(int64) != 109 {
+		t.Fatalf("id stats = %v..%v", st.MinValues["id"], st.MaxValues["id"])
+	}
+	if st.MinValues["region"].(string) != "APAC" {
+		t.Fatalf("region min = %v", st.MinValues["region"])
+	}
+}
+
+func TestUniformSyncAndRead(t *testing.T) {
+	tbl, _ := testTable(t)
+	tbl.Append(fillBatch(t, 20, 0))
+	snap, _ := tbl.Snapshot()
+	path, err := tbl.SyncUniform(snap)
+	if err != nil || path == "" {
+		t.Fatalf("sync: %v", err)
+	}
+	meta, err := tbl.ReadUniform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.CurrentSnapshotID != snap.Version || meta.TableUUID != snap.Meta.ID {
+		t.Fatalf("uniform meta = %+v", meta)
+	}
+	if len(meta.Schemas[0].Fields) != 3 || meta.Schemas[0].Fields[0].Type != "long" {
+		t.Fatalf("uniform schema = %+v", meta.Schemas[0])
+	}
+	if len(meta.Snapshots[0].ManifestList) != 1 {
+		t.Fatalf("manifest = %+v", meta.Snapshots[0].ManifestList)
+	}
+	// Iceberg file paths are absolute so external clients can fetch them.
+	if got := meta.Snapshots[0].ManifestList[0].FilePath; got[:len(tbl.Path)] != tbl.Path {
+		t.Fatalf("file path = %q", got)
+	}
+}
+
+func TestTokenBlobsEnforceScope(t *testing.T) {
+	cs := cloudsim.New()
+	cred := cs.MintCredential("s3://lake/wh/orders", cloudsim.AccessReadWrite)
+	blobs := TokenBlobs{Store: cs, Token: cred.Token}
+	tbl, err := Create(blobs, "s3://lake/wh/orders", "o", testSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Append(fillBatch(t, 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// A table rooted outside the token's scope cannot even be created.
+	if _, err := Create(blobs, "s3://lake/wh/other", "x", testSchema(), nil); err == nil {
+		t.Fatal("out-of-scope create should fail")
+	}
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	batch := NewBatch(testSchema())
+	for i := 0; i < 10000; i++ {
+		batch.AppendRow(int64(i), float64(i), fmt.Sprint(i%7))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(batch)
+	}
+}
+
+func BenchmarkDecodeBatchProjected(b *testing.B) {
+	batch := NewBatch(testSchema())
+	for i := 0; i < 10000; i++ {
+		batch.AppendRow(int64(i), float64(i), fmt.Sprint(i%7))
+	}
+	data := EncodeBatch(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(data, []string{"id"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package delta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeDV(t *testing.T) {
+	rows := []int64{5, 1, 99, 3}
+	dv, err := DecodeDV(EncodeDV(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dv) != 4 || !dv[1] || !dv[99] || dv[2] {
+		t.Fatalf("dv = %v", dv)
+	}
+	if _, err := DecodeDV([]byte("garbage")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := DecodeDV(EncodeDV(rows)[:10]); err == nil {
+		t.Fatal("truncated should fail")
+	}
+}
+
+func TestQuickDVRoundTrip(t *testing.T) {
+	f := func(rows []int64) bool {
+		dv, err := DecodeDV(EncodeDV(rows))
+		if err != nil {
+			return false
+		}
+		want := map[int64]bool{}
+		for _, r := range rows {
+			want[r] = true
+		}
+		if len(dv) != len(want) {
+			return false
+		}
+		for r := range want {
+			if !dv[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteWhereUsesDeletionVectors(t *testing.T) {
+	tbl, cs := testTable(t)
+	tbl.Append(fillBatch(t, 100, 0))
+	tbl.Append(fillBatch(t, 100, 100))
+
+	blobsBefore := cs.ObjectCount(tbl.Path)
+	deleted, v, err := tbl.DeleteWhere([]Predicate{{Column: "id", Op: "<", Value: int64(30)}})
+	if err != nil || deleted != 30 {
+		t.Fatalf("deleted = %d (v%d), %v", deleted, v, err)
+	}
+	snap, _ := tbl.Snapshot()
+	// No data file was rewritten: same two files, one now carries a DV.
+	if len(snap.Files) != 2 {
+		t.Fatalf("files = %d", len(snap.Files))
+	}
+	withDV := 0
+	for _, f := range snap.Files {
+		if f.DeletionVector != nil {
+			withDV++
+			if f.DeletionVector.Cardinality != 30 {
+				t.Fatalf("cardinality = %d", f.DeletionVector.Cardinality)
+			}
+		}
+	}
+	if withDV != 1 {
+		t.Fatalf("files with DV = %d", withDV)
+	}
+	if snap.LiveRecords() != 170 {
+		t.Fatalf("live = %d", snap.LiveRecords())
+	}
+	// Scans respect the vector.
+	res, err := tbl.Scan(snap, []string{"id"}, nil)
+	if err != nil || res.Batch.NumRows != 170 {
+		t.Fatalf("scan rows = %d, %v", res.Batch.NumRows, err)
+	}
+	for _, id := range res.Batch.Ints["id"] {
+		if id < 30 {
+			t.Fatalf("deleted row %d leaked", id)
+		}
+	}
+	// Predicated scans also respect it.
+	res, _ = tbl.Scan(snap, []string{"id"}, []Predicate{{Column: "id", Op: "<", Value: int64(50)}})
+	if res.Batch.NumRows != 20 {
+		t.Fatalf("predicated scan rows = %d", res.Batch.NumRows)
+	}
+	// Exactly one new blob: the DV sidecar.
+	if got := cs.ObjectCount(tbl.Path) - blobsBefore; got != 2 { // dv + new log entry
+		t.Fatalf("new blobs = %d", got)
+	}
+}
+
+func TestDeleteWhereDropsFullyDeadFiles(t *testing.T) {
+	tbl, _ := testTable(t)
+	tbl.Append(fillBatch(t, 50, 0))    // file A: ids 0..49
+	tbl.Append(fillBatch(t, 50, 1000)) // file B: ids 1000..1049
+	deleted, _, err := tbl.DeleteWhere([]Predicate{{Column: "id", Op: "<", Value: int64(50)}})
+	if err != nil || deleted != 50 {
+		t.Fatalf("deleted = %d, %v", deleted, err)
+	}
+	snap, _ := tbl.Snapshot()
+	if len(snap.Files) != 1 || len(snap.Tombstones) != 1 {
+		t.Fatalf("files=%d tombstones=%d", len(snap.Files), len(snap.Tombstones))
+	}
+	if snap.LiveRecords() != 50 {
+		t.Fatalf("live = %d", snap.LiveRecords())
+	}
+}
+
+func TestDeleteWhereCumulative(t *testing.T) {
+	tbl, _ := testTable(t)
+	tbl.Append(fillBatch(t, 100, 0))
+	if n, _, err := tbl.DeleteWhere([]Predicate{{Column: "id", Op: "<", Value: int64(10)}}); err != nil || n != 10 {
+		t.Fatalf("first delete = %d, %v", n, err)
+	}
+	// Second delete layers on top of the existing vector.
+	if n, _, err := tbl.DeleteWhere([]Predicate{{Column: "id", Op: "<", Value: int64(25)}}); err != nil || n != 15 {
+		t.Fatalf("second delete = %d, %v", n, err)
+	}
+	snap, _ := tbl.Snapshot()
+	if snap.LiveRecords() != 75 {
+		t.Fatalf("live = %d", snap.LiveRecords())
+	}
+	// Deleting nothing is a no-op version-wise.
+	before := snap.Version
+	if n, v, err := tbl.DeleteWhere([]Predicate{{Column: "id", Op: "<", Value: int64(5)}}); err != nil || n != 0 || v != before {
+		t.Fatalf("noop delete = %d (v%d), %v", n, v, err)
+	}
+}

@@ -1,0 +1,143 @@
+package delta
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"unitycatalog/internal/cloudsim"
+)
+
+// TestAppendFaultLeavesTableConsistent injects a failure on the log commit
+// and verifies the table stays consistent: the failed append is invisible,
+// later appends succeed, and the orphaned data file never joins the table.
+func TestAppendFaultLeavesTableConsistent(t *testing.T) {
+	tbl, cs := testTable(t)
+	if _, err := tbl.Append(fillBatch(t, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected storage failure")
+	var failing atomic.Bool
+	cs.Faults = func(op, path string) error {
+		if failing.Load() && op == "put_if_absent" && strings.Contains(path, "_delta_log") {
+			return boom
+		}
+		return nil
+	}
+	failing.Store(true)
+	if _, err := tbl.Append(fillBatch(t, 10, 100)); !errors.Is(err, boom) {
+		t.Fatalf("append during fault: %v", err)
+	}
+	failing.Store(false)
+
+	snap, err := tbl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumRecords() != 10 || snap.Version != 1 {
+		t.Fatalf("failed append leaked: records=%d v=%d", snap.NumRecords(), snap.Version)
+	}
+	// Recovery: the next append works and the table is intact.
+	if _, err := tbl.Append(fillBatch(t, 5, 200)); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = tbl.Snapshot()
+	if snap.NumRecords() != 15 {
+		t.Fatalf("post-recovery records = %d", snap.NumRecords())
+	}
+	res, err := tbl.Scan(snap, []string{"id"}, nil)
+	if err != nil || res.Batch.NumRows != 15 {
+		t.Fatalf("scan = %d rows, %v", res.Batch.NumRows, err)
+	}
+}
+
+// TestDataFileFaultFailsBeforeCommit injects a failure on the data-file put:
+// the append must fail without writing any log entry.
+func TestDataFileFaultFailsBeforeCommit(t *testing.T) {
+	tbl, cs := testTable(t)
+	boom := errors.New("data put failed")
+	cs.Faults = func(op, path string) error {
+		if op == "put" && strings.HasSuffix(path, ".dpf") {
+			return boom
+		}
+		return nil
+	}
+	if _, err := tbl.Append(fillBatch(t, 10, 0)); !errors.Is(err, boom) {
+		t.Fatalf("append: %v", err)
+	}
+	cs.Faults = nil
+	snap, _ := tbl.Snapshot()
+	if snap.Version != 0 || len(snap.Files) != 0 {
+		t.Fatalf("partial append visible: v%d files=%d", snap.Version, len(snap.Files))
+	}
+}
+
+// TestScanFaultSurfacesError verifies transient read failures are reported,
+// not silently treated as empty data.
+func TestScanFaultSurfacesError(t *testing.T) {
+	tbl, cs := testTable(t)
+	tbl.Append(fillBatch(t, 10, 0))
+	snap, _ := tbl.Snapshot()
+	boom := errors.New("read failed")
+	cs.Faults = func(op, path string) error {
+		if op == "get" && strings.HasSuffix(path, ".dpf") {
+			return boom
+		}
+		return nil
+	}
+	if _, err := tbl.Scan(snap, nil, nil); !errors.Is(err, boom) {
+		t.Fatalf("scan during fault: %v", err)
+	}
+}
+
+// TestCorruptLogEntryDetected verifies that a corrupted log entry produces a
+// clear error instead of silent data loss.
+func TestCorruptLogEntryDetected(t *testing.T) {
+	tbl, cs := testTable(t)
+	tbl.Append(fillBatch(t, 10, 0))
+	// Corrupt version 1's log entry.
+	cs.ServicePut(tbl.Path+"/_delta_log/00000000000000000001.json", []byte("{not json"))
+	if _, err := tbl.Snapshot(); err == nil {
+		t.Fatal("corrupt log should fail the snapshot")
+	}
+}
+
+// TestCheckpointFaultDegradesGracefully: if writing a checkpoint fails, the
+// table remains fully readable from the log.
+func TestCheckpointFaultDegradesGracefully(t *testing.T) {
+	tbl, cs := testTable(t)
+	for i := 0; i < 5; i++ {
+		tbl.Append(fillBatch(t, 5, int64(i*10)))
+	}
+	snap, _ := tbl.Snapshot()
+	boom := errors.New("checkpoint write failed")
+	cs.Faults = func(op, path string) error {
+		if strings.Contains(path, "checkpoint") {
+			return boom
+		}
+		return nil
+	}
+	if err := tbl.Checkpoint(snap); !errors.Is(err, boom) {
+		t.Fatalf("checkpoint during fault: %v", err)
+	}
+	cs.Faults = nil
+	snap2, err := tbl.Snapshot()
+	if err != nil || snap2.NumRecords() != 25 {
+		t.Fatalf("table unreadable after failed checkpoint: %v (records=%d)", err, snap2.NumRecords())
+	}
+}
+
+// TestTokenExpiryMidQuery: a credential expiring between resolution and the
+// scan produces a clean authorization error from storage.
+func TestTokenExpiryMidQuery(t *testing.T) {
+	cs := cloudsim.New()
+	cred := cs.MintCredentialTTL("s3://lake/t", cloudsim.AccessReadWrite, 0)
+	blobs := TokenBlobs{Store: cs, Token: cred.Token}
+	cs.ServicePut("s3://lake/t/_delta_log/00000000000000000000.json", []byte("{}"))
+	tbl := NewTable("s3://lake/t", blobs)
+	if _, err := tbl.Snapshot(); err == nil {
+		t.Fatal("expired token should fail")
+	}
+}

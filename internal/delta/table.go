@@ -1,0 +1,582 @@
+package delta
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/ids"
+)
+
+// Blobs abstracts the object-store operations the table format needs, so a
+// table can be driven either with the catalog service's standing access or
+// with a vended temporary credential.
+type Blobs interface {
+	Put(path string, data []byte) error
+	PutIfAbsent(path string, data []byte) error
+	Get(path string) ([]byte, error)
+	List(prefix string) ([]cloudsim.ObjectInfo, error)
+	Delete(path string) error
+}
+
+// ServiceBlobs adapts a cloudsim.Store with standing (control-plane) access.
+type ServiceBlobs struct{ Store *cloudsim.Store }
+
+// Put implements Blobs.
+func (s ServiceBlobs) Put(path string, data []byte) error { return s.Store.ServicePut(path, data) }
+
+// PutIfAbsent implements Blobs.
+func (s ServiceBlobs) PutIfAbsent(path string, data []byte) error {
+	return s.Store.ServicePutIfAbsent(path, data)
+}
+
+// Get implements Blobs.
+func (s ServiceBlobs) Get(path string) ([]byte, error) { return s.Store.ServiceGet(path) }
+
+// List implements Blobs.
+func (s ServiceBlobs) List(prefix string) ([]cloudsim.ObjectInfo, error) {
+	return s.Store.ServiceList(prefix), nil
+}
+
+// Delete implements Blobs.
+func (s ServiceBlobs) Delete(path string) error { s.Store.ServiceDelete(path); return nil }
+
+// TokenBlobs adapts a cloudsim.Store through a vended temporary credential —
+// the data plane an engine actually uses.
+type TokenBlobs struct {
+	Store *cloudsim.Store
+	Token string
+}
+
+// Put implements Blobs.
+func (t TokenBlobs) Put(path string, data []byte) error { return t.Store.Put(t.Token, path, data) }
+
+// PutIfAbsent implements Blobs.
+func (t TokenBlobs) PutIfAbsent(path string, data []byte) error {
+	return t.Store.PutIfAbsent(t.Token, path, data)
+}
+
+// Get implements Blobs.
+func (t TokenBlobs) Get(path string) ([]byte, error) { return t.Store.Get(t.Token, path) }
+
+// List implements Blobs.
+func (t TokenBlobs) List(prefix string) ([]cloudsim.ObjectInfo, error) {
+	return t.Store.List(t.Token, prefix)
+}
+
+// Delete implements Blobs.
+func (t TokenBlobs) Delete(path string) error { return t.Store.Delete(t.Token, path) }
+
+// Table is a handle to a Delta table rooted at Path.
+type Table struct {
+	Path  string
+	Blobs Blobs
+	Now   func() time.Time
+}
+
+// NewTable returns a handle; it does not touch storage.
+func NewTable(path string, blobs Blobs) *Table {
+	return &Table{Path: strings.TrimSuffix(path, "/"), Blobs: blobs, Now: time.Now}
+}
+
+func (t *Table) logDir() string { return t.Path + "/_delta_log" }
+
+// filePath resolves an AddFile/RemoveFile path: usually relative to the
+// table root, but shallow clones reference the base table's files by
+// absolute URL.
+func (t *Table) filePath(p string) string {
+	if strings.Contains(p, "://") {
+		return p
+	}
+	return t.Path + "/" + p
+}
+
+func (t *Table) logPath(version int64) string {
+	return fmt.Sprintf("%s/%020d.json", t.logDir(), version)
+}
+
+func (t *Table) checkpointPath(version int64) string {
+	return fmt.Sprintf("%s/%020d.checkpoint.json", t.logDir(), version)
+}
+
+func (t *Table) lastCheckpointPath() string { return t.logDir() + "/_last_checkpoint" }
+
+// Create initializes an empty table with the schema; version 0 holds the
+// protocol and metadata actions. It fails if the table already exists.
+func Create(blobs Blobs, path, name string, schema Schema, partitionCols []string) (*Table, error) {
+	t := NewTable(path, blobs)
+	schemaJSON, err := json.Marshal(schema)
+	if err != nil {
+		return nil, fmt.Errorf("delta: encode schema: %w", err)
+	}
+	actions := []Action{
+		{Protocol: &Protocol{MinReaderVersion: 1, MinWriterVersion: 2}},
+		{MetaData: &MetaData{
+			ID: ids.New().String(), Name: name, Format: "dpf",
+			SchemaString: string(schemaJSON), PartitionColumns: partitionCols,
+			CreatedTime: nowMillis(t.Now()),
+		}},
+		{CommitInfo: &CommitInfo{Timestamp: nowMillis(t.Now()), Operation: "CREATE TABLE"}},
+	}
+	if err := t.writeCommit(0, actions); err != nil {
+		if errors.Is(err, cloudsim.ErrExists) {
+			return nil, fmt.Errorf("delta: table already exists at %s", path)
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// writeCommit atomically publishes a log entry for the version.
+func (t *Table) writeCommit(version int64, actions []Action) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, a := range actions {
+		if err := enc.Encode(a); err != nil {
+			return fmt.Errorf("delta: encode action: %w", err)
+		}
+	}
+	return t.Blobs.PutIfAbsent(t.logPath(version), buf.Bytes())
+}
+
+// lastCheckpointRef is the _last_checkpoint pointer.
+type lastCheckpointRef struct {
+	Version int64 `json:"version"`
+	Size    int64 `json:"size"`
+}
+
+// Snapshot reads the table state at the latest version.
+func (t *Table) Snapshot() (*Snapshot, error) {
+	return t.SnapshotAt(-1)
+}
+
+// SnapshotAt reads the table state at the given version (-1 for latest),
+// starting from the newest checkpoint at or below it.
+func (t *Table) SnapshotAt(version int64) (*Snapshot, error) {
+	startVersion := int64(0)
+	snap := &Snapshot{Path: t.Path, Version: -1}
+	adds := map[string]AddFile{}
+	removed := map[string]RemoveFile{}
+
+	// Start from a checkpoint when one is usable.
+	if ref, ok := t.readLastCheckpoint(); ok && (version < 0 || ref.Version <= version) {
+		data, err := t.Blobs.Get(t.checkpointPath(ref.Version))
+		if err == nil {
+			var cp checkpointFile
+			if err := json.Unmarshal(data, &cp); err != nil {
+				return nil, fmt.Errorf("delta: corrupt checkpoint: %w", err)
+			}
+			snap.Protocol = cp.Protocol
+			snap.Meta = cp.Meta
+			for _, a := range cp.Adds {
+				adds[a.Path] = a
+			}
+			for _, r := range cp.Removes {
+				removed[r.Path] = r
+			}
+			snap.Version = ref.Version
+			startVersion = ref.Version + 1
+		}
+	}
+
+	// Replay incremental log entries.
+	infos, err := t.Blobs.List(t.logDir())
+	if err != nil {
+		return nil, err
+	}
+	var versions []int64
+	for _, info := range infos {
+		base := info.Path[strings.LastIndex(info.Path, "/")+1:]
+		if !strings.HasSuffix(base, ".json") || strings.Contains(base, "checkpoint") || strings.HasPrefix(base, "_") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSuffix(base, ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		if v >= startVersion && (version < 0 || v <= version) {
+			versions = append(versions, v)
+		}
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	if snap.Version < 0 && len(versions) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotDeltaTable, t.Path)
+	}
+	for _, v := range versions {
+		data, err := t.Blobs.Get(t.logPath(v))
+		if err != nil {
+			return nil, fmt.Errorf("delta: read log %d: %w", v, err)
+		}
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 1<<20), 1<<26)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var a Action
+			if err := json.Unmarshal(line, &a); err != nil {
+				return nil, fmt.Errorf("delta: corrupt action at v%d: %w", v, err)
+			}
+			switch {
+			case a.Protocol != nil:
+				snap.Protocol = *a.Protocol
+			case a.MetaData != nil:
+				snap.Meta = *a.MetaData
+			case a.Add != nil:
+				adds[a.Add.Path] = *a.Add
+				delete(removed, a.Add.Path)
+			case a.Remove != nil:
+				delete(adds, a.Remove.Path)
+				removed[a.Remove.Path] = *a.Remove
+			}
+		}
+		snap.Version = v
+	}
+
+	snap.Files = make([]AddFile, 0, len(adds))
+	for _, a := range adds {
+		snap.Files = append(snap.Files, a)
+	}
+	sort.Slice(snap.Files, func(i, j int) bool { return snap.Files[i].Path < snap.Files[j].Path })
+	snap.Tombstones = make([]RemoveFile, 0, len(removed))
+	for _, r := range removed {
+		snap.Tombstones = append(snap.Tombstones, r)
+	}
+	sort.Slice(snap.Tombstones, func(i, j int) bool { return snap.Tombstones[i].Path < snap.Tombstones[j].Path })
+
+	schema, err := snap.Meta.ParseSchema()
+	if err != nil {
+		return nil, err
+	}
+	snap.Schema = schema
+	return snap, nil
+}
+
+func (t *Table) readLastCheckpoint() (lastCheckpointRef, bool) {
+	data, err := t.Blobs.Get(t.lastCheckpointPath())
+	if err != nil {
+		return lastCheckpointRef{}, false
+	}
+	var ref lastCheckpointRef
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return lastCheckpointRef{}, false
+	}
+	return ref, true
+}
+
+// Commit appends actions as the version after base.Version, returning the new
+// version. ErrConflict means another writer won; re-snapshot and retry.
+func (t *Table) Commit(base *Snapshot, actions []Action, op string) (int64, error) {
+	newVersion := base.Version + 1
+	all := append([]Action{}, actions...)
+	all = append(all, Action{CommitInfo: &CommitInfo{Timestamp: nowMillis(t.Now()), Operation: op}})
+	if err := t.writeCommit(newVersion, all); err != nil {
+		if errors.Is(err, cloudsim.ErrExists) {
+			return 0, fmt.Errorf("%w at version %d", ErrConflict, newVersion)
+		}
+		return 0, err
+	}
+	return newVersion, nil
+}
+
+// Append writes the batch as one data file and commits it, retrying commit
+// conflicts (blind appends never semantically conflict). Returns the new
+// version.
+func (t *Table) Append(batch *Batch) (int64, error) {
+	if batch.NumRows == 0 {
+		snap, err := t.Snapshot()
+		if err != nil {
+			return 0, err
+		}
+		return snap.Version, nil
+	}
+	data := EncodeBatch(batch)
+	name := fmt.Sprintf("part-%s.dpf", ids.New())
+	if err := t.Blobs.Put(t.Path+"/"+name, data); err != nil {
+		return 0, err
+	}
+	add := Action{Add: &AddFile{
+		Path: name, Size: int64(len(data)), ModificationTime: nowMillis(t.Now()),
+		DataChange: true, Stats: ComputeStats(batch),
+	}}
+	for attempt := 0; attempt < 32; attempt++ {
+		snap, err := t.Snapshot()
+		if err != nil {
+			return 0, err
+		}
+		v, err := t.Commit(snap, []Action{add}, "WRITE")
+		if err == nil {
+			return v, nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("delta: append exceeded retry budget")
+}
+
+// Predicate prunes and filters scans: Column op Value.
+type Predicate struct {
+	Column string
+	Op     string // "=", "<", "<=", ">", ">="
+	Value  any    // int64, float64, or string
+}
+
+// skipFile reports whether the file's stats prove no row can match.
+func (p Predicate) skipFile(f AddFile) bool {
+	if f.Stats == nil {
+		return false
+	}
+	mn, okMin := f.Stats.MinValues[p.Column]
+	mx, okMax := f.Stats.MaxValues[p.Column]
+	if !okMin || !okMax {
+		return false
+	}
+	cmpMin, ok1 := compareValues(p.Value, mn)
+	cmpMax, ok2 := compareValues(p.Value, mx)
+	if !ok1 || !ok2 {
+		return false
+	}
+	switch p.Op {
+	case "=":
+		return cmpMin < 0 || cmpMax > 0 // value below min or above max
+	case "<":
+		return cmpMin <= 0 // value <= min: nothing strictly below it
+	case "<=":
+		return cmpMin < 0
+	case ">":
+		return cmpMax >= 0
+	case ">=":
+		return cmpMax > 0
+	}
+	return false
+}
+
+// compareValues compares a (predicate value) with b (stat value, possibly
+// decoded from JSON as float64/string) and returns -1/0/1.
+func compareValues(a, b any) (int, bool) {
+	af, aok := numeric(a)
+	bf, bok := numeric(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	as, aok2 := a.(string)
+	bs, bok2 := b.(string)
+	if aok2 && bok2 {
+		return strings.Compare(as, bs), true
+	}
+	return 0, false
+}
+
+func numeric(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case float64:
+		return x, true
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// MatchRow evaluates the predicate against row r of the batch.
+func (p Predicate) MatchRow(b *Batch, r int) bool {
+	v := b.Value(r, p.Column)
+	if v == nil {
+		return false
+	}
+	cmp, ok := compareValues(v, p.Value)
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case "=":
+		return cmp == 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// ScanResult reports what a scan did, for benchmarks and tests.
+type ScanResult struct {
+	Batch        *Batch
+	FilesScanned int
+	FilesSkipped int
+	BytesScanned int64
+}
+
+// Scan reads rows at the snapshot, projecting to columns (nil = all) and
+// applying predicates with stats-based file pruning followed by row
+// filtering.
+func (t *Table) Scan(snap *Snapshot, columns []string, preds []Predicate) (*ScanResult, error) {
+	// The projection must include predicate columns for row filtering.
+	proj := columns
+	if proj != nil {
+		need := map[string]bool{}
+		for _, c := range proj {
+			need[c] = true
+		}
+		for _, p := range preds {
+			if !need[p.Column] {
+				proj = append(proj, p.Column)
+				need[p.Column] = true
+			}
+		}
+	}
+	out := NewBatch(projectSchema(snap.Schema, columns))
+	res := &ScanResult{Batch: out}
+	for _, f := range snap.Files {
+		skip := false
+		for _, p := range preds {
+			if p.skipFile(f) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			res.FilesSkipped++
+			continue
+		}
+		data, err := t.Blobs.Get(t.filePath(f.Path))
+		if err != nil {
+			return nil, fmt.Errorf("delta: read %s: %w", f.Path, err)
+		}
+		res.FilesScanned++
+		res.BytesScanned += int64(len(data))
+		batch, err := DecodeBatch(data, proj)
+		if err != nil {
+			return nil, err
+		}
+		dv, err := t.loadDV(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(preds) == 0 && dv == nil {
+			appendProjected(out, batch, columns)
+			continue
+		}
+		for r := 0; r < batch.NumRows; r++ {
+			if dv[int64(r)] {
+				continue
+			}
+			match := true
+			for _, p := range preds {
+				if !p.MatchRow(batch, r) {
+					match = false
+					break
+				}
+			}
+			if match {
+				appendRow(out, batch, r)
+			}
+		}
+	}
+	return res, nil
+}
+
+func projectSchema(s Schema, columns []string) Schema {
+	if columns == nil {
+		return s
+	}
+	var fields []SchemaField
+	for _, c := range columns {
+		if f, ok := s.Field(c); ok {
+			fields = append(fields, f)
+		}
+	}
+	return Schema{Fields: fields}
+}
+
+func appendProjected(dst, src *Batch, columns []string) {
+	for _, f := range dst.Schema.Fields {
+		switch f.Type {
+		case TypeInt64:
+			dst.Ints[f.Name] = append(dst.Ints[f.Name], src.Ints[f.Name]...)
+		case TypeFloat64:
+			dst.Floats[f.Name] = append(dst.Floats[f.Name], src.Floats[f.Name]...)
+		case TypeString:
+			dst.Strings[f.Name] = append(dst.Strings[f.Name], src.Strings[f.Name]...)
+		}
+	}
+	dst.NumRows += src.NumRows
+	_ = columns
+}
+
+func appendRow(dst, src *Batch, r int) {
+	for _, f := range dst.Schema.Fields {
+		switch f.Type {
+		case TypeInt64:
+			dst.Ints[f.Name] = append(dst.Ints[f.Name], src.Ints[f.Name][r])
+		case TypeFloat64:
+			dst.Floats[f.Name] = append(dst.Floats[f.Name], src.Floats[f.Name][r])
+		case TypeString:
+			dst.Strings[f.Name] = append(dst.Strings[f.Name], src.Strings[f.Name][r])
+		}
+	}
+	dst.NumRows++
+}
+
+// --- checkpoints ---
+
+type checkpointFile struct {
+	Protocol Protocol     `json:"protocol"`
+	Meta     MetaData     `json:"metaData"`
+	Adds     []AddFile    `json:"adds"`
+	Removes  []RemoveFile `json:"removes,omitempty"`
+}
+
+// Checkpoint materializes the snapshot state so future readers skip the log
+// prefix, and updates _last_checkpoint.
+func (t *Table) Checkpoint(snap *Snapshot) error {
+	cp := checkpointFile{Protocol: snap.Protocol, Meta: snap.Meta, Adds: snap.Files, Removes: snap.Tombstones}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("delta: encode checkpoint: %w", err)
+	}
+	if err := t.Blobs.Put(t.checkpointPath(snap.Version), data); err != nil {
+		return err
+	}
+	ref, _ := json.Marshal(lastCheckpointRef{Version: snap.Version, Size: int64(len(data))})
+	return t.Blobs.Put(t.lastCheckpointPath(), ref)
+}
+
+// Vacuum deletes tombstoned data files older than the horizon and returns
+// how many blobs were removed.
+func (t *Table) Vacuum(snap *Snapshot, olderThan time.Duration) (int, error) {
+	horizon := nowMillis(t.Now().Add(-olderThan))
+	n := 0
+	for _, r := range snap.Tombstones {
+		if r.DeletionTimestamp <= horizon {
+			if err := t.Blobs.Delete(t.filePath(r.Path)); err == nil {
+				n++
+			}
+		}
+	}
+	return n, nil
+}

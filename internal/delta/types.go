@@ -1,0 +1,171 @@
+// Package delta implements a Delta-Lake-style ACID table format over the
+// simulated object store: a JSON-action transaction log with optimistic
+// concurrency (atomic put-if-absent of the next log entry), snapshot reads,
+// checkpoints, per-file column statistics for data skipping, and UniForm
+// metadata generation for Iceberg-compatible readers.
+//
+// This is the storage substrate the paper's tables live in. The catalog
+// never reads or writes table data itself (catalog-engine separation, §4.1);
+// engines access the log and data files with credentials vended by the
+// catalog.
+package delta
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Common errors.
+var (
+	// ErrConflict is returned by Commit when another writer committed the
+	// same version first; the caller should re-read the snapshot and retry.
+	ErrConflict = errors.New("delta: concurrent commit conflict")
+	// ErrNotDeltaTable is returned when a path has no _delta_log.
+	ErrNotDeltaTable = errors.New("delta: not a delta table")
+)
+
+// ColType is a column's data type.
+type ColType string
+
+// Supported column types.
+const (
+	TypeInt64   ColType = "bigint"
+	TypeFloat64 ColType = "double"
+	TypeString  ColType = "string"
+)
+
+// SchemaField describes one column.
+type SchemaField struct {
+	Name     string  `json:"name"`
+	Type     ColType `json:"type"`
+	Nullable bool    `json:"nullable"`
+}
+
+// Schema is an ordered list of fields.
+type Schema struct {
+	Fields []SchemaField `json:"fields"`
+}
+
+// Field returns the schema field with the given name.
+func (s Schema) Field(name string) (SchemaField, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return SchemaField{}, false
+}
+
+// --- log actions ---
+
+// Protocol pins reader/writer versions.
+type Protocol struct {
+	MinReaderVersion int `json:"minReaderVersion"`
+	MinWriterVersion int `json:"minWriterVersion"`
+}
+
+// MetaData describes the table.
+type MetaData struct {
+	ID               string            `json:"id"`
+	Name             string            `json:"name,omitempty"`
+	Format           string            `json:"format"` // "dpf" columnar files
+	SchemaString     string            `json:"schemaString"`
+	PartitionColumns []string          `json:"partitionColumns,omitempty"`
+	Configuration    map[string]string `json:"configuration,omitempty"`
+	CreatedTime      int64             `json:"createdTime,omitempty"`
+}
+
+// ParseSchema decodes the metadata's schema string.
+func (m MetaData) ParseSchema() (Schema, error) {
+	var s Schema
+	if err := json.Unmarshal([]byte(m.SchemaString), &s); err != nil {
+		return s, fmt.Errorf("delta: parse schema: %w", err)
+	}
+	return s, nil
+}
+
+// FileStats carries per-file column statistics used for data skipping.
+type FileStats struct {
+	NumRecords int64              `json:"numRecords"`
+	MinValues  map[string]any     `json:"minValues,omitempty"`
+	MaxValues  map[string]any     `json:"maxValues,omitempty"`
+	NullCounts map[string]int64   `json:"nullCount,omitempty"`
+	Clustering map[string]float64 `json:"clustering,omitempty"` // cluster quality hints
+}
+
+// AddFile records a data file joining the table.
+type AddFile struct {
+	Path             string            `json:"path"` // relative to the table root
+	PartitionValues  map[string]string `json:"partitionValues,omitempty"`
+	Size             int64             `json:"size"`
+	ModificationTime int64             `json:"modificationTime"`
+	DataChange       bool              `json:"dataChange"`
+	Stats            *FileStats        `json:"stats,omitempty"`
+	// DeletionVector marks some of the file's rows deleted without
+	// rewriting the file.
+	DeletionVector *DVDescriptor `json:"deletionVector,omitempty"`
+}
+
+// RemoveFile records a data file leaving the table; the blob lingers until
+// VACUUM removes it.
+type RemoveFile struct {
+	Path              string `json:"path"`
+	DeletionTimestamp int64  `json:"deletionTimestamp"`
+	DataChange        bool   `json:"dataChange"`
+}
+
+// CommitInfo is operation provenance attached to each commit.
+type CommitInfo struct {
+	Timestamp int64             `json:"timestamp"`
+	Operation string            `json:"operation"` // WRITE, OPTIMIZE, DELETE, VACUUM...
+	Params    map[string]string `json:"operationParameters,omitempty"`
+	Engine    string            `json:"engineInfo,omitempty"`
+}
+
+// Action is one log entry line. Exactly one field is non-nil, mirroring the
+// Delta protocol's JSON encoding.
+type Action struct {
+	Protocol   *Protocol   `json:"protocol,omitempty"`
+	MetaData   *MetaData   `json:"metaData,omitempty"`
+	Add        *AddFile    `json:"add,omitempty"`
+	Remove     *RemoveFile `json:"remove,omitempty"`
+	CommitInfo *CommitInfo `json:"commitInfo,omitempty"`
+}
+
+// Snapshot is a consistent view of a table at one log version.
+type Snapshot struct {
+	Path     string
+	Version  int64
+	Protocol Protocol
+	Meta     MetaData
+	Schema   Schema
+	// Files are the live data files at this version.
+	Files []AddFile
+	// Tombstones are files removed at or before this version (for VACUUM).
+	Tombstones []RemoveFile
+}
+
+// NumRecords totals the row counts of live files (when stats are present).
+func (s *Snapshot) NumRecords() int64 {
+	var n int64
+	for _, f := range s.Files {
+		if f.Stats != nil {
+			n += f.Stats.NumRecords
+		}
+	}
+	return n
+}
+
+// TotalBytes totals live file sizes.
+func (s *Snapshot) TotalBytes() int64 {
+	var n int64
+	for _, f := range s.Files {
+		n += f.Size
+	}
+	return n
+}
+
+// nowMillis converts a time to the log's millisecond timestamps.
+func nowMillis(t time.Time) int64 { return t.UnixMilli() }

@@ -1,0 +1,138 @@
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file implements Delta UniForm (Universal Format): generating
+// Iceberg-style metadata from the Delta log so Iceberg-only clients can read
+// the same data files without copies (paper §1, "External access").
+
+// IcebergField mirrors an Iceberg schema field.
+type IcebergField struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	Required bool   `json:"required"`
+	Type     string `json:"type"`
+}
+
+// IcebergSchema mirrors an Iceberg schema.
+type IcebergSchema struct {
+	SchemaID int            `json:"schema-id"`
+	Fields   []IcebergField `json:"fields"`
+}
+
+// IcebergDataFile is one manifest entry.
+type IcebergDataFile struct {
+	FilePath    string `json:"file_path"`
+	FileFormat  string `json:"file_format"`
+	RecordCount int64  `json:"record_count"`
+	FileSize    int64  `json:"file_size_in_bytes"`
+}
+
+// IcebergSnapshot mirrors an Iceberg snapshot entry.
+type IcebergSnapshot struct {
+	SnapshotID   int64             `json:"snapshot-id"`
+	TimestampMs  int64             `json:"timestamp-ms"`
+	ManifestList []IcebergDataFile `json:"manifest-list-inline"` // inlined for simplicity
+	Summary      map[string]string `json:"summary"`
+}
+
+// IcebergMetadata is the table metadata file an Iceberg client reads.
+type IcebergMetadata struct {
+	FormatVersion     int               `json:"format-version"`
+	TableUUID         string            `json:"table-uuid"`
+	Location          string            `json:"location"`
+	CurrentSnapshotID int64             `json:"current-snapshot-id"`
+	Schemas           []IcebergSchema   `json:"schemas"`
+	CurrentSchemaID   int               `json:"current-schema-id"`
+	Snapshots         []IcebergSnapshot `json:"snapshots"`
+	Properties        map[string]string `json:"properties,omitempty"`
+}
+
+func icebergType(t ColType) string {
+	switch t {
+	case TypeInt64:
+		return "long"
+	case TypeFloat64:
+		return "double"
+	default:
+		return "string"
+	}
+}
+
+// BuildIcebergMetadata converts a Delta snapshot to Iceberg metadata.
+func BuildIcebergMetadata(snap *Snapshot) IcebergMetadata {
+	schema := IcebergSchema{SchemaID: 0}
+	for i, f := range snap.Schema.Fields {
+		schema.Fields = append(schema.Fields, IcebergField{
+			ID: i + 1, Name: f.Name, Required: !f.Nullable, Type: icebergType(f.Type),
+		})
+	}
+	var files []IcebergDataFile
+	var records int64
+	for _, f := range snap.Files {
+		df := IcebergDataFile{FilePath: snap.Path + "/" + f.Path, FileFormat: "dpf", FileSize: f.Size}
+		if f.Stats != nil {
+			df.RecordCount = f.Stats.NumRecords
+			records += f.Stats.NumRecords
+		}
+		files = append(files, df)
+	}
+	return IcebergMetadata{
+		FormatVersion:     2,
+		TableUUID:         snap.Meta.ID,
+		Location:          snap.Path,
+		CurrentSnapshotID: snap.Version,
+		Schemas:           []IcebergSchema{schema},
+		CurrentSchemaID:   0,
+		Snapshots: []IcebergSnapshot{{
+			SnapshotID:   snap.Version,
+			ManifestList: files,
+			Summary: map[string]string{
+				"operation":     "uniform-sync",
+				"total-records": fmt.Sprint(records),
+				"total-files":   fmt.Sprint(len(files)),
+			},
+		}},
+		Properties: map[string]string{"delta.universalFormat.enabledFormats": "iceberg"},
+	}
+}
+
+// SyncUniform writes Iceberg metadata for the snapshot under
+// <table>/metadata/vN.metadata.json and a version-hint file, as UniForm does.
+func (t *Table) SyncUniform(snap *Snapshot) (string, error) {
+	meta := BuildIcebergMetadata(snap)
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("delta: encode iceberg metadata: %w", err)
+	}
+	path := fmt.Sprintf("%s/metadata/v%d.metadata.json", t.Path, snap.Version)
+	if err := t.Blobs.Put(path, data); err != nil {
+		return "", err
+	}
+	hint := fmt.Sprintf("%s/metadata/version-hint.text", t.Path)
+	if err := t.Blobs.Put(hint, []byte(fmt.Sprint(snap.Version))); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadUniform loads the latest Iceberg metadata previously synced.
+func (t *Table) ReadUniform() (*IcebergMetadata, error) {
+	hint, err := t.Blobs.Get(t.Path + "/metadata/version-hint.text")
+	if err != nil {
+		return nil, fmt.Errorf("delta: no uniform metadata: %w", err)
+	}
+	path := fmt.Sprintf("%s/metadata/v%s.metadata.json", t.Path, string(hint))
+	data, err := t.Blobs.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	var meta IcebergMetadata
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("delta: corrupt iceberg metadata: %w", err)
+	}
+	return &meta, nil
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseAggregates(t *testing.T) {
+	st, err := Parse("SELECT SUM(amount) FROM c.s.t WHERE id >= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg == nil || st.Agg.Fn != "SUM" || st.Agg.Column != "amount" {
+		t.Fatalf("agg = %+v", st.Agg)
+	}
+	for _, q := range []string{
+		"SELECT min(id) FROM t", "SELECT MAX(id) FROM t", "SELECT avg(x) FROM t",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+	for _, q := range []string{"SELECT SUM() FROM t", "SELECT SUM(a FROM t", "SELECT MEDIAN(a) FROM t"} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestAggregatesEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	e.insertRows(t, 10) // ids 0..9, amount = id + 0.5
+
+	cases := []struct {
+		sql  string
+		want float64
+	}{
+		{"SELECT SUM(id) FROM sales.raw.orders", 45},
+		{"SELECT MIN(id) FROM sales.raw.orders", 0},
+		{"SELECT MAX(id) FROM sales.raw.orders", 9},
+		{"SELECT AVG(id) FROM sales.raw.orders", 4.5},
+		{"SELECT SUM(amount) FROM sales.raw.orders WHERE id >= 8", 8.5 + 9.5},
+		{"SELECT AVG(amount) FROM sales.raw.orders WHERE id < 2", 1.0},
+	}
+	for _, c := range cases {
+		res, err := e.trusted.Execute(e.admin, c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if res.Aggregate == nil || math.Abs(*res.Aggregate-c.want) > 1e-9 {
+			t.Fatalf("%s = %v, want %v", c.sql, res.Aggregate, c.want)
+		}
+	}
+	// Aggregating a string column errors clearly.
+	if _, err := e.trusted.Execute(e.admin, "SELECT SUM(region) FROM sales.raw.orders"); err == nil {
+		t.Fatal("SUM over string should fail")
+	}
+	// Empty result set aggregates to zero.
+	res, err := e.trusted.Execute(e.admin, "SELECT SUM(id) FROM sales.raw.orders WHERE id > 100")
+	if err != nil || *res.Aggregate != 0 {
+		t.Fatalf("empty sum = %v, %v", res.Aggregate, err)
+	}
+}

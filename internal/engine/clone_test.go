@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/privilege"
+)
+
+func TestShallowCloneEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	e.insertRows(t, 20)
+
+	clone, err := e.svc.CloneTable(e.admin, "sales.raw.orders", "sales.raw", "orders_clone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := catalog.TableSpecOf(clone)
+	if spec.TableType != catalog.TableShallowClone || spec.BaseTable == "" {
+		t.Fatalf("clone spec = %+v", spec)
+	}
+	// No data was copied: the clone's storage holds only its log.
+	if n := e.svc.Cloud().ObjectCount(clone.StoragePath); n != 1 {
+		t.Fatalf("clone blobs = %d, want 1 (just the log)", n)
+	}
+
+	// Reading the clone returns the base data, via the routed credentials.
+	res, err := e.trusted.Execute(e.admin, "SELECT COUNT(*) FROM sales.raw.orders_clone")
+	if err != nil || res.Count != 20 {
+		t.Fatalf("clone count = %d, %v", res.Count, err)
+	}
+	// Writes to the clone do not touch the base.
+	if _, err := e.trusted.Execute(e.admin, "INSERT INTO sales.raw.orders_clone VALUES (999, 1.0, 'US', 'x')"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = e.trusted.Execute(e.admin, "SELECT COUNT(*) FROM sales.raw.orders_clone")
+	if res.Count != 21 {
+		t.Fatalf("clone after insert = %d", res.Count)
+	}
+	res, _ = e.trusted.Execute(e.admin, "SELECT COUNT(*) FROM sales.raw.orders")
+	if res.Count != 20 {
+		t.Fatalf("base after clone insert = %d", res.Count)
+	}
+}
+
+func TestCloneGrantCarriesBaseAuthority(t *testing.T) {
+	e := newEnv(t)
+	e.insertRows(t, 10)
+	if _, err := e.svc.CloneTable(e.admin, "sales.raw.orders", "sales.raw", "orders_clone"); err != nil {
+		t.Fatal(err)
+	}
+	// alice has SELECT on the clone only, not the base.
+	for _, g := range []struct {
+		obj  string
+		priv privilege.Privilege
+	}{{"sales", privilege.UseCatalog}, {"sales.raw", privilege.UseSchema}, {"sales.raw.orders_clone", privilege.Select}} {
+		if err := e.svc.Grant(e.admin, g.obj, "alice", g.priv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alice := catalog.Ctx{Principal: "alice", Metastore: "ms1"}
+	// Trusted engine: the clone grant carries base-data authority.
+	res, err := e.trusted.Execute(alice, "SELECT COUNT(*) FROM sales.raw.orders_clone")
+	if err != nil || res.Count != 10 {
+		t.Fatalf("clone read via trusted engine = %v, %v", res, err)
+	}
+	// But she cannot touch the base directly.
+	if _, err := e.trusted.Execute(alice, "SELECT id FROM sales.raw.orders"); !errors.Is(err, catalog.ErrPermissionDenied) {
+		t.Fatalf("base access: %v", err)
+	}
+	// An untrusted engine is refused (same rule as views, §4.3.2).
+	untrusted := &Engine{Name: "u", Catalog: e.svc, Cloud: e.svc.Cloud(), Trusted: false}
+	if _, err := untrusted.Execute(alice, "SELECT id FROM sales.raw.orders_clone"); !errors.Is(err, catalog.ErrTrustedEngineRequired) {
+		t.Fatalf("untrusted clone read: %v", err)
+	}
+}
+
+func TestCloneRequiresSourceSelect(t *testing.T) {
+	e := newEnv(t)
+	e.insertRows(t, 3)
+	e.svc.Grant(e.admin, "sales", "bob", privilege.UseCatalog)
+	e.svc.Grant(e.admin, "sales.raw", "bob", privilege.UseSchema)
+	e.svc.Grant(e.admin, "sales.raw", "bob", privilege.CreateTable)
+	bob := catalog.Ctx{Principal: "bob", Metastore: "ms1"}
+	if _, err := e.svc.CloneTable(bob, "sales.raw.orders", "sales.raw", "stolen"); !errors.Is(err, catalog.ErrPermissionDenied) {
+		t.Fatalf("clone without source SELECT: %v", err)
+	}
+	e.svc.Grant(e.admin, "sales.raw.orders", "bob", privilege.Select)
+	if _, err := e.svc.CloneTable(bob, "sales.raw.orders", "sales.raw", "legit"); err != nil {
+		t.Fatalf("clone with source SELECT: %v", err)
+	}
+}

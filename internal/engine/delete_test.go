@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/privilege"
+)
+
+func TestParseDelete(t *testing.T) {
+	st, err := Parse("DELETE FROM c.s.t WHERE id < 10 AND region = 'EU'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindDelete || st.Table != "c.s.t" || len(st.Where) != 2 {
+		t.Fatalf("st = %+v", st)
+	}
+	// Unconditional delete parses too.
+	if st, err := Parse("DELETE FROM t"); err != nil || len(st.Where) != 0 {
+		t.Fatalf("bare delete: %+v, %v", st, err)
+	}
+	if _, err := Parse("DELETE t"); err == nil {
+		t.Fatal("missing FROM should fail")
+	}
+}
+
+func TestDeleteStatementEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	e.insertRows(t, 30)
+	res, err := e.trusted.Execute(e.admin, "DELETE FROM sales.raw.orders WHERE id < 10")
+	if err != nil || res.Count != 10 {
+		t.Fatalf("delete = %+v, %v", res, err)
+	}
+	sel, err := e.trusted.Execute(e.admin, "SELECT COUNT(*) FROM sales.raw.orders")
+	if err != nil || sel.Count != 20 {
+		t.Fatalf("count after delete = %d, %v", sel.Count, err)
+	}
+	sel, _ = e.trusted.Execute(e.admin, "SELECT id FROM sales.raw.orders WHERE id < 10")
+	if sel.RowsReturned != 0 {
+		t.Fatalf("deleted rows leaked: %d", sel.RowsReturned)
+	}
+}
+
+func TestDeleteRequiresModify(t *testing.T) {
+	e := newEnv(t)
+	e.insertRows(t, 5)
+	for _, g := range []struct {
+		obj  string
+		priv privilege.Privilege
+	}{{"sales", privilege.UseCatalog}, {"sales.raw", privilege.UseSchema}, {"sales.raw.orders", privilege.Select}} {
+		e.svc.Grant(e.admin, g.obj, "alice", g.priv)
+	}
+	alice := catalog.Ctx{Principal: "alice", Metastore: "ms1"}
+	if _, err := e.trusted.Execute(alice, "DELETE FROM sales.raw.orders WHERE id = 1"); !errors.Is(err, catalog.ErrPermissionDenied) {
+		t.Fatalf("delete without MODIFY: %v", err)
+	}
+	e.svc.Grant(e.admin, "sales.raw.orders", "alice", privilege.Modify)
+	if _, err := e.trusted.Execute(alice, "DELETE FROM sales.raw.orders WHERE id = 1"); err != nil {
+		t.Fatalf("delete with MODIFY: %v", err)
+	}
+}
+
+func TestDeleteBlockedOnRowFilteredTable(t *testing.T) {
+	e := newEnv(t)
+	e.insertRows(t, 10)
+	spec := catalog.TableSpec{
+		Columns: []catalog.ColumnInfo{{Name: "id", Type: "BIGINT"}, {Name: "amount", Type: "DOUBLE"}, {Name: "region", Type: "STRING"}, {Name: "owner_user", Type: "STRING"}},
+		FGAC: privilege.FGACPolicy{
+			RowFilters: []privilege.RowFilter{{Predicate: "owner_user = current_user()", Columns: []string{"owner_user"}}},
+		},
+	}
+	if _, err := e.svc.UpdateAsset(e.admin, "sales.raw.orders", catalog.UpdateRequest{Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []struct {
+		obj  string
+		priv privilege.Privilege
+	}{{"sales", privilege.UseCatalog}, {"sales.raw", privilege.UseSchema}, {"sales.raw.orders", privilege.Select}, {"sales.raw.orders", privilege.Modify}} {
+		e.svc.Grant(e.admin, g.obj, "alice", g.priv)
+	}
+	alice := catalog.Ctx{Principal: "alice", Metastore: "ms1"}
+	if _, err := e.trusted.Execute(alice, "DELETE FROM sales.raw.orders WHERE id = 1"); !errors.Is(err, catalog.ErrPermissionDenied) {
+		t.Fatalf("delete on row-filtered table: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/privilege"
+)
+
+// ApplyColumnMasks returns a copy of the batch with FGAC column masks
+// applied — the trusted-engine half of fine-grained access control
+// (paper §4.3.2). Masks on string columns replace values; on numeric
+// columns REDACT/NULL zero them and HASH replaces them with a stable hash.
+func ApplyColumnMasks(b *delta.Batch, masks []privilege.ColumnMask) *delta.Batch {
+	if len(masks) == 0 {
+		return b
+	}
+	out := delta.NewBatch(b.Schema)
+	out.NumRows = b.NumRows
+	byColumn := map[string]privilege.ColumnMask{}
+	for _, m := range masks {
+		byColumn[m.Column] = m
+	}
+	for name, vals := range b.Ints {
+		m, masked := byColumn[name]
+		if !masked {
+			out.Ints[name] = vals
+			continue
+		}
+		nv := make([]int64, len(vals))
+		if m.Kind == privilege.MaskHash {
+			for i, v := range vals {
+				nv[i] = hashInt(v)
+			}
+		}
+		out.Ints[name] = nv
+	}
+	for name, vals := range b.Floats {
+		m, masked := byColumn[name]
+		if !masked {
+			out.Floats[name] = vals
+			continue
+		}
+		nv := make([]float64, len(vals))
+		if m.Kind == privilege.MaskHash {
+			for i, v := range vals {
+				nv[i] = float64(hashInt(int64(v)))
+			}
+		}
+		out.Floats[name] = nv
+	}
+	for name, vals := range b.Strings {
+		m, masked := byColumn[name]
+		if !masked {
+			out.Strings[name] = vals
+			continue
+		}
+		nv := make([]string, len(vals))
+		for i, v := range vals {
+			nv[i] = maskString(v, m)
+		}
+		out.Strings[name] = nv
+	}
+	return out
+}
+
+func maskString(v string, m privilege.ColumnMask) string {
+	switch m.Kind {
+	case privilege.MaskRedact:
+		if m.Replacement != "" {
+			return m.Replacement
+		}
+		return "****"
+	case privilege.MaskNull:
+		return ""
+	case privilege.MaskHash:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return fmt.Sprintf("h%016x", h.Sum64())
+	case privilege.MaskPartial:
+		keep := m.KeepLast
+		if keep <= 0 {
+			keep = 4
+		}
+		if len(v) <= keep {
+			return v
+		}
+		masked := make([]byte, len(v))
+		for i := range masked {
+			if i < len(v)-keep {
+				masked[i] = '*'
+			} else {
+				masked[i] = v[i]
+			}
+		}
+		return string(masked)
+	}
+	return v
+}
+
+func hashInt(v int64) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

@@ -1,0 +1,444 @@
+// Package engine implements a miniature SQL engine playing the role of the
+// Databricks Runtime in the paper: it parses a SQL subset, resolves all
+// metadata through the Unity Catalog in one batched call, fetches temporary
+// storage credentials, scans Delta tables directly from object storage, and
+// — when trusted — enforces fine-grained access control rules on results
+// (the life of a SQL query, paper §3.4).
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Aggregate is a single aggregate projection: SUM/MIN/MAX/AVG(column).
+type Aggregate struct {
+	Fn     string // SUM, MIN, MAX, AVG
+	Column string
+}
+
+// Statement is a parsed SQL statement.
+type Statement struct {
+	Kind StatementKind
+	// SELECT parts.
+	Columns   []string // nil means *
+	CountStar bool
+	Agg       *Aggregate
+	Table     string // full name
+	// AsOfVersion pins a time-travel read (VERSION AS OF n); nil = latest.
+	AsOfVersion *int64
+	Where       []Condition
+	Limit       int // 0 means no limit
+	// INSERT parts.
+	Rows [][]any // literal VALUES rows
+	// INSERT INTO ... SELECT: the nested select.
+	Source *Statement
+}
+
+// StatementKind discriminates statements.
+type StatementKind string
+
+// Statement kinds.
+const (
+	KindSelect StatementKind = "SELECT"
+	KindInsert StatementKind = "INSERT"
+	KindDelete StatementKind = "DELETE"
+)
+
+// Condition is one WHERE conjunct: Column Op Literal.
+type Condition struct {
+	Column string
+	Op     string // =, <, <=, >, >=
+	Value  any    // int64, float64, or string
+}
+
+// Parse parses the supported SQL subset:
+//
+//	SELECT <cols|*|COUNT(*)> FROM <table> [WHERE c op lit [AND ...]] [LIMIT n]
+//	INSERT INTO <table> VALUES (lit, ...)[, (lit, ...)]...
+//	INSERT INTO <table> SELECT ...
+func Parse(sql string) (*Statement, error) {
+	toks, err := tokenize(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("engine: unexpected trailing input near %q", p.peek())
+	}
+	return st, nil
+}
+
+type token struct {
+	kind string // word, number, string, punct
+	text string
+}
+
+func tokenize(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(sql) {
+				if sql[j] == '\'' {
+					if j+1 < len(sql) && sql[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(sql[j])
+				j++
+			}
+			if j >= len(sql) {
+				return nil, fmt.Errorf("engine: unterminated string literal")
+			}
+			toks = append(toks, token{"string", sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(sql) && sql[i+1] >= '0' && sql[i+1] <= '9':
+			j := i + 1
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{"number", sql[i:j]})
+			i = j
+		case isWordByte(c):
+			j := i + 1
+			for j < len(sql) && (isWordByte(sql[j]) || sql[j] == '.' || sql[j] >= '0' && sql[j] <= '9') {
+				j++
+			}
+			toks = append(toks, token{"word", sql[i:j]})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(sql) && sql[i+1] == '=' {
+				toks = append(toks, token{"punct", sql[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{"punct", string(c)})
+				i++
+			}
+		case c == '=' || c == '(' || c == ')' || c == ',' || c == '*' || c == ';':
+			toks = append(toks, token{"punct", string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("engine: unexpected character %q", c)
+		}
+	}
+	// Drop a trailing semicolon.
+	if len(toks) > 0 && toks[len(toks)-1].text == ";" {
+		toks = toks[:len(toks)-1]
+	}
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.done() {
+		return "<eof>"
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) expectWord(w string) error {
+	if p.done() || !strings.EqualFold(p.toks[p.pos].text, w) {
+		return fmt.Errorf("engine: expected %s, got %q", w, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if !p.done() && strings.EqualFold(p.toks[p.pos].text, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if !p.done() && p.toks[p.pos].kind == "punct" && p.toks[p.pos].text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) statement() (*Statement, error) {
+	switch {
+	case p.acceptWord("SELECT"):
+		return p.selectStatement()
+	case p.acceptWord("INSERT"):
+		return p.insertStatement()
+	case p.acceptWord("DELETE"):
+		return p.deleteStatement()
+	}
+	return nil, fmt.Errorf("engine: expected SELECT, INSERT or DELETE, got %q", p.peek())
+}
+
+func (p *parser) deleteStatement() (*Statement, error) {
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	if p.done() || p.toks[p.pos].kind != "word" {
+		return nil, fmt.Errorf("engine: expected table name, got %q", p.peek())
+	}
+	st := &Statement{Kind: KindDelete, Table: p.next().text}
+	if p.acceptWord("WHERE") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			if !p.acceptWord("AND") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) selectStatement() (*Statement, error) {
+	st := &Statement{Kind: KindSelect}
+	switch {
+	case p.acceptPunct("*"):
+	case p.peekIsCount():
+		p.pos += 4 // COUNT ( * )
+		st.CountStar = true
+	case p.peekIsAggregate():
+		fn := strings.ToUpper(p.next().text)
+		p.next() // (
+		if p.done() || p.toks[p.pos].kind != "word" {
+			return nil, fmt.Errorf("engine: expected column in %s(), got %q", fn, p.peek())
+		}
+		col := p.next().text
+		if !p.acceptPunct(")") {
+			return nil, fmt.Errorf("engine: expected ) after %s(%s", fn, col)
+		}
+		st.Agg = &Aggregate{Fn: fn, Column: col}
+	default:
+		for {
+			if p.done() || p.toks[p.pos].kind != "word" {
+				return nil, fmt.Errorf("engine: expected column name, got %q", p.peek())
+			}
+			st.Columns = append(st.Columns, p.next().text)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	if p.done() || p.toks[p.pos].kind != "word" {
+		return nil, fmt.Errorf("engine: expected table name, got %q", p.peek())
+	}
+	st.Table = p.next().text
+
+	if p.acceptWord("VERSION") {
+		if err := p.expectWord("AS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("OF"); err != nil {
+			return nil, err
+		}
+		if p.done() || p.toks[p.pos].kind != "number" {
+			return nil, fmt.Errorf("engine: expected version number, got %q", p.peek())
+		}
+		n, err := strconv.ParseInt(p.next().text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("engine: bad version number")
+		}
+		st.AsOfVersion = &n
+	}
+
+	if p.acceptWord("WHERE") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			if !p.acceptWord("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptWord("LIMIT") {
+		if p.done() || p.toks[p.pos].kind != "number" {
+			return nil, fmt.Errorf("engine: expected LIMIT count, got %q", p.peek())
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("engine: bad LIMIT")
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+func (p *parser) peekIsCount() bool {
+	return p.pos+3 < len(p.toks) &&
+		strings.EqualFold(p.toks[p.pos].text, "COUNT") &&
+		p.toks[p.pos+1].text == "(" && p.toks[p.pos+2].text == "*" && p.toks[p.pos+3].text == ")"
+}
+
+func (p *parser) peekIsAggregate() bool {
+	if p.pos+1 >= len(p.toks) || p.toks[p.pos+1].text != "(" {
+		return false
+	}
+	switch strings.ToUpper(p.toks[p.pos].text) {
+	case "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+func (p *parser) condition() (Condition, error) {
+	var c Condition
+	if p.done() || p.toks[p.pos].kind != "word" {
+		return c, fmt.Errorf("engine: expected column in WHERE, got %q", p.peek())
+	}
+	c.Column = p.next().text
+	if p.done() || p.toks[p.pos].kind != "punct" {
+		return c, fmt.Errorf("engine: expected operator, got %q", p.peek())
+	}
+	op := p.next().text
+	switch op {
+	case "=", "<", "<=", ">", ">=":
+		c.Op = op
+	default:
+		return c, fmt.Errorf("engine: unsupported operator %q", op)
+	}
+	v, err := p.literal()
+	if err != nil {
+		return c, err
+	}
+	c.Value = v
+	return c, nil
+}
+
+func (p *parser) literal() (any, error) {
+	if p.done() {
+		return nil, fmt.Errorf("engine: expected literal, got <eof>")
+	}
+	t := p.next()
+	switch t.kind {
+	case "number":
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("engine: bad number %q", t.text)
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("engine: bad number %q", t.text)
+		}
+		return n, nil
+	case "string":
+		return t.text, nil
+	case "word":
+		// current_user() is resolved at execution time.
+		if strings.EqualFold(t.text, "current_user") && p.acceptPunct("(") && p.acceptPunct(")") {
+			return CurrentUser{}, nil
+		}
+		return nil, fmt.Errorf("engine: unexpected word literal %q", t.text)
+	}
+	return nil, fmt.Errorf("engine: expected literal, got %q", t.text)
+}
+
+// CurrentUser is the marker literal produced by current_user().
+type CurrentUser struct{}
+
+func (p *parser) insertStatement() (*Statement, error) {
+	if err := p.expectWord("INTO"); err != nil {
+		return nil, err
+	}
+	if p.done() || p.toks[p.pos].kind != "word" {
+		return nil, fmt.Errorf("engine: expected table name, got %q", p.peek())
+	}
+	st := &Statement{Kind: KindInsert, Table: p.next().text}
+	if p.acceptWord("VALUES") {
+		for {
+			if !p.acceptPunct("(") {
+				return nil, fmt.Errorf("engine: expected ( in VALUES, got %q", p.peek())
+			}
+			var row []any
+			for {
+				v, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if !p.acceptPunct(")") {
+				return nil, fmt.Errorf("engine: expected ) in VALUES, got %q", p.peek())
+			}
+			st.Rows = append(st.Rows, row)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		return st, nil
+	}
+	if p.acceptWord("SELECT") {
+		src, err := p.selectStatement()
+		if err != nil {
+			return nil, err
+		}
+		st.Source = src
+		return st, nil
+	}
+	return nil, fmt.Errorf("engine: expected VALUES or SELECT, got %q", p.peek())
+}
+
+// ParseFilterPredicate parses a row-filter predicate expression of the form
+// "column op literal" (the FGAC rule language). current_user() is allowed.
+func ParseFilterPredicate(expr string) (Condition, error) {
+	toks, err := tokenize(expr)
+	if err != nil {
+		return Condition{}, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.condition()
+	if err != nil {
+		return Condition{}, err
+	}
+	if !p.done() {
+		return Condition{}, fmt.Errorf("engine: trailing input in predicate %q", expr)
+	}
+	return c, nil
+}

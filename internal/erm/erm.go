@@ -1,0 +1,582 @@
+// Package erm implements the generic entity-relationship data model at the
+// bottom of the Unity Catalog service's layered architecture (paper §4.2.2).
+//
+// Every asset type — tables, views, volumes, ML models, functions, as well
+// as configuration securables like storage credentials and external
+// locations — is represented by the same Entity record and described by a
+// declarative TypeManifest registered in a Registry. The manifest specifies
+// where the type sits in the three-level hierarchy, which privileges apply
+// to it, whether it has backing storage, how its name is validated, and
+// which name-uniqueness group it belongs to (tables and views, for example,
+// share a namespace within a schema).
+//
+// The model persists through the store package and exposes the common
+// interfaces the paper lists: lookup by name or ID, parent-child listing,
+// lookup by storage path, and the state machine for provisioning and soft
+// deletion.
+package erm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/store"
+)
+
+// SecurableType identifies an asset or configuration type.
+type SecurableType string
+
+// Built-in securable types. Additional types (e.g. registered models) are
+// added through Registry.Register, demonstrating the extension mechanism of
+// paper §4.2.3.
+const (
+	TypeMetastore         SecurableType = "METASTORE"
+	TypeCatalog           SecurableType = "CATALOG"
+	TypeSchema            SecurableType = "SCHEMA"
+	TypeTable             SecurableType = "TABLE"
+	TypeView              SecurableType = "VIEW"
+	TypeVolume            SecurableType = "VOLUME"
+	TypeFunction          SecurableType = "FUNCTION"
+	TypeRegisteredModel   SecurableType = "REGISTERED_MODEL"
+	TypeModelVersion      SecurableType = "MODEL_VERSION"
+	TypeExternalLocation  SecurableType = "EXTERNAL_LOCATION"
+	TypeStorageCredential SecurableType = "STORAGE_CREDENTIAL"
+	TypeConnection        SecurableType = "CONNECTION"
+	TypeShare             SecurableType = "SHARE"
+	TypeRecipient         SecurableType = "RECIPIENT"
+)
+
+// State is an entity's lifecycle state (the provisioning/cleanup state
+// machine of §4.2.2).
+type State string
+
+// Lifecycle states.
+const (
+	StateProvisioning State = "PROVISIONING"
+	StateActive       State = "ACTIVE"
+	StateSoftDeleted  State = "SOFT_DELETED"
+)
+
+// Entity is the generic securable record shared by all asset types.
+type Entity struct {
+	ID          ids.ID              `json:"id"`
+	Type        SecurableType       `json:"type"`
+	Name        string              `json:"name"`
+	ParentID    ids.ID              `json:"parent_id,omitempty"`
+	FullName    string              `json:"full_name"` // catalog.schema.name for leaf assets
+	Owner       privilege.Principal `json:"owner"`
+	Comment     string              `json:"comment,omitempty"`
+	Properties  map[string]string   `json:"properties,omitempty"`
+	StoragePath string              `json:"storage_path,omitempty"`
+	Managed     bool                `json:"managed,omitempty"` // storage allocated by the catalog
+	State       State               `json:"state"`
+	CreatedAt   time.Time           `json:"created_at"`
+	UpdatedAt   time.Time           `json:"updated_at"`
+	DeletedAt   *time.Time          `json:"deleted_at,omitempty"`
+	// Spec holds type-specific metadata (table columns, view definition,
+	// model versions, ...) encoded by the adapter layer.
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// Clone returns a deep copy of the entity.
+func (e *Entity) Clone() *Entity {
+	cp := *e
+	if e.Properties != nil {
+		cp.Properties = make(map[string]string, len(e.Properties))
+		for k, v := range e.Properties {
+			cp.Properties[k] = v
+		}
+	}
+	if e.Spec != nil {
+		cp.Spec = append(json.RawMessage(nil), e.Spec...)
+	}
+	if e.DeletedAt != nil {
+		t := *e.DeletedAt
+		cp.DeletedAt = &t
+	}
+	return &cp
+}
+
+// DecodeSpec unmarshals the entity's type-specific spec into v.
+func (e *Entity) DecodeSpec(v any) error {
+	if len(e.Spec) == 0 {
+		return nil
+	}
+	return json.Unmarshal(e.Spec, v)
+}
+
+// EncodeSpec marshals v into the entity's spec.
+func (e *Entity) EncodeSpec(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("erm: encode spec: %w", err)
+	}
+	e.Spec = b
+	return nil
+}
+
+// FieldRule annotates an updatable field of an asset type (paper §4.2.2's
+// CRUD validation annotations).
+type FieldRule struct {
+	Updatable bool
+	MaxLen    int
+}
+
+// TypeManifest declaratively describes an asset type (paper §4.2.2: "a
+// specification of the asset type, including its location in the hierarchy,
+// the operations and privileges supported on it, the authorization rules for
+// each operation, and how its lifecycle should be managed").
+type TypeManifest struct {
+	Type SecurableType
+	// ParentTypes lists the securable types that may contain this type.
+	ParentTypes []SecurableType
+	// NameGroup is the namespace-uniqueness group within a parent; types
+	// sharing a group (TABLE and VIEW) cannot reuse each other's names.
+	NameGroup string
+	// HasStorage marks types with backing cloud storage, enabling by-path
+	// lookup and the one-asset-per-path extension point.
+	HasStorage bool
+	// SupportsManaged marks types whose storage the catalog may allocate.
+	SupportsManaged bool
+	// CreatePrivilege is required on the parent to create an instance.
+	CreatePrivilege privilege.Privilege
+	// ReadPrivilege gates metadata reads beyond mere existence.
+	ReadPrivilege privilege.Privilege
+	// WritePrivilege gates metadata updates of non-administrative fields.
+	WritePrivilege privilege.Privilege
+	// DataReadPrivilege/DataWritePrivilege gate credential vending for the
+	// type's storage; empty for types without data.
+	DataReadPrivilege  privilege.Privilege
+	DataWritePrivilege privilege.Privilege
+	// GrantablePrivileges enumerates privileges that may be granted on the
+	// type.
+	GrantablePrivileges []privilege.Privilege
+	// Fields validates updatable attributes by name ("comment", ...).
+	Fields map[string]FieldRule
+	// NameMaxLen bounds the asset name; 0 means the default (255).
+	NameMaxLen int
+	// SoftDeleteRetention is how long soft-deleted entities linger before
+	// the garbage collector purges them. Zero means the registry default.
+	SoftDeleteRetention time.Duration
+}
+
+// Registry holds the asset-type manifests (the "asset types registry" of
+// §4.2.2).
+type Registry struct {
+	types map[SecurableType]*TypeManifest
+}
+
+// NewRegistry returns a registry pre-populated with the built-in types.
+func NewRegistry() *Registry {
+	r := &Registry{types: map[SecurableType]*TypeManifest{}}
+	for _, m := range builtinManifests() {
+		m := m
+		r.types[m.Type] = &m
+	}
+	return r
+}
+
+// Register adds or replaces an asset-type manifest. It returns an error if
+// the manifest is malformed.
+func (r *Registry) Register(m TypeManifest) error {
+	if m.Type == "" {
+		return errors.New("erm: manifest missing type")
+	}
+	if m.NameGroup == "" {
+		m.NameGroup = string(m.Type)
+	}
+	if m.NameMaxLen == 0 {
+		m.NameMaxLen = 255
+	}
+	r.types[m.Type] = &m
+	return nil
+}
+
+// Manifest returns the manifest for t.
+func (r *Registry) Manifest(t SecurableType) (*TypeManifest, bool) {
+	m, ok := r.types[t]
+	return m, ok
+}
+
+// Types lists registered types.
+func (r *Registry) Types() []SecurableType {
+	out := make([]SecurableType, 0, len(r.types))
+	for t := range r.types {
+		out = append(out, t)
+	}
+	return out
+}
+
+// ValidParent reports whether parent may contain child type t.
+func (r *Registry) ValidParent(t SecurableType, parent SecurableType) bool {
+	m, ok := r.types[t]
+	if !ok {
+		return false
+	}
+	for _, p := range m.ParentTypes {
+		if p == parent {
+			return true
+		}
+	}
+	return false
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9_\-.]*$`)
+
+// ValidateName checks an asset name against the manifest's rules.
+func (r *Registry) ValidateName(t SecurableType, name string) error {
+	m, ok := r.types[t]
+	if !ok {
+		return fmt.Errorf("erm: unknown type %s", t)
+	}
+	max := m.NameMaxLen
+	if max == 0 {
+		max = 255
+	}
+	if name == "" {
+		return errors.New("erm: empty name")
+	}
+	if len(name) > max {
+		return fmt.Errorf("erm: name longer than %d characters", max)
+	}
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("erm: invalid name %q", name)
+	}
+	return nil
+}
+
+func builtinManifests() []TypeManifest {
+	containerFields := map[string]FieldRule{
+		"comment":    {Updatable: true, MaxLen: 1024},
+		"owner":      {Updatable: true, MaxLen: 255},
+		"properties": {Updatable: true},
+	}
+	return []TypeManifest{
+		{
+			Type:                TypeCatalog,
+			ParentTypes:         []SecurableType{TypeMetastore},
+			CreatePrivilege:     privilege.CreateCatalog,
+			ReadPrivilege:       privilege.UseCatalog,
+			WritePrivilege:      privilege.Manage,
+			GrantablePrivileges: []privilege.Privilege{privilege.UseCatalog, privilege.CreateSchema, privilege.Select, privilege.Modify, privilege.ReadVolume, privilege.WriteVolume, privilege.Execute, privilege.Manage, privilege.AllPrivileges},
+			Fields:              containerFields,
+		},
+		{
+			Type:                TypeSchema,
+			ParentTypes:         []SecurableType{TypeCatalog},
+			CreatePrivilege:     privilege.CreateSchema,
+			ReadPrivilege:       privilege.UseSchema,
+			WritePrivilege:      privilege.Manage,
+			GrantablePrivileges: []privilege.Privilege{privilege.UseSchema, privilege.CreateTable, privilege.CreateVolume, privilege.CreateFunction, privilege.CreateModel, privilege.Select, privilege.Modify, privilege.ReadVolume, privilege.WriteVolume, privilege.Execute, privilege.Manage, privilege.AllPrivileges},
+			Fields:              containerFields,
+		},
+		{
+			Type:                TypeTable,
+			ParentTypes:         []SecurableType{TypeSchema},
+			NameGroup:           "RELATION",
+			HasStorage:          true,
+			SupportsManaged:     true,
+			CreatePrivilege:     privilege.CreateTable,
+			ReadPrivilege:       privilege.Select,
+			WritePrivilege:      privilege.Modify,
+			DataReadPrivilege:   privilege.Select,
+			DataWritePrivilege:  privilege.Modify,
+			GrantablePrivileges: []privilege.Privilege{privilege.Select, privilege.Modify, privilege.Manage, privilege.AllPrivileges},
+			Fields: map[string]FieldRule{
+				"comment":    {Updatable: true, MaxLen: 1024},
+				"owner":      {Updatable: true, MaxLen: 255},
+				"properties": {Updatable: true},
+				"columns":    {Updatable: true},
+			},
+		},
+		{
+			Type:                TypeView,
+			ParentTypes:         []SecurableType{TypeSchema},
+			NameGroup:           "RELATION",
+			CreatePrivilege:     privilege.CreateTable,
+			ReadPrivilege:       privilege.Select,
+			WritePrivilege:      privilege.Modify,
+			GrantablePrivileges: []privilege.Privilege{privilege.Select, privilege.Manage, privilege.AllPrivileges},
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:                TypeVolume,
+			ParentTypes:         []SecurableType{TypeSchema},
+			HasStorage:          true,
+			SupportsManaged:     true,
+			CreatePrivilege:     privilege.CreateVolume,
+			ReadPrivilege:       privilege.ReadVolume,
+			WritePrivilege:      privilege.WriteVolume,
+			DataReadPrivilege:   privilege.ReadVolume,
+			DataWritePrivilege:  privilege.WriteVolume,
+			GrantablePrivileges: []privilege.Privilege{privilege.ReadVolume, privilege.WriteVolume, privilege.Manage, privilege.AllPrivileges},
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:                TypeFunction,
+			ParentTypes:         []SecurableType{TypeSchema},
+			CreatePrivilege:     privilege.CreateFunction,
+			ReadPrivilege:       privilege.Execute,
+			WritePrivilege:      privilege.Manage,
+			GrantablePrivileges: []privilege.Privilege{privilege.Execute, privilege.Manage, privilege.AllPrivileges},
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:                TypeRegisteredModel,
+			ParentTypes:         []SecurableType{TypeSchema},
+			HasStorage:          true,
+			SupportsManaged:     true,
+			CreatePrivilege:     privilege.CreateModel,
+			ReadPrivilege:       privilege.Execute,
+			WritePrivilege:      privilege.Modify,
+			DataReadPrivilege:   privilege.Execute,
+			DataWritePrivilege:  privilege.Modify,
+			GrantablePrivileges: []privilege.Privilege{privilege.Execute, privilege.Modify, privilege.Manage, privilege.AllPrivileges},
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:               TypeModelVersion,
+			ParentTypes:        []SecurableType{TypeRegisteredModel},
+			HasStorage:         true,
+			SupportsManaged:    true,
+			CreatePrivilege:    privilege.Modify,
+			ReadPrivilege:      privilege.Execute,
+			WritePrivilege:     privilege.Modify,
+			DataReadPrivilege:  privilege.Execute,
+			DataWritePrivilege: privilege.Modify,
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+			},
+		},
+		{
+			Type:                TypeExternalLocation,
+			ParentTypes:         []SecurableType{TypeMetastore},
+			HasStorage:          true,
+			CreatePrivilege:     privilege.CreateCatalog, // metastore-admin style
+			ReadPrivilege:       privilege.ReadFiles,
+			WritePrivilege:      privilege.Manage,
+			DataReadPrivilege:   privilege.ReadFiles,
+			DataWritePrivilege:  privilege.WriteFiles,
+			GrantablePrivileges: []privilege.Privilege{privilege.ReadFiles, privilege.WriteFiles, privilege.CreateTable, privilege.Manage, privilege.AllPrivileges},
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:            TypeStorageCredential,
+			ParentTypes:     []SecurableType{TypeMetastore},
+			CreatePrivilege: privilege.CreateCatalog,
+			ReadPrivilege:   privilege.Manage,
+			WritePrivilege:  privilege.Manage,
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:                TypeConnection,
+			ParentTypes:         []SecurableType{TypeMetastore},
+			CreatePrivilege:     privilege.CreateCatalog,
+			ReadPrivilege:       privilege.UseConnection,
+			WritePrivilege:      privilege.Manage,
+			GrantablePrivileges: []privilege.Privilege{privilege.UseConnection, privilege.Manage, privilege.AllPrivileges},
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:            TypeShare,
+			ParentTypes:     []SecurableType{TypeMetastore},
+			CreatePrivilege: privilege.CreateShare,
+			ReadPrivilege:   privilege.Select,
+			WritePrivilege:  privilege.Manage,
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+				"owner":   {Updatable: true, MaxLen: 255},
+			},
+		},
+		{
+			Type:            TypeRecipient,
+			ParentTypes:     []SecurableType{TypeMetastore},
+			CreatePrivilege: privilege.CreateShare,
+			ReadPrivilege:   privilege.Select,
+			WritePrivilege:  privilege.Manage,
+			Fields: map[string]FieldRule{
+				"comment": {Updatable: true, MaxLen: 1024},
+			},
+		},
+	}
+}
+
+// --- persistence mapping ---
+
+// Store table names used by the model.
+const (
+	TableEntity = "entity" // id -> Entity JSON
+	TableName   = "name"   // nameKey -> id
+	TablePath   = "path"   // storage path -> id (data assets; one-asset-per-path)
+	TableExtLoc = "extloc" // storage path -> id (external locations: containers of asset paths)
+	TableChild  = "child"  // childKey -> id
+	TableGrant  = "grant"  // grantKey -> Grant JSON
+	TableTag    = "tag"    // tagKey -> value
+	TableABAC   = "abac"   // rule id -> ABACRule JSON
+)
+
+// pathTableFor returns the path index an entity type belongs to: external
+// locations are containers that legitimately enclose asset paths, so they
+// index separately from the one-asset-per-path table.
+func pathTableFor(t SecurableType) string {
+	if t == TypeExternalLocation {
+		return TableExtLoc
+	}
+	return TablePath
+}
+
+// NameKey builds the unique-name index key for (group, parent, name).
+// Names are case-insensitive, as in SQL catalogs.
+func NameKey(group string, parent ids.ID, name string) string {
+	return group + "\x00" + string(parent) + "\x00" + strings.ToLower(name)
+}
+
+// ChildKey builds the parent-child listing key. Keys for one parent share a
+// prefix so a scan lists all children.
+func ChildKey(parent ids.ID, t SecurableType, id ids.ID) string {
+	return string(parent) + "\x00" + string(t) + "\x00" + string(id)
+}
+
+// ChildPrefix is the scan prefix for all children of parent with type t;
+// pass an empty type for all children of the parent.
+func ChildPrefix(parent ids.ID, t SecurableType) string {
+	if t == "" {
+		return string(parent) + "\x00"
+	}
+	return string(parent) + "\x00" + string(t) + "\x00"
+}
+
+// GrantKey builds the grant record key.
+func GrantKey(sec ids.ID, p privilege.Principal, priv privilege.Privilege) string {
+	return string(sec) + "\x00" + string(p) + "\x00" + string(priv)
+}
+
+// GrantPrefix is the scan prefix for all grants on a securable.
+func GrantPrefix(sec ids.ID) string { return string(sec) + "\x00" }
+
+// TagKey builds the tag record key for an entity-level tag.
+func TagKey(sec ids.ID, key string) string { return string(sec) + "\x00" + key }
+
+// ColumnTagKey builds the tag record key for a column-level tag.
+func ColumnTagKey(sec ids.ID, column, key string) string {
+	return string(sec) + "\x00col\x00" + column + "\x00" + key
+}
+
+// TagPrefix is the scan prefix for all tags on a securable.
+func TagPrefix(sec ids.ID) string { return string(sec) + "\x00" }
+
+// PutEntity writes the entity record and its indexes inside tx.
+func PutEntity(tx *store.Tx, e *Entity, group string) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("erm: encode entity: %w", err)
+	}
+	tx.Put(TableEntity, string(e.ID), b)
+	tx.Put(TableName, NameKey(group, e.ParentID, e.Name), []byte(e.ID))
+	tx.Put(TableChild, ChildKey(e.ParentID, e.Type, e.ID), []byte(e.ID))
+	if e.StoragePath != "" {
+		tx.Put(pathTableFor(e.Type), e.StoragePath, []byte(e.ID))
+	}
+	return nil
+}
+
+// UpdateEntity rewrites just the entity record (indexes unchanged).
+func UpdateEntity(tx *store.Tx, e *Entity) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("erm: encode entity: %w", err)
+	}
+	tx.Put(TableEntity, string(e.ID), b)
+	return nil
+}
+
+// DeleteEntity removes the entity record and its indexes inside tx.
+func DeleteEntity(tx *store.Tx, e *Entity, group string) {
+	tx.Delete(TableEntity, string(e.ID))
+	tx.Delete(TableName, NameKey(group, e.ParentID, e.Name))
+	tx.Delete(TableChild, ChildKey(e.ParentID, e.Type, e.ID))
+	if e.StoragePath != "" {
+		tx.Delete(pathTableFor(e.Type), e.StoragePath)
+	}
+}
+
+// Reader is the read interface shared by snapshots and transactions.
+type Reader interface {
+	Get(table, key string) ([]byte, bool)
+	Scan(table, prefix string) []store.KV
+}
+
+// GetEntity reads an entity by ID.
+func GetEntity(r Reader, id ids.ID) (*Entity, bool) {
+	b, ok := r.Get(TableEntity, string(id))
+	if !ok {
+		return nil, false
+	}
+	var e Entity
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// GetByName resolves (group, parent, name) to an entity.
+func GetByName(r Reader, group string, parent ids.ID, name string) (*Entity, bool) {
+	idb, ok := r.Get(TableName, NameKey(group, parent, name))
+	if !ok {
+		return nil, false
+	}
+	return GetEntity(r, ids.ID(idb))
+}
+
+// GetByPath resolves an exact storage path to an entity.
+func GetByPath(r Reader, path string) (*Entity, bool) {
+	idb, ok := r.Get(TablePath, path)
+	if !ok {
+		return nil, false
+	}
+	return GetEntity(r, ids.ID(idb))
+}
+
+// ListChildren lists entities under parent, optionally filtered by type.
+func ListChildren(r Reader, parent ids.ID, t SecurableType) []*Entity {
+	kvs := r.Scan(TableChild, ChildPrefix(parent, t))
+	out := make([]*Entity, 0, len(kvs))
+	for _, kv := range kvs {
+		if e, ok := GetEntity(r, ids.ID(kv.Value)); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountChildren counts entities under parent with type t.
+func CountChildren(r Reader, parent ids.ID, t SecurableType) int {
+	return len(r.Scan(TableChild, ChildPrefix(parent, t)))
+}

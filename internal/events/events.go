@@ -1,0 +1,186 @@
+// Package events implements the metadata change event stream that bridges
+// the Unity Catalog core service and second-tier discovery services
+// (paper §4.4), and that the cache layer uses for selective reconciliation
+// (paper §4.5).
+//
+// Events are ordered per metastore by the metastore version that produced
+// them. Subscribers receive events asynchronously over channels; slow
+// subscribers never block publishers (the bus buffers and, past a bound,
+// drops the oldest events for that subscriber while recording the loss so
+// the subscriber can fall back to a full re-index).
+package events
+
+import (
+	"sync"
+	"time"
+
+	"unitycatalog/internal/ids"
+)
+
+// Op is the kind of change an event describes.
+type Op string
+
+// Change operations.
+const (
+	OpCreate Op = "CREATE"
+	OpUpdate Op = "UPDATE"
+	OpDelete Op = "DELETE"
+	OpGrant  Op = "GRANT"
+	OpRevoke Op = "REVOKE"
+	OpTag    Op = "TAG"
+	OpCommit Op = "COMMIT" // table data commit (new table version)
+)
+
+// Event is one metadata change.
+type Event struct {
+	Metastore string    `json:"metastore"`
+	Version   uint64    `json:"version"` // metastore version that produced it
+	Op        Op        `json:"op"`
+	EntityID  ids.ID    `json:"entity_id,omitempty"`
+	Type      string    `json:"type,omitempty"` // securable type
+	FullName  string    `json:"full_name,omitempty"`
+	Principal string    `json:"principal,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+	Time      time.Time `json:"time"`
+}
+
+// Subscription receives events for one subscriber.
+type Subscription struct {
+	bus *Bus
+	id  int
+	// C delivers events in publish order.
+	C <-chan Event
+	c chan Event
+
+	mu      sync.Mutex
+	dropped int64
+}
+
+// Dropped reports how many events were discarded because the subscriber fell
+// behind; a non-zero value means the subscriber should rebuild from scratch.
+func (s *Subscription) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel removes the subscription.
+func (s *Subscription) Cancel() { s.bus.cancel(s.id) }
+
+// Bus is the change-event fan-out. The zero value is not usable; call NewBus.
+type Bus struct {
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*Subscription
+	buf    int
+
+	// history is a bounded replay buffer used by late subscribers and by
+	// the cache's selective reconciliation.
+	history    []Event
+	historyMax int
+	published  int64
+}
+
+// NewBus returns a Bus whose subscribers buffer up to buf events (0 means
+// 1024) and that retains up to historyMax events for replay (0 means 8192).
+func NewBus(buf, historyMax int) *Bus {
+	if buf <= 0 {
+		buf = 1024
+	}
+	if historyMax <= 0 {
+		historyMax = 8192
+	}
+	return &Bus{subs: map[int]*Subscription{}, buf: buf, historyMax: historyMax}
+}
+
+// Publish delivers e to all subscribers and appends it to the replay buffer.
+func (b *Bus) Publish(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	b.mu.Lock()
+	b.history = append(b.history, e)
+	if len(b.history) > b.historyMax {
+		b.history = append([]Event(nil), b.history[len(b.history)-b.historyMax:]...)
+	}
+	b.published++
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		select {
+		case s.c <- e:
+		default:
+			// Drop the oldest buffered event to make room, then retry once.
+			select {
+			case <-s.c:
+				s.mu.Lock()
+				s.dropped++
+				s.mu.Unlock()
+			default:
+			}
+			select {
+			case s.c <- e:
+			default:
+				s.mu.Lock()
+				s.dropped++
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Subscribe registers a new subscriber.
+func (b *Bus) Subscribe() *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	c := make(chan Event, b.buf)
+	s := &Subscription{bus: b, id: b.nextID, C: c, c: c}
+	b.subs[s.id] = s
+	return s
+}
+
+func (b *Bus) cancel(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.subs[id]; ok {
+		delete(b.subs, id)
+		close(s.c)
+	}
+}
+
+// Since returns retained events for a metastore with version > v, in order,
+// and whether the replay buffer still covers that range (ok=false means the
+// caller must fully rebuild).
+func (b *Bus) Since(metastore string, v uint64) (evs []Event, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ok = true
+	seenOlder := false
+	for _, e := range b.history {
+		if e.Metastore != metastore {
+			continue
+		}
+		if e.Version <= v {
+			seenOlder = true
+			continue
+		}
+		evs = append(evs, e)
+	}
+	if !seenOlder && v > 0 && len(evs) > 0 && evs[0].Version > v+1 {
+		// Gap: events between v and the first retained one were trimmed.
+		ok = false
+	}
+	return evs, ok
+}
+
+// Published returns the total number of events published.
+func (b *Bus) Published() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published
+}

@@ -1,0 +1,120 @@
+package events
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBus(0, 0)
+	sub := b.Subscribe()
+	defer sub.Cancel()
+	b.Publish(Event{Metastore: "m", Version: 1, Op: OpCreate, FullName: "c.s.t"})
+	select {
+	case e := <-sub.C:
+		if e.Op != OpCreate || e.FullName != "c.s.t" || e.Time.IsZero() {
+			t.Fatalf("event = %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+	if b.Published() != 1 {
+		t.Fatalf("published = %d", b.Published())
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b := NewBus(0, 0)
+	s1, s2 := b.Subscribe(), b.Subscribe()
+	defer s1.Cancel()
+	defer s2.Cancel()
+	b.Publish(Event{Metastore: "m", Version: 1, Op: OpUpdate})
+	for i, s := range []*Subscription{s1, s2} {
+		select {
+		case <-s.C:
+		case <-time.After(time.Second):
+			t.Fatalf("subscriber %d starved", i)
+		}
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBus(4, 0)
+	sub := b.Subscribe()
+	defer sub.Cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Publish(Event{Metastore: "m", Version: uint64(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher blocked on slow subscriber")
+	}
+	if sub.Dropped() == 0 {
+		t.Fatal("expected drops for a slow subscriber")
+	}
+}
+
+func TestCancelClosesChannel(t *testing.T) {
+	b := NewBus(0, 0)
+	sub := b.Subscribe()
+	sub.Cancel()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel should be closed after cancel")
+	}
+	// Publishing after cancel is safe.
+	b.Publish(Event{Metastore: "m", Version: 1})
+}
+
+func TestSinceReplay(t *testing.T) {
+	b := NewBus(0, 0)
+	for i := 1; i <= 10; i++ {
+		b.Publish(Event{Metastore: "m", Version: uint64(i)})
+		b.Publish(Event{Metastore: "other", Version: uint64(i)})
+	}
+	evs, ok := b.Since("m", 7)
+	if !ok || len(evs) != 3 || evs[0].Version != 8 {
+		t.Fatalf("since = %d events (ok=%v)", len(evs), ok)
+	}
+	for _, e := range evs {
+		if e.Metastore != "m" {
+			t.Fatal("leaked other metastore's events")
+		}
+	}
+	if evs, ok := b.Since("m", 10); !ok || len(evs) != 0 {
+		t.Fatalf("up-to-date since = %v, %v", evs, ok)
+	}
+}
+
+func TestSinceDetectsTrimmedHistory(t *testing.T) {
+	b := NewBus(0, 5)
+	for i := 1; i <= 20; i++ {
+		b.Publish(Event{Metastore: "m", Version: uint64(i)})
+	}
+	// Asking from far in the past must signal the gap.
+	if _, ok := b.Since("m", 2); ok {
+		t.Fatal("trimmed history should report !ok")
+	}
+	// Recent range is fine.
+	if evs, ok := b.Since("m", 18); !ok || len(evs) != 2 {
+		t.Fatalf("recent since = %d, ok=%v", len(evs), ok)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	b := NewBus(0, 8)
+	for i := 0; i < 100; i++ {
+		b.Publish(Event{Metastore: fmt.Sprint(i % 3), Version: uint64(i)})
+	}
+	b.mu.Lock()
+	n := len(b.history)
+	b.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("history = %d, cap 8", n)
+	}
+}

@@ -1,0 +1,216 @@
+// Package federation implements catalog federation (paper §4.2.4): mounting
+// an external ("foreign") catalog such as a Hive Metastore into Unity
+// Catalog as a federated catalog, with on-demand metadata mirroring.
+//
+// Mirroring is performed by the engine (the current implementation in the
+// paper): when a query references a table in a federated catalog, the
+// engine's Mirror fetches the foreign table's metadata and upserts it into
+// UC so that UC governance applies. Simple clients that only talk to UC may
+// observe stale metadata until some engine mirrors it — exactly the paper's
+// stated tradeoff.
+package federation
+
+import (
+	"errors"
+	"fmt"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/hms"
+)
+
+// Connector reads a foreign catalog's metadata. Implementations exist for
+// the HMS substrate; other sources (mock warehouses) implement the same
+// interface in the workload generator.
+type Connector interface {
+	// SourceType names the foreign system (e.g. "HIVE_METASTORE").
+	SourceType() string
+	// ListSchemas lists schema (database) names.
+	ListSchemas() ([]string, error)
+	// ListTables lists table names in a schema.
+	ListTables(schema string) ([]string, error)
+	// GetTable fetches a foreign table's metadata.
+	GetTable(schema, table string) (ForeignTable, error)
+}
+
+// ForeignTable is the connector-neutral table description.
+type ForeignTable struct {
+	Schema   string
+	Name     string
+	Columns  []catalog.ColumnInfo
+	Location string
+	Format   catalog.DataFormat
+	ViewText string // non-empty for views
+}
+
+// HMSConnector adapts the hms substrate to the Connector interface.
+type HMSConnector struct {
+	MS *hms.Metastore
+}
+
+// SourceType implements Connector.
+func (c HMSConnector) SourceType() string { return "HIVE_METASTORE" }
+
+// ListSchemas implements Connector.
+func (c HMSConnector) ListSchemas() ([]string, error) { return c.MS.GetAllDatabases() }
+
+// ListTables implements Connector.
+func (c HMSConnector) ListTables(schema string) ([]string, error) { return c.MS.GetTables(schema) }
+
+// GetTable implements Connector.
+func (c HMSConnector) GetTable(schema, table string) (ForeignTable, error) {
+	t, err := c.MS.GetTable(schema, table)
+	if err != nil {
+		return ForeignTable{}, err
+	}
+	out := ForeignTable{Schema: t.DBName, Name: t.Name, Location: t.Location, ViewText: t.ViewText}
+	switch t.InputFormat {
+	case "parquet":
+		out.Format = catalog.FormatParquet
+	case "csv":
+		out.Format = catalog.FormatCSV
+	default:
+		out.Format = catalog.FormatDelta
+	}
+	for i, col := range t.Columns {
+		out.Columns = append(out.Columns, catalog.ColumnInfo{Name: col.Name, Type: col.Type, Nullable: true, Position: i, Comment: col.Comment})
+	}
+	return out, nil
+}
+
+// Mirror performs engine-side on-demand mirroring into a UC federated
+// catalog.
+type Mirror struct {
+	Service *catalog.Service
+	// Connectors is keyed by connection name.
+	Connectors map[string]Connector
+}
+
+// NewMirror returns a Mirror for the service.
+func NewMirror(svc *catalog.Service) *Mirror {
+	return &Mirror{Service: svc, Connectors: map[string]Connector{}}
+}
+
+// CreateFederatedCatalog creates a UC connection plus a federated catalog
+// bound to the connector.
+func (m *Mirror) CreateFederatedCatalog(ctx catalog.Ctx, catalogName, connectionName string, conn Connector) error {
+	if _, ok := m.Connectors[connectionName]; ok {
+		return fmt.Errorf("federation: connection %s already registered", connectionName)
+	}
+	if _, err := m.Service.CreateAsset(ctx, catalog.CreateRequest{
+		Type: erm.TypeConnection, Name: connectionName,
+		Spec: &catalog.ConnectionSpec{ConnectionType: conn.SourceType()},
+	}); err != nil {
+		return err
+	}
+	if _, err := m.Service.CreateAsset(ctx, catalog.CreateRequest{
+		Type: erm.TypeCatalog, Name: catalogName,
+		Spec: &catalog.CatalogSpec{Kind: catalog.CatalogFederated, ConnectionName: connectionName},
+	}); err != nil {
+		return err
+	}
+	m.Connectors[connectionName] = conn
+	return nil
+}
+
+// connectorFor resolves the connector behind a federated catalog.
+func (m *Mirror) connectorFor(ctx catalog.Ctx, catalogName string) (Connector, error) {
+	e, err := m.Service.GetAsset(ctx, catalogName)
+	if err != nil {
+		return nil, err
+	}
+	var spec catalog.CatalogSpec
+	if err := e.DecodeSpec(&spec); err != nil {
+		return nil, err
+	}
+	if spec.Kind != catalog.CatalogFederated {
+		return nil, fmt.Errorf("federation: %s is not a federated catalog", catalogName)
+	}
+	conn, ok := m.Connectors[spec.ConnectionName]
+	if !ok {
+		return nil, fmt.Errorf("federation: connection %s has no registered connector", spec.ConnectionName)
+	}
+	return conn, nil
+}
+
+// MirrorTable fetches cat.schema.table from the foreign catalog and upserts
+// it into UC, returning the mirrored entity. It creates the schema on
+// demand. Existing mirrored metadata is refreshed (on-demand mirroring keeps
+// queries on the most up-to-date foreign metadata).
+func (m *Mirror) MirrorTable(ctx catalog.Ctx, catalogName, schema, table string) (*erm.Entity, error) {
+	conn, err := m.connectorFor(ctx, catalogName)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := conn.GetTable(schema, table)
+	if err != nil {
+		return nil, fmt.Errorf("federation: foreign fetch: %w", err)
+	}
+	if err := m.ensureSchema(ctx, catalogName, schema); err != nil {
+		return nil, err
+	}
+	full := catalog.FullName(catalogName, schema, table)
+	spec := catalog.TableSpec{
+		TableType: catalog.TableForeign, Format: ft.Format, Columns: ft.Columns,
+		ForeignConnection: connectionNameOf(m, conn), ForeignSourceType: conn.SourceType(),
+	}
+	existing, err := m.Service.GetAsset(ctx, full)
+	switch {
+	case err == nil:
+		return m.Service.UpdateAsset(ctx, full, catalog.UpdateRequest{Spec: &spec})
+	case errors.Is(err, catalog.ErrNotFound):
+		return m.Service.CreateAsset(ctx, catalog.CreateRequest{
+			Type: erm.TypeTable, Name: table, ParentFull: catalog.FullName(catalogName, schema),
+			StoragePath: ft.Location, Spec: &spec,
+		})
+	default:
+		return existing, err
+	}
+}
+
+// MirrorSchema lists and mirrors every table in the foreign schema (used by
+// listing paths), returning how many tables were mirrored.
+func (m *Mirror) MirrorSchema(ctx catalog.Ctx, catalogName, schema string) (int, error) {
+	conn, err := m.connectorFor(ctx, catalogName)
+	if err != nil {
+		return 0, err
+	}
+	tables, err := conn.ListTables(schema)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.ensureSchema(ctx, catalogName, schema); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, tbl := range tables {
+		if _, err := m.MirrorTable(ctx, catalogName, schema, tbl); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (m *Mirror) ensureSchema(ctx catalog.Ctx, catalogName, schema string) error {
+	_, err := m.Service.GetAsset(ctx, catalog.FullName(catalogName, schema))
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, catalog.ErrNotFound) {
+		return err
+	}
+	_, err = m.Service.CreateSchema(ctx, catalogName, schema, "mirrored from foreign catalog")
+	if errors.Is(err, catalog.ErrAlreadyExists) {
+		return nil
+	}
+	return err
+}
+
+func connectionNameOf(m *Mirror, conn Connector) string {
+	for name, c := range m.Connectors {
+		if c == conn {
+			return name
+		}
+	}
+	return ""
+}

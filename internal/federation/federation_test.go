@@ -1,0 +1,120 @@
+package federation
+
+import (
+	"testing"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/hms"
+	"unitycatalog/internal/store"
+)
+
+func setup(t *testing.T) (*Mirror, *hms.Metastore, catalog.Ctx) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	hmsDB, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hmsDB.Close() })
+	foreign, err := hms.New(hmsDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign.CreateDatabase(hms.Database{Name: "legacy"})
+	foreign.CreateTable(hms.Table{
+		DBName: "legacy", Name: "clicks",
+		Columns:     []hms.FieldSchema{{Name: "ts", Type: "bigint"}, {Name: "url", Type: "string"}},
+		Location:    "s3://legacy-bucket/clicks",
+		InputFormat: "parquet",
+	})
+	foreign.CreateTable(hms.Table{DBName: "legacy", Name: "users", Location: "s3://legacy-bucket/users"})
+
+	m := NewMirror(svc)
+	admin := catalog.Ctx{Principal: "admin", Metastore: "ms1"}
+	if err := m.CreateFederatedCatalog(admin, "hive_prod", "hive_conn", HMSConnector{MS: foreign}); err != nil {
+		t.Fatal(err)
+	}
+	return m, foreign, admin
+}
+
+func TestMirrorTableOnDemand(t *testing.T) {
+	m, _, admin := setup(t)
+	e, err := m.MirrorTable(admin, "hive_prod", "legacy", "clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FullName != "hive_prod.legacy.clicks" || e.StoragePath != "s3://legacy-bucket/clicks" {
+		t.Fatalf("mirrored = %+v", e)
+	}
+	spec, err := catalog.TableSpecOf(e)
+	if err != nil || spec.TableType != catalog.TableForeign || spec.Format != catalog.FormatParquet {
+		t.Fatalf("spec = %+v, %v", spec, err)
+	}
+	if spec.ForeignSourceType != "HIVE_METASTORE" || spec.ForeignConnection != "hive_conn" {
+		t.Fatalf("foreign info = %+v", spec)
+	}
+	// Mirrored assets are under UC governance: visible via the UC API.
+	got, err := m.Service.GetAsset(admin, "hive_prod.legacy.clicks")
+	if err != nil || got.ID != e.ID {
+		t.Fatalf("uc get = %v", err)
+	}
+}
+
+func TestMirrorRefreshesStaleMetadata(t *testing.T) {
+	m, foreign, admin := setup(t)
+	if _, err := m.MirrorTable(admin, "hive_prod", "legacy", "clicks"); err != nil {
+		t.Fatal(err)
+	}
+	// The foreign table changes (new column).
+	tbl, _ := foreign.GetTable("legacy", "clicks")
+	tbl.Columns = append(tbl.Columns, hms.FieldSchema{Name: "referrer", Type: "string"})
+	if err := foreign.AlterTable("legacy", "clicks", tbl); err != nil {
+		t.Fatal(err)
+	}
+	// On-demand mirroring picks up the change on the next access.
+	e, err := m.MirrorTable(admin, "hive_prod", "legacy", "clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := catalog.TableSpecOf(e)
+	if len(spec.Columns) != 3 {
+		t.Fatalf("columns after refresh = %d", len(spec.Columns))
+	}
+}
+
+func TestMirrorSchema(t *testing.T) {
+	m, _, admin := setup(t)
+	n, err := m.MirrorSchema(admin, "hive_prod", "legacy")
+	if err != nil || n != 2 {
+		t.Fatalf("mirrored = %d, %v", n, err)
+	}
+	tables, err := m.Service.ListAssets(admin, "hive_prod.legacy", erm.TypeTable)
+	if err != nil || len(tables) != 2 {
+		t.Fatalf("list = %v, %v", tables, err)
+	}
+}
+
+func TestNonFederatedCatalogRejected(t *testing.T) {
+	m, _, admin := setup(t)
+	if _, err := m.Service.CreateCatalog(admin, "regular", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MirrorTable(admin, "regular", "db", "t"); err == nil {
+		t.Fatal("mirroring into a regular catalog should fail")
+	}
+	if err := m.CreateFederatedCatalog(admin, "x2", "hive_conn", nil); err == nil {
+		t.Fatal("duplicate connection name should fail")
+	}
+}

@@ -1,0 +1,276 @@
+// Package hms implements a Hive-Metastore-style table catalog used two ways
+// in this reproduction, mirroring the paper:
+//
+//   - as the evaluation baseline (Figure 10(a)): a "local metastore" where
+//     the engine calls straight into the metastore database with no REST
+//     hop, no governance, and no caching — the optimal HMS configuration
+//     the paper compares UC against;
+//   - as a foreign catalog for UC's catalog federation (§4.2.4).
+//
+// Like the real HMS, it manages only databases and tables (plus views as
+// tables with a type flag), stores a storage location per table, and has no
+// access control: clients receive locations and go straight to storage.
+//
+// It persists through the same store package as Unity Catalog, so identical
+// database latency can be injected for apples-to-apples benchmarks.
+package hms
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"unitycatalog/internal/store"
+)
+
+// Common errors.
+var (
+	ErrNotFound      = errors.New("hms: not found")
+	ErrAlreadyExists = errors.New("hms: already exists")
+)
+
+// FieldSchema is one column of a Hive table.
+type FieldSchema struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Comment string `json:"comment,omitempty"`
+}
+
+// Database is a Hive database (schema).
+type Database struct {
+	Name        string            `json:"name"`
+	Description string            `json:"description,omitempty"`
+	LocationURI string            `json:"locationUri,omitempty"`
+	Parameters  map[string]string `json:"parameters,omitempty"`
+}
+
+// TableType mirrors Hive's table kinds.
+type TableType string
+
+// Hive table types.
+const (
+	ManagedTable  TableType = "MANAGED_TABLE"
+	ExternalTable TableType = "EXTERNAL_TABLE"
+	VirtualView   TableType = "VIRTUAL_VIEW"
+)
+
+// Table is a Hive table.
+type Table struct {
+	DBName      string            `json:"dbName"`
+	Name        string            `json:"tableName"`
+	Owner       string            `json:"owner,omitempty"`
+	TableType   TableType         `json:"tableType"`
+	Columns     []FieldSchema     `json:"columns"`
+	Location    string            `json:"location,omitempty"`
+	InputFormat string            `json:"inputFormat,omitempty"` // e.g. "dpf", "parquet"
+	ViewText    string            `json:"viewExpandedText,omitempty"`
+	Parameters  map[string]string `json:"parameters,omitempty"`
+}
+
+// Store table names in the backing database.
+const (
+	msID     = "hms"
+	tblDB    = "database"
+	tblTable = "table"
+)
+
+// Metastore is the Hive Metastore service ("local metastore" mode: callers
+// invoke methods directly, each hitting the backing database).
+type Metastore struct {
+	db *store.DB
+}
+
+// New creates a Metastore over its backing database (creating the namespace
+// if needed).
+func New(db *store.DB) (*Metastore, error) {
+	if err := db.CreateMetastore(msID); err != nil && !errors.Is(err, store.ErrMetastoreExists) {
+		return nil, err
+	}
+	return &Metastore{db: db}, nil
+}
+
+func tableKey(dbName, table string) string {
+	return strings.ToLower(dbName) + "\x00" + strings.ToLower(table)
+}
+
+// CreateDatabase registers a database.
+func (m *Metastore) CreateDatabase(d Database) error {
+	if d.Name == "" {
+		return fmt.Errorf("hms: database needs a name")
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	_, err = m.db.Update(msID, func(tx *store.Tx) error {
+		key := strings.ToLower(d.Name)
+		if _, ok := tx.Get(tblDB, key); ok {
+			return fmt.Errorf("%w: database %s", ErrAlreadyExists, d.Name)
+		}
+		tx.Put(tblDB, key, b)
+		return nil
+	})
+	return err
+}
+
+// GetDatabase fetches a database by name.
+func (m *Metastore) GetDatabase(name string) (Database, error) {
+	snap, err := m.db.Snapshot(msID)
+	if err != nil {
+		return Database{}, err
+	}
+	defer snap.Close()
+	b, ok := snap.Get(tblDB, strings.ToLower(name))
+	if !ok {
+		return Database{}, fmt.Errorf("%w: database %s", ErrNotFound, name)
+	}
+	var d Database
+	err = json.Unmarshal(b, &d)
+	return d, err
+}
+
+// GetAllDatabases lists database names.
+func (m *Metastore) GetAllDatabases() ([]string, error) {
+	snap, err := m.db.Snapshot(msID)
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Close()
+	kvs := snap.Scan(tblDB, "")
+	out := make([]string, 0, len(kvs))
+	for _, kv := range kvs {
+		var d Database
+		if json.Unmarshal(kv.Value, &d) == nil {
+			out = append(out, d.Name)
+		}
+	}
+	return out, nil
+}
+
+// DropDatabase removes a database; it must be empty unless cascade is set.
+func (m *Metastore) DropDatabase(name string, cascade bool) error {
+	_, err := m.db.Update(msID, func(tx *store.Tx) error {
+		key := strings.ToLower(name)
+		if _, ok := tx.Get(tblDB, key); !ok {
+			return fmt.Errorf("%w: database %s", ErrNotFound, name)
+		}
+		tables := tx.Scan(tblTable, key+"\x00")
+		if len(tables) > 0 && !cascade {
+			return fmt.Errorf("hms: database %s is not empty", name)
+		}
+		for _, kv := range tables {
+			tx.Delete(tblTable, kv.Key)
+		}
+		tx.Delete(tblDB, key)
+		return nil
+	})
+	return err
+}
+
+// CreateTable registers a table in an existing database.
+func (m *Metastore) CreateTable(t Table) error {
+	if t.DBName == "" || t.Name == "" {
+		return fmt.Errorf("hms: table needs dbName and tableName")
+	}
+	if t.TableType == "" {
+		t.TableType = ManagedTable
+	}
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	_, err = m.db.Update(msID, func(tx *store.Tx) error {
+		if _, ok := tx.Get(tblDB, strings.ToLower(t.DBName)); !ok {
+			return fmt.Errorf("%w: database %s", ErrNotFound, t.DBName)
+		}
+		key := tableKey(t.DBName, t.Name)
+		if _, ok := tx.Get(tblTable, key); ok {
+			return fmt.Errorf("%w: table %s.%s", ErrAlreadyExists, t.DBName, t.Name)
+		}
+		tx.Put(tblTable, key, b)
+		return nil
+	})
+	return err
+}
+
+// GetTable fetches a table. This is the hot call on a query's metadata path.
+func (m *Metastore) GetTable(dbName, table string) (Table, error) {
+	snap, err := m.db.Snapshot(msID)
+	if err != nil {
+		return Table{}, err
+	}
+	defer snap.Close()
+	b, ok := snap.Get(tblTable, tableKey(dbName, table))
+	if !ok {
+		return Table{}, fmt.Errorf("%w: table %s.%s", ErrNotFound, dbName, table)
+	}
+	var t Table
+	err = json.Unmarshal(b, &t)
+	return t, err
+}
+
+// GetTables lists table names in a database.
+func (m *Metastore) GetTables(dbName string) ([]string, error) {
+	snap, err := m.db.Snapshot(msID)
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Close()
+	kvs := snap.Scan(tblTable, strings.ToLower(dbName)+"\x00")
+	out := make([]string, 0, len(kvs))
+	for _, kv := range kvs {
+		var t Table
+		if json.Unmarshal(kv.Value, &t) == nil {
+			out = append(out, t.Name)
+		}
+	}
+	return out, nil
+}
+
+// AlterTable replaces a table's definition.
+func (m *Metastore) AlterTable(dbName, table string, newT Table) error {
+	b, err := json.Marshal(newT)
+	if err != nil {
+		return err
+	}
+	_, err = m.db.Update(msID, func(tx *store.Tx) error {
+		oldKey := tableKey(dbName, table)
+		if _, ok := tx.Get(tblTable, oldKey); !ok {
+			return fmt.Errorf("%w: table %s.%s", ErrNotFound, dbName, table)
+		}
+		newKey := tableKey(newT.DBName, newT.Name)
+		if newKey != oldKey {
+			if _, ok := tx.Get(tblTable, newKey); ok {
+				return fmt.Errorf("%w: table %s.%s", ErrAlreadyExists, newT.DBName, newT.Name)
+			}
+			tx.Delete(tblTable, oldKey)
+		}
+		tx.Put(tblTable, newKey, b)
+		return nil
+	})
+	return err
+}
+
+// DropTable removes a table.
+func (m *Metastore) DropTable(dbName, table string) error {
+	_, err := m.db.Update(msID, func(tx *store.Tx) error {
+		key := tableKey(dbName, table)
+		if _, ok := tx.Get(tblTable, key); !ok {
+			return fmt.Errorf("%w: table %s.%s", ErrNotFound, dbName, table)
+		}
+		tx.Delete(tblTable, key)
+		return nil
+	})
+	return err
+}
+
+// TableCount returns the total number of tables (for usage statistics).
+func (m *Metastore) TableCount() (int, error) {
+	snap, err := m.db.Snapshot(msID)
+	if err != nil {
+		return 0, err
+	}
+	defer snap.Close()
+	return snap.Count(tblTable, ""), nil
+}

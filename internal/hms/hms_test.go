@@ -1,0 +1,103 @@
+package hms
+
+import (
+	"errors"
+	"testing"
+
+	"unitycatalog/internal/store"
+)
+
+func newMS(t *testing.T) *Metastore {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDatabaseLifecycle(t *testing.T) {
+	m := newMS(t)
+	if err := m.CreateDatabase(Database{Name: "sales", LocationURI: "s3://wh/sales"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateDatabase(Database{Name: "SALES"}); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("case-insensitive dup: %v", err)
+	}
+	d, err := m.GetDatabase("Sales")
+	if err != nil || d.LocationURI != "s3://wh/sales" {
+		t.Fatalf("get = %+v, %v", d, err)
+	}
+	dbs, _ := m.GetAllDatabases()
+	if len(dbs) != 1 || dbs[0] != "sales" {
+		t.Fatalf("dbs = %v", dbs)
+	}
+	if err := m.DropDatabase("sales", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GetDatabase("sales"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after drop: %v", err)
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	m := newMS(t)
+	m.CreateDatabase(Database{Name: "db"})
+	tbl := Table{DBName: "db", Name: "orders", Columns: []FieldSchema{{Name: "id", Type: "bigint"}}, Location: "s3://wh/db/orders"}
+	if err := m.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateTable(tbl); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("dup: %v", err)
+	}
+	if err := m.CreateTable(Table{DBName: "nope", Name: "x"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing db: %v", err)
+	}
+	got, err := m.GetTable("DB", "ORDERS")
+	if err != nil || got.Location != "s3://wh/db/orders" || got.TableType != ManagedTable {
+		t.Fatalf("get = %+v, %v", got, err)
+	}
+	names, _ := m.GetTables("db")
+	if len(names) != 1 || names[0] != "orders" {
+		t.Fatalf("tables = %v", names)
+	}
+	// Alter (rename).
+	renamed := got
+	renamed.Name = "orders_v2"
+	if err := m.AlterTable("db", "orders", renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GetTable("db", "orders"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("old name: %v", err)
+	}
+	if _, err := m.GetTable("db", "orders_v2"); err != nil {
+		t.Fatalf("new name: %v", err)
+	}
+	if err := m.DropTable("db", "orders_v2"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.TableCount(); n != 0 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestDropDatabaseCascade(t *testing.T) {
+	m := newMS(t)
+	m.CreateDatabase(Database{Name: "db"})
+	m.CreateTable(Table{DBName: "db", Name: "t1"})
+	m.CreateTable(Table{DBName: "db", Name: "t2"})
+	if err := m.DropDatabase("db", false); err == nil {
+		t.Fatal("non-empty drop should fail")
+	}
+	if err := m.DropDatabase("db", true); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.TableCount(); n != 0 {
+		t.Fatalf("tables after cascade = %d", n)
+	}
+}

@@ -1,0 +1,184 @@
+package hms
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// This file adds the "remote metastore" deployment mode: engines talk to
+// HMS over an RPC interface instead of querying its database directly. The
+// paper notes UC's architecture resembles this slower configuration, while
+// its evaluation handicaps UC by comparing against the faster "local
+// metastore" mode — the remote mode lets the harness show all three.
+
+// Handler exposes the metastore over HTTP (a JSON stand-in for Thrift).
+func (m *Metastore) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, err error) {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrAlreadyExists):
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+	mux.HandleFunc("GET /databases", func(w http.ResponseWriter, r *http.Request) {
+		dbs, err := m.GetAllDatabases()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, dbs)
+	})
+	mux.HandleFunc("POST /databases", func(w http.ResponseWriter, r *http.Request) {
+		var d Database
+		if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := m.CreateDatabase(d); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("GET /databases/{db}", func(w http.ResponseWriter, r *http.Request) {
+		d, err := m.GetDatabase(r.PathValue("db"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
+	})
+	mux.HandleFunc("GET /databases/{db}/tables", func(w http.ResponseWriter, r *http.Request) {
+		ts, err := m.GetTables(r.PathValue("db"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ts)
+	})
+	mux.HandleFunc("POST /databases/{db}/tables", func(w http.ResponseWriter, r *http.Request) {
+		var t Table
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			writeErr(w, err)
+			return
+		}
+		t.DBName = r.PathValue("db")
+		if err := m.CreateTable(t); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("GET /databases/{db}/tables/{table}", func(w http.ResponseWriter, r *http.Request) {
+		t, err := m.GetTable(r.PathValue("db"), r.PathValue("table"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+	})
+	mux.HandleFunc("DELETE /databases/{db}/tables/{table}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.DropTable(r.PathValue("db"), r.PathValue("table")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// RemoteClient talks to a remote Metastore over HTTP, mirroring the local
+// API so engines can swap deployments.
+type RemoteClient struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewRemoteClient returns a client for the given base URL.
+func NewRemoteClient(base string) *RemoteClient {
+	return &RemoteClient{Base: base, HTTP: http.DefaultClient}
+}
+
+func (c *RemoteClient) do(method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, string(data))
+	case resp.StatusCode == http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrAlreadyExists, string(data))
+	case resp.StatusCode >= 300:
+		return fmt.Errorf("hms remote: %d: %s", resp.StatusCode, string(data))
+	}
+	if out != nil && len(data) > 0 {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// GetTable fetches a table over the wire.
+func (c *RemoteClient) GetTable(db, table string) (Table, error) {
+	var t Table
+	err := c.do("GET", "/databases/"+url.PathEscape(db)+"/tables/"+url.PathEscape(table), nil, &t)
+	return t, err
+}
+
+// GetAllDatabases lists databases over the wire.
+func (c *RemoteClient) GetAllDatabases() ([]string, error) {
+	var out []string
+	err := c.do("GET", "/databases", nil, &out)
+	return out, err
+}
+
+// GetTables lists table names over the wire.
+func (c *RemoteClient) GetTables(db string) ([]string, error) {
+	var out []string
+	err := c.do("GET", "/databases/"+url.PathEscape(db)+"/tables", nil, &out)
+	return out, err
+}
+
+// CreateDatabase creates a database over the wire.
+func (c *RemoteClient) CreateDatabase(d Database) error {
+	return c.do("POST", "/databases", d, nil)
+}
+
+// CreateTable creates a table over the wire.
+func (c *RemoteClient) CreateTable(t Table) error {
+	return c.do("POST", "/databases/"+url.PathEscape(t.DBName)+"/tables", t, nil)
+}

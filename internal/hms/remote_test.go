@@ -1,0 +1,54 @@
+package hms
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"unitycatalog/internal/store"
+)
+
+func TestRemoteModeRoundTrip(t *testing.T) {
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	c := NewRemoteClient(srv.URL)
+
+	if err := c.CreateDatabase(Database{Name: "db1", LocationURI: "s3://wh/db1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatabase(Database{Name: "db1"}); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("remote dup: %v", err)
+	}
+	if err := c.CreateTable(Table{DBName: "db1", Name: "t1", Location: "s3://wh/db1/t1",
+		Columns: []FieldSchema{{Name: "id", Type: "bigint"}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetTable("db1", "t1")
+	if err != nil || got.Location != "s3://wh/db1/t1" || len(got.Columns) != 1 {
+		t.Fatalf("remote get = %+v, %v", got, err)
+	}
+	if _, err := c.GetTable("db1", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remote missing: %v", err)
+	}
+	dbs, err := c.GetAllDatabases()
+	if err != nil || len(dbs) != 1 {
+		t.Fatalf("remote dbs = %v, %v", dbs, err)
+	}
+	tables, err := c.GetTables("db1")
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("remote tables = %v, %v", tables, err)
+	}
+	// Writes through the remote are visible locally (same metastore).
+	if local, err := m.GetTable("db1", "t1"); err != nil || local.Name != "t1" {
+		t.Fatalf("local after remote write: %+v, %v", local, err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package iceberg implements an Iceberg-REST-catalog-style facade over
+// Unity Catalog (paper §1, §2): external Iceberg clients can list
+// namespaces, list tables, and load table metadata for UC-governed Delta
+// tables via UniForm-generated Iceberg metadata, all under UC authorization
+// and credential vending.
+package iceberg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/privilege"
+)
+
+// Catalog is the Iceberg REST catalog facade.
+type Catalog struct {
+	Service *catalog.Service
+	MSID    string
+}
+
+// New returns a facade over one metastore.
+func New(svc *catalog.Service, msID string) *Catalog {
+	return &Catalog{Service: svc, MSID: msID}
+}
+
+func (c *Catalog) ctx(principal string) catalog.Ctx {
+	return catalog.Ctx{Principal: privilege.Principal(principal), Metastore: c.MSID, TrustedEngine: false}
+}
+
+// ListNamespaces returns two-level namespaces (catalog.schema) visible to
+// the principal, in the Iceberg REST style of dot-joined namespace parts.
+func (c *Catalog) ListNamespaces(principal string) ([]string, error) {
+	ctx := c.ctx(principal)
+	cats, err := c.Service.ListAssets(ctx, "", erm.TypeCatalog)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, cat := range cats {
+		schemas, err := c.Service.ListAssets(ctx, cat.Name, erm.TypeSchema)
+		if err != nil {
+			continue
+		}
+		for _, sch := range schemas {
+			out = append(out, cat.Name+"."+sch.Name)
+		}
+	}
+	return out, nil
+}
+
+// ListTables lists table identifiers in a namespace.
+func (c *Catalog) ListTables(principal, namespace string) ([]string, error) {
+	ctx := c.ctx(principal)
+	tables, err := c.Service.ListAssets(ctx, namespace, erm.TypeTable)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, t.Name)
+	}
+	return out, nil
+}
+
+// LoadTableResult is the REST catalog's LoadTable response: Iceberg
+// metadata plus a vended storage credential (the Iceberg REST credential-
+// vending extension).
+type LoadTableResult struct {
+	MetadataLocation string                `json:"metadata-location"`
+	Metadata         delta.IcebergMetadata `json:"metadata"`
+	Config           map[string]string     `json:"config,omitempty"`
+}
+
+// LoadTable authorizes the principal on the UC table, ensures UniForm
+// metadata exists for the current snapshot, and returns it with a read
+// credential.
+func (c *Catalog) LoadTable(principal, namespace, table string) (*LoadTableResult, error) {
+	ctx := c.ctx(principal)
+	full := namespace + "." + table
+	e, err := c.Service.GetAsset(ctx, full)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := catalog.TableSpecOf(e)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Format != catalog.FormatDelta && spec.Format != catalog.FormatIceberg {
+		return nil, fmt.Errorf("%w: %s is not Iceberg-readable", catalog.ErrInvalidArgument, full)
+	}
+	tc, err := c.Service.TempCredentialForAsset(ctx, full, cloudsim.AccessRead)
+	if err != nil {
+		return nil, err
+	}
+	tbl := delta.NewTable(e.StoragePath, delta.TokenBlobs{Store: c.Service.Cloud(), Token: tc.Credential.Token})
+	meta, err := tbl.ReadUniform()
+	if err != nil {
+		// Sync on demand from the Delta log. Metadata generation is a
+		// catalog-side background task, so it runs with the service's
+		// standing access; the client still reads through its token.
+		svcTbl := delta.NewTable(e.StoragePath, delta.ServiceBlobs{Store: c.Service.Cloud()})
+		snap, serr := svcTbl.Snapshot()
+		if serr != nil {
+			return nil, fmt.Errorf("iceberg: %s has no readable data: %w", full, serr)
+		}
+		if _, serr := svcTbl.SyncUniform(snap); serr != nil {
+			return nil, serr
+		}
+		meta, err = tbl.ReadUniform()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &LoadTableResult{
+		MetadataLocation: fmt.Sprintf("%s/metadata/v%d.metadata.json", e.StoragePath, meta.CurrentSnapshotID),
+		Metadata:         *meta,
+		Config: map[string]string{
+			"storage.token":      tc.Credential.Token,
+			"storage.expiration": tc.Credential.ExpiresAt.Format("2006-01-02T15:04:05Z07:00"),
+		},
+	}, nil
+}
+
+// --- HTTP surface (a subset of the Iceberg REST catalog API) ---
+
+// Handler returns an http.Handler implementing:
+//
+//	GET /v1/config
+//	GET /v1/namespaces
+//	GET /v1/namespaces/{ns}/tables
+//	GET /v1/namespaces/{ns}/tables/{table}
+//
+// The principal is the bearer token (the demo identity model used across
+// this reproduction's HTTP surfaces).
+func (c *Catalog) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/config", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"defaults":  map[string]string{"catalog-impl": "unity-catalog-uniform"},
+			"overrides": map[string]string{},
+		})
+	})
+	mux.HandleFunc("GET /v1/namespaces", func(w http.ResponseWriter, r *http.Request) {
+		ns, err := c.ListNamespaces(bearer(r))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		parts := make([][]string, 0, len(ns))
+		for _, n := range ns {
+			parts = append(parts, strings.Split(n, "."))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"namespaces": parts})
+	})
+	mux.HandleFunc("GET /v1/namespaces/{ns}/tables", func(w http.ResponseWriter, r *http.Request) {
+		ns := strings.ReplaceAll(r.PathValue("ns"), "\x1f", ".")
+		tables, err := c.ListTables(bearer(r), ns)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		type ident struct {
+			Namespace []string `json:"namespace"`
+			Name      string   `json:"name"`
+		}
+		out := make([]ident, 0, len(tables))
+		for _, t := range tables {
+			out = append(out, ident{Namespace: strings.Split(ns, "."), Name: t})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"identifiers": out})
+	})
+	mux.HandleFunc("GET /v1/namespaces/{ns}/tables/{table}", func(w http.ResponseWriter, r *http.Request) {
+		ns := strings.ReplaceAll(r.PathValue("ns"), "\x1f", ".")
+		res, err := c.LoadTable(bearer(r), ns, r.PathValue("table"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	return mux
+}
+
+func bearer(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	return strings.TrimPrefix(h, "Bearer ")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, catalog.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, catalog.ErrPermissionDenied):
+		status = http.StatusForbidden
+	case errors.Is(err, catalog.ErrInvalidArgument):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]any{"error": map[string]any{"message": err.Error(), "code": status}})
+}

@@ -1,0 +1,67 @@
+// Package ids provides unique identifier generation for catalog entities.
+//
+// IDs are 128-bit values rendered as 32 hex characters, composed of a
+// millisecond timestamp prefix and a random suffix so that IDs sort roughly
+// by creation time, similar to ULIDs. Generation is safe for concurrent use.
+package ids
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ID is a unique identifier for a catalog entity.
+type ID string
+
+// Nil is the zero ID.
+const Nil ID = ""
+
+var counter atomic.Uint64
+
+// New returns a new unique ID. The first 8 bytes encode milliseconds since
+// the Unix epoch plus a process-local counter to guarantee uniqueness even
+// within the same millisecond; the last 8 bytes are random.
+func New() ID {
+	var b [16]byte
+	ms := uint64(time.Now().UnixMilli())
+	binary.BigEndian.PutUint64(b[:8], ms<<16|counter.Add(1)&0xffff)
+	if _, err := rand.Read(b[8:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to
+		// counter-derived bytes so New never returns a duplicate.
+		binary.BigEndian.PutUint64(b[8:], counter.Add(1))
+	}
+	return ID(hex.EncodeToString(b[:]))
+}
+
+// Valid reports whether id looks like an ID produced by New.
+func (id ID) Valid() bool {
+	if len(id) != 32 {
+		return false
+	}
+	_, err := hex.DecodeString(string(id))
+	return err == nil
+}
+
+// String returns the hex form of the ID.
+func (id ID) String() string { return string(id) }
+
+// Short returns an abbreviated form useful in logs.
+func (id ID) Short() string {
+	if len(id) < 8 {
+		return string(id)
+	}
+	return string(id[:8])
+}
+
+// Parse validates s and returns it as an ID.
+func Parse(s string) (ID, error) {
+	id := ID(s)
+	if !id.Valid() {
+		return Nil, fmt.Errorf("ids: invalid id %q", s)
+	}
+	return id, nil
+}

@@ -1,0 +1,133 @@
+package lineage
+
+import (
+	"testing"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/store"
+)
+
+func setup(t *testing.T) (*catalog.Service, *Service, catalog.Ctx) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1")
+	lin := New(svc)
+	t.Cleanup(lin.Close)
+	return svc, lin, catalog.Ctx{Principal: "admin", Metastore: "ms1"}
+}
+
+func mkTable(t *testing.T, svc *catalog.Service, admin catalog.Ctx, schema, name string) ids.ID {
+	t.Helper()
+	e, err := svc.CreateTable(admin, schema, name, catalog.TableSpec{Columns: []catalog.ColumnInfo{{Name: "x", Type: "BIGINT"}}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.ID
+}
+
+func TestLineageGraphTraversal(t *testing.T) {
+	svc, lin, admin := setup(t)
+	svc.CreateCatalog(admin, "c", "")
+	svc.CreateSchema(admin, "c", "s", "")
+	a := mkTable(t, svc, admin, "c.s", "a")
+	b := mkTable(t, svc, admin, "c.s", "b")
+	c := mkTable(t, svc, admin, "c.s", "c")
+	d := mkTable(t, svc, admin, "c.s", "d")
+
+	// a -> b -> c, a -> d
+	lin.Submit([]Edge{
+		{Upstream: a, Downstream: b, JobName: "etl1"},
+		{Upstream: b, Downstream: c, JobName: "etl2"},
+		{Upstream: a, Downstream: d, JobName: "etl3"},
+	})
+	// Duplicate submissions are deduplicated.
+	lin.Submit([]Edge{{Upstream: a, Downstream: b, JobName: "etl1"}})
+	if lin.EdgeCount() != 3 {
+		t.Fatalf("edges = %d", lin.EdgeCount())
+	}
+
+	down, err := lin.Downstream(admin, a, 0)
+	if err != nil || len(down) != 3 {
+		t.Fatalf("downstream = %v, %v", down, err)
+	}
+	if down[0].Depth != 1 || down[2].Depth != 2 {
+		t.Fatalf("depths = %+v", down)
+	}
+	up, err := lin.Upstream(admin, c, 0)
+	if err != nil || len(up) != 2 {
+		t.Fatalf("upstream = %v, %v", up, err)
+	}
+	// Depth limit.
+	down, _ = lin.Downstream(admin, a, 1)
+	if len(down) != 2 {
+		t.Fatalf("depth-1 downstream = %v", down)
+	}
+	has, err := lin.HasDownstream(admin, a)
+	if err != nil || !has {
+		t.Fatalf("HasDownstream(a) = %v, %v", has, err)
+	}
+	if has, _ := lin.HasDownstream(admin, c); has {
+		t.Fatal("c should have no downstream")
+	}
+}
+
+func TestLineageAuthorizationFiltering(t *testing.T) {
+	svc, lin, admin := setup(t)
+	svc.CreateCatalog(admin, "c", "")
+	svc.CreateSchema(admin, "c", "s", "")
+	a := mkTable(t, svc, admin, "c.s", "a")
+	b := mkTable(t, svc, admin, "c.s", "b")
+	secret := mkTable(t, svc, admin, "c.s", "secret")
+	lin.Submit([]Edge{
+		{Upstream: a, Downstream: b},
+		{Upstream: a, Downstream: secret},
+	})
+	// alice can see b but not secret.
+	svc.Grant(admin, "c", "alice", privilege.UseCatalog)
+	svc.Grant(admin, "c.s", "alice", privilege.UseSchema)
+	svc.Grant(admin, "c.s.b", "alice", privilege.Select)
+	alice := catalog.Ctx{Principal: "alice", Metastore: "ms1"}
+	down, err := lin.Downstream(alice, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 1 || down[0].Asset != b {
+		t.Fatalf("alice sees %v", down)
+	}
+}
+
+func TestDeleteEventRetiresNodes(t *testing.T) {
+	svc, lin, admin := setup(t)
+	svc.CreateCatalog(admin, "c", "")
+	svc.CreateSchema(admin, "c", "s", "")
+	a := mkTable(t, svc, admin, "c.s", "a")
+	b := mkTable(t, svc, admin, "c.s", "b")
+	lin.Submit([]Edge{{Upstream: a, Downstream: b}})
+
+	if err := svc.DeleteAsset(admin, "c.s.b", false); err != nil {
+		t.Fatal(err)
+	}
+	// Event consumption is async.
+	deadline := time.Now().Add(2 * time.Second)
+	for lin.EdgeCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lin.EdgeCount() != 0 {
+		t.Fatalf("edges after delete = %d", lin.EdgeCount())
+	}
+	down, _ := lin.Downstream(admin, a, 0)
+	if len(down) != 0 {
+		t.Fatalf("downstream after delete = %v", down)
+	}
+}

@@ -1,0 +1,145 @@
+package optimize
+
+import (
+	"testing"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/store"
+)
+
+func setup(t *testing.T) (*catalog.Service, catalog.Ctx, string) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1")
+	admin := catalog.Ctx{Principal: "admin", Metastore: "ms1", TrustedEngine: true}
+	svc.CreateCatalog(admin, "c", "")
+	svc.CreateSchema(admin, "c", "s", "")
+	e, err := svc.CreateTable(admin, "c.s", "t", catalog.TableSpec{Columns: []catalog.ColumnInfo{
+		{Name: "id", Type: "BIGINT"}, {Name: "payload", Type: "STRING"},
+	}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, admin, e.StoragePath
+}
+
+func seedFragmented(t *testing.T, svc *catalog.Service, path string, files, rowsPerFile int) *delta.Table {
+	t.Helper()
+	schema := delta.Schema{Fields: []delta.SchemaField{
+		{Name: "id", Type: delta.TypeInt64}, {Name: "payload", Type: delta.TypeString},
+	}}
+	tbl, err := delta.Create(delta.ServiceBlobs{Store: svc.Cloud()}, path, "t", schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave ids across files so stats ranges overlap and pruning is
+	// useless before optimization.
+	for f := 0; f < files; f++ {
+		b := delta.NewBatch(schema)
+		for r := 0; r < rowsPerFile; r++ {
+			id := int64(r*files + f)
+			b.AppendRow(id, "xxxxxxxxxx")
+		}
+		if _, err := tbl.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestOptimizeCompactsAndClusters(t *testing.T) {
+	svc, admin, path := setup(t)
+	tbl := seedFragmented(t, svc, path, 20, 100)
+
+	opt := New(svc, Options{TargetRowsPerFile: 500})
+	rep, err := opt.OptimizeTable(admin, "c.s.t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped {
+		t.Fatalf("skipped: %s", rep.SkipReason)
+	}
+	if rep.FilesBefore != 20 || rep.RowsRewritten != 2000 {
+		t.Fatalf("report = %+v", rep)
+	}
+	snap, _ := tbl.Snapshot()
+	if len(snap.Files) != 4 {
+		t.Fatalf("files after optimize = %d, want 4", len(snap.Files))
+	}
+	if snap.NumRecords() != 2000 {
+		t.Fatalf("records = %d", snap.NumRecords())
+	}
+	// Clustering: a selective id-range scan now prunes most files.
+	res, err := tbl.Scan(snap, []string{"id"}, []delta.Predicate{{Column: "id", Op: "<", Value: int64(100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilesSkipped != 3 || res.Batch.NumRows != 100 {
+		t.Fatalf("post-optimize scan: skipped=%d rows=%d", res.FilesSkipped, res.Batch.NumRows)
+	}
+	// Old blobs were vacuumed (storage reclaimed).
+	if rep.BlobsVacuumed != 20 {
+		t.Fatalf("vacuumed = %d", rep.BlobsVacuumed)
+	}
+	// Stats were written back to catalog metadata.
+	e, _ := svc.GetAsset(admin, "c.s.t")
+	if e.Properties["stats.numRows"] != "2000" {
+		t.Fatalf("stats property = %v", e.Properties)
+	}
+}
+
+func TestOptimizeSkipsHealthyTables(t *testing.T) {
+	svc, admin, path := setup(t)
+	seedFragmented(t, svc, path, 2, 50)
+	opt := New(svc, Options{MinFilesToCompact: 8})
+	rep, err := opt.OptimizeTable(admin, "c.s.t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Skipped {
+		t.Fatalf("healthy table should be skipped: %+v", rep)
+	}
+}
+
+func TestRunOnceHonorsOptOut(t *testing.T) {
+	svc, admin, path := setup(t)
+	seedFragmented(t, svc, path, 10, 10)
+	if _, err := svc.UpdateAsset(admin, "c.s.t", catalog.UpdateRequest{
+		Properties: map[string]string{"optimize.enabled": "false"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opt := New(svc, Options{})
+	rep, err := opt.RunOnce(admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || !rep.Tables[0].Skipped || rep.Tables[0].SkipReason != "opted out" {
+		t.Fatalf("report = %+v", rep.Tables)
+	}
+}
+
+func TestRunOnceOptimizesEligibleTables(t *testing.T) {
+	svc, admin, path := setup(t)
+	seedFragmented(t, svc, path, 10, 50)
+	opt := New(svc, Options{TargetRowsPerFile: 250, MinFilesToCompact: 4})
+	rep, err := opt.RunOnce(admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || rep.Tables[0].Skipped {
+		t.Fatalf("report = %+v", rep.Tables)
+	}
+	if rep.Tables[0].FilesBefore != 10 {
+		t.Fatalf("before = %d", rep.Tables[0].FilesBefore)
+	}
+}

@@ -1,0 +1,236 @@
+package privilege
+
+import (
+	"testing"
+
+	"unitycatalog/internal/ids"
+)
+
+// memHierarchy is a test hierarchy resolver.
+type memHierarchy map[ids.ID]Securable
+
+func (m memHierarchy) Securable(id ids.ID) (Securable, bool) {
+	s, ok := m[id]
+	return s, ok
+}
+
+type memGroups map[Principal][]Principal
+
+func (m memGroups) GroupsOf(p Principal) []Principal { return m[p] }
+
+// fixture builds metastore -> catalog -> schema -> table.
+func fixture() (memHierarchy, ids.ID, ids.ID, ids.ID, ids.ID) {
+	msID, catID, schID, tblID := ids.New(), ids.New(), ids.New(), ids.New()
+	h := memHierarchy{
+		msID:  {ID: msID, Type: "METASTORE", Owner: "admin"},
+		catID: {ID: catID, Type: "CATALOG", Parent: msID, Owner: "cat_owner"},
+		schID: {ID: schID, Type: "SCHEMA", Parent: catID, Owner: "sch_owner"},
+		tblID: {ID: tblID, Type: "TABLE", Parent: schID, Owner: "tbl_owner"},
+	}
+	return h, msID, catID, schID, tblID
+}
+
+func TestOwnerHoldsEverything(t *testing.T) {
+	h, _, _, _, tbl := fixture()
+	eng := NewEngine(h, NewMemStore(), nil)
+	// Table owner holds SELECT on the table but is still gated by container
+	// usage privileges they don't hold... unless they own an ancestor.
+	d := eng.CheckNoGate("tbl_owner", Select, tbl)
+	if !d.Allowed {
+		t.Fatalf("owner denied: %v", d)
+	}
+}
+
+func TestUsageGating(t *testing.T) {
+	h, _, cat, sch, tbl := fixture()
+	g := NewMemStore()
+	eng := NewEngine(h, g, nil)
+
+	g.Add(Grant{Securable: tbl, Principal: "alice", Privilege: Select})
+	if d := eng.Check("alice", Select, tbl); d.Allowed {
+		t.Fatalf("SELECT without USE SCHEMA/CATALOG should be denied: %v", d)
+	}
+	g.Add(Grant{Securable: sch, Principal: "alice", Privilege: UseSchema})
+	if d := eng.Check("alice", Select, tbl); d.Allowed {
+		t.Fatalf("still missing USE CATALOG: %v", d)
+	}
+	g.Add(Grant{Securable: cat, Principal: "alice", Privilege: UseCatalog})
+	if d := eng.Check("alice", Select, tbl); !d.Allowed {
+		t.Fatalf("full chain should allow: %v", d)
+	}
+}
+
+func TestPrivilegeInheritance(t *testing.T) {
+	h, _, cat, _, tbl := fixture()
+	g := NewMemStore()
+	eng := NewEngine(h, g, nil)
+	// SELECT granted at the catalog propagates to tables; the catalog-level
+	// grant also needs the usage chain, which catalog-level SELECT does not
+	// imply — grant usage too.
+	g.Add(Grant{Securable: cat, Principal: "bob", Privilege: Select})
+	g.Add(Grant{Securable: cat, Principal: "bob", Privilege: UseCatalog})
+	g.Add(Grant{Securable: cat, Principal: "bob", Privilege: UseSchema})
+	if d := eng.Check("bob", Select, tbl); !d.Allowed {
+		t.Fatalf("inherited SELECT denied: %v", d)
+	}
+	// But MODIFY was never granted.
+	if d := eng.Check("bob", Modify, tbl); d.Allowed {
+		t.Fatal("MODIFY should be denied")
+	}
+}
+
+func TestAdminsDoNotImplicitlyRead(t *testing.T) {
+	// Paper §3.3: a schema owner does not automatically gain SELECT on
+	// tables — in our model ownership of an ancestor does confer admin
+	// rights; the separation is that *grants* of administrative privileges
+	// (MANAGE) imply privileges only on the granted securable subtree.
+	h, _, _, sch, tbl := fixture()
+	g := NewMemStore()
+	eng := NewEngine(h, g, nil)
+	// carol holds MANAGE on the schema: she can administer and read within.
+	g.Add(Grant{Securable: sch, Principal: "carol", Privilege: Manage})
+	if !eng.IsOwner("carol", tbl) {
+		t.Fatal("MANAGE on schema should confer admin over its tables")
+	}
+}
+
+func TestGroupMembership(t *testing.T) {
+	h, _, cat, sch, tbl := fixture()
+	g := NewMemStore()
+	groups := memGroups{"dave": {"analysts"}}
+	eng := NewEngine(h, g, groups)
+	g.Add(Grant{Securable: tbl, Principal: "analysts", Privilege: Select})
+	g.Add(Grant{Securable: sch, Principal: "analysts", Privilege: UseSchema})
+	g.Add(Grant{Securable: cat, Principal: "analysts", Privilege: UseCatalog})
+	if d := eng.Check("dave", Select, tbl); !d.Allowed {
+		t.Fatalf("group grant denied: %v", d)
+	}
+	if d := eng.Check("eve", Select, tbl); d.Allowed {
+		t.Fatal("non-member allowed")
+	}
+}
+
+func TestDefaultDeny(t *testing.T) {
+	h, _, _, _, tbl := fixture()
+	eng := NewEngine(h, NewMemStore(), nil)
+	if d := eng.Check("random", Select, tbl); d.Allowed {
+		t.Fatal("default should be deny")
+	}
+	if d := eng.Check("random", Select, ids.New()); d.Allowed {
+		t.Fatal("unknown securable should deny")
+	}
+}
+
+func TestEffectivePrivileges(t *testing.T) {
+	h, _, cat, _, tbl := fixture()
+	g := NewMemStore()
+	eng := NewEngine(h, g, nil)
+	g.Add(Grant{Securable: cat, Principal: "alice", Privilege: UseCatalog})
+	g.Add(Grant{Securable: tbl, Principal: "alice", Privilege: Select})
+	privs := eng.EffectivePrivileges("alice", tbl)
+	if len(privs) != 2 || privs[0] != Select || privs[1] != UseCatalog {
+		t.Fatalf("effective = %v", privs)
+	}
+	if privs := eng.EffectivePrivileges("tbl_owner", tbl); len(privs) != 1 || privs[0] != AllPrivileges {
+		t.Fatalf("owner effective = %v", privs)
+	}
+}
+
+func TestMemStoreAddRemove(t *testing.T) {
+	g := NewMemStore()
+	id := ids.New()
+	g.Add(Grant{Securable: id, Principal: "p", Privilege: Select})
+	g.Add(Grant{Securable: id, Principal: "p", Privilege: Select}) // dup
+	if len(g.GrantsOn(id)) != 1 {
+		t.Fatalf("grants = %v", g.GrantsOn(id))
+	}
+	if !g.Remove(id, "p", Select) {
+		t.Fatal("remove should succeed")
+	}
+	if g.Remove(id, "p", Select) {
+		t.Fatal("second remove should fail")
+	}
+}
+
+func TestValidPrivilege(t *testing.T) {
+	for _, s := range []string{"SELECT", "select", "USE CATALOG", "MANAGE", "ALL PRIVILEGES"} {
+		if !ValidPrivilege(s) {
+			t.Errorf("%q should be valid", s)
+		}
+	}
+	for _, s := range []string{"", "DROP", "SUDO"} {
+		if ValidPrivilege(s) {
+			t.Errorf("%q should be invalid", s)
+		}
+	}
+}
+
+func TestFGACForPrincipal(t *testing.T) {
+	p := FGACPolicy{
+		RowFilters: []RowFilter{{Predicate: "region = 'EU'", ExemptPrincipals: []Principal{"admin", "auditors"}}},
+		ColumnMasks: []ColumnMask{
+			{Column: "ssn", Kind: MaskRedact, Replacement: "***", ExemptPrincipals: []Principal{"admin"}},
+			{Column: "email", Kind: MaskHash},
+		},
+	}
+	if p.Empty() {
+		t.Fatal("policy should not be empty")
+	}
+	eff := p.ForPrincipal("alice", nil)
+	if len(eff.RowFilters) != 1 || len(eff.ColumnMasks) != 2 {
+		t.Fatalf("alice policy = %+v", eff)
+	}
+	eff = p.ForPrincipal("admin", nil)
+	if len(eff.RowFilters) != 0 || len(eff.ColumnMasks) != 1 {
+		t.Fatalf("admin policy = %+v", eff)
+	}
+	// Group exemption.
+	eff = p.ForPrincipal("frank", []Principal{"auditors"})
+	if len(eff.RowFilters) != 0 {
+		t.Fatalf("auditor policy = %+v", eff)
+	}
+	// Round trip.
+	b := p.Marshal()
+	back, err := UnmarshalFGAC(b)
+	if err != nil || len(back.RowFilters) != 1 || len(back.ColumnMasks) != 2 {
+		t.Fatalf("round trip: %+v, %v", back, err)
+	}
+	if empty, err := UnmarshalFGAC(nil); err != nil || !empty.Empty() {
+		t.Fatalf("empty round trip: %+v, %v", empty, err)
+	}
+}
+
+func TestABACRuleMatching(t *testing.T) {
+	r := ABACRule{
+		TagKey: "classification", TagValue: "pii",
+		Action: ABACColumnMask, Mask: &ColumnMask{Kind: MaskRedact, Replacement: "xxx"},
+		ExemptPrincipals: []Principal{"dpo"},
+	}
+	if !r.MatchesTags(map[string]string{"classification": "pii"}) {
+		t.Fatal("should match")
+	}
+	if r.MatchesTags(map[string]string{"classification": "public"}) {
+		t.Fatal("wrong value should not match")
+	}
+	if r.MatchesTags(map[string]string{"other": "pii"}) {
+		t.Fatal("wrong key should not match")
+	}
+	// Empty TagValue matches any value.
+	any := ABACRule{TagKey: "pii"}
+	if !any.MatchesTags(map[string]string{"pii": "whatever"}) {
+		t.Fatal("wildcard value should match")
+	}
+	if !r.AppliesTo("alice", nil) {
+		t.Fatal("applies to everyone by default")
+	}
+	if r.AppliesTo("dpo", nil) {
+		t.Fatal("exempt principal should not be covered")
+	}
+	scoped := ABACRule{TagKey: "k", Principals: []Principal{"team-a"}}
+	if scoped.AppliesTo("bob", nil) {
+		t.Fatal("principal-scoped rule should not cover bob")
+	}
+	if !scoped.AppliesTo("bob", []Principal{"team-a"}) {
+		t.Fatal("group membership should bring bob in scope")
+	}
+}

@@ -1,0 +1,123 @@
+package privilege
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unitycatalog/internal/ids"
+)
+
+// TestQuickGrantMonotonicity property-tests a core soundness property of
+// the privilege model: adding grants never revokes access. For any random
+// hierarchy, grant set, and check, if a principal is allowed, they remain
+// allowed after any additional grant is added anywhere.
+func TestQuickGrantMonotonicity(t *testing.T) {
+	privs := []Privilege{Select, Modify, UseCatalog, UseSchema, Execute, Manage}
+	people := []Principal{"a", "b", "c"}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a metastore -> catalog -> schema -> table chain plus a
+		// sibling table.
+		ms, cat, sch, t1, t2 := ids.New(), ids.New(), ids.New(), ids.New(), ids.New()
+		h := memHierarchy{
+			ms:  {ID: ms, Type: "METASTORE", Owner: "root"},
+			cat: {ID: cat, Type: "CATALOG", Parent: ms, Owner: "root"},
+			sch: {ID: sch, Type: "SCHEMA", Parent: cat, Owner: "root"},
+			t1:  {ID: t1, Type: "TABLE", Parent: sch, Owner: "root"},
+			t2:  {ID: t2, Type: "TABLE", Parent: sch, Owner: "root"},
+		}
+		all := []ids.ID{ms, cat, sch, t1, t2}
+		g := NewMemStore()
+		eng := NewEngine(h, g, nil)
+
+		// Random initial grants.
+		for i := 0; i < rng.Intn(8); i++ {
+			g.Add(Grant{
+				Securable: all[rng.Intn(len(all))],
+				Principal: people[rng.Intn(len(people))],
+				Privilege: privs[rng.Intn(len(privs))],
+			})
+		}
+		// Record every (principal, privilege, securable) decision.
+		type key struct {
+			p    Principal
+			priv Privilege
+			sec  ids.ID
+		}
+		before := map[key]bool{}
+		for _, p := range people {
+			for _, pr := range privs {
+				for _, sec := range all {
+					before[key{p, pr, sec}] = eng.Check(p, pr, sec).Allowed
+				}
+			}
+		}
+		// Add one more random grant.
+		g.Add(Grant{
+			Securable: all[rng.Intn(len(all))],
+			Principal: people[rng.Intn(len(people))],
+			Privilege: privs[rng.Intn(len(privs))],
+		})
+		// Nothing that was allowed may become denied.
+		for k, wasAllowed := range before {
+			if wasAllowed && !eng.Check(k.p, k.priv, k.sec).Allowed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRevokeNeverExpands is the dual: removing a grant never grants
+// anyone new access.
+func TestQuickRevokeNeverExpands(t *testing.T) {
+	privs := []Privilege{Select, Modify, UseCatalog, UseSchema}
+	people := []Principal{"a", "b"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ms, cat, tbl := ids.New(), ids.New(), ids.New()
+		h := memHierarchy{
+			ms:  {ID: ms, Type: "METASTORE", Owner: "root"},
+			cat: {ID: cat, Type: "CATALOG", Parent: ms, Owner: "root"},
+			tbl: {ID: tbl, Type: "TABLE", Parent: cat, Owner: "root"},
+		}
+		all := []ids.ID{ms, cat, tbl}
+		g := NewMemStore()
+		eng := NewEngine(h, g, nil)
+		var grants []Grant
+		for i := 0; i < 6; i++ {
+			gr := Grant{Securable: all[rng.Intn(len(all))], Principal: people[rng.Intn(len(people))], Privilege: privs[rng.Intn(len(privs))]}
+			g.Add(gr)
+			grants = append(grants, gr)
+		}
+		type key struct {
+			p    Principal
+			priv Privilege
+			sec  ids.ID
+		}
+		before := map[key]bool{}
+		for _, p := range people {
+			for _, pr := range privs {
+				for _, sec := range all {
+					before[key{p, pr, sec}] = eng.Check(p, pr, sec).Allowed
+				}
+			}
+		}
+		victim := grants[rng.Intn(len(grants))]
+		g.Remove(victim.Securable, victim.Principal, victim.Privilege)
+		for k, wasAllowed := range before {
+			if !wasAllowed && eng.Check(k.p, k.priv, k.sec).Allowed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/store"
+)
+
+func setup(t *testing.T) (*catalog.Service, *Service, catalog.Ctx) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1")
+	admin := catalog.Ctx{Principal: "admin", Metastore: "ms1"}
+	svc.CreateCatalog(admin, "sales", "revenue data")
+	svc.CreateSchema(admin, "sales", "raw", "")
+	svc.CreateTable(admin, "sales.raw", "orders", catalog.TableSpec{Columns: []catalog.ColumnInfo{{Name: "id", Type: "BIGINT"}, {Name: "ssn", Type: "STRING"}}}, "")
+	svc.CreateTable(admin, "sales.raw", "customers", catalog.TableSpec{Columns: []catalog.ColumnInfo{{Name: "id", Type: "BIGINT"}}}, "")
+	s := New(svc)
+	t.Cleanup(s.Close)
+	return svc, s, admin
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !cond() {
+		t.Fatal("condition not reached")
+	}
+}
+
+func TestInitialIndexAndSearch(t *testing.T) {
+	_, s, admin := setup(t)
+	if s.DocCount() < 4 {
+		t.Fatalf("docs = %d", s.DocCount())
+	}
+	res, err := s.Search(admin, "orders", 0)
+	if err != nil || len(res) != 1 || res[0].FullName != "sales.raw.orders" {
+		t.Fatalf("search = %v, %v", res, err)
+	}
+	// Multi-term AND.
+	res, _ = s.Search(admin, "sales customers", 0)
+	if len(res) != 1 || res[0].FullName != "sales.raw.customers" {
+		t.Fatalf("multi-term = %v", res)
+	}
+	// Comment tokens match the catalog.
+	res, _ = s.Search(admin, "revenue", 0)
+	if len(res) != 1 || res[0].FullName != "sales" {
+		t.Fatalf("comment search = %v", res)
+	}
+	if res, _ := s.Search(admin, "", 0); res != nil {
+		t.Fatalf("empty query = %v", res)
+	}
+}
+
+func TestEventDrivenIndexUpdates(t *testing.T) {
+	svc, s, admin := setup(t)
+	svc.CreateTable(admin, "sales.raw", "refunds", catalog.TableSpec{Columns: []catalog.ColumnInfo{{Name: "id", Type: "BIGINT"}}}, "")
+	waitFor(t, func() bool {
+		res, _ := s.Search(admin, "refunds", 0)
+		return len(res) == 1
+	})
+	// Deletion removes from the index.
+	svc.DeleteAsset(admin, "sales.raw.refunds", false)
+	waitFor(t, func() bool {
+		res, _ := s.Search(admin, "refunds", 0)
+		return len(res) == 0
+	})
+}
+
+func TestTagSearch(t *testing.T) {
+	svc, s, admin := setup(t)
+	if err := svc.SetTag(admin, "sales.raw.orders", "ssn", "classification", "pii"); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's canonical discovery query: find all assets tagged PII.
+	waitFor(t, func() bool {
+		res, _ := s.Search(admin, "pii", 0)
+		return len(res) == 1 && res[0].FullName == "sales.raw.orders"
+	})
+	// key:value search.
+	res, _ := s.Search(admin, "classification:pii", 0)
+	if len(res) != 1 {
+		t.Fatalf("kv search = %v", res)
+	}
+}
+
+func TestSearchAuthorizationFiltering(t *testing.T) {
+	svc, s, admin := setup(t)
+	svc.Grant(admin, "sales", "alice", privilege.UseCatalog)
+	svc.Grant(admin, "sales.raw", "alice", privilege.UseSchema)
+	svc.Grant(admin, "sales.raw.customers", "alice", privilege.Select)
+	alice := catalog.Ctx{Principal: "alice", Metastore: "ms1"}
+	res, err := s.Search(alice, "raw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice sees the schema (usage) and customers, but not orders.
+	for _, r := range res {
+		if r.FullName == "sales.raw.orders" {
+			t.Fatalf("alice sees %v", res)
+		}
+	}
+	// Nobody principal sees nothing.
+	res, _ = s.Search(catalog.Ctx{Principal: "nobody", Metastore: "ms1"}, "orders", 0)
+	if len(res) != 0 {
+		t.Fatalf("nobody sees %v", res)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Sales.raw.Order_Items (PII)")
+	want := map[string]bool{"sales": true, "raw": true, "order": true, "items": true, "pii": true}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for _, tok := range toks {
+		if !want[tok] {
+			t.Fatalf("unexpected token %q", tok)
+		}
+	}
+}

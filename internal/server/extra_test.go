@@ -1,0 +1,84 @@
+package server_test
+
+import (
+	"errors"
+	"testing"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/client"
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/server"
+)
+
+func TestVolumeFilesOverHTTP(t *testing.T) {
+	_, _, admin := testStack(t)
+	admin.CreateCatalog("c", "")
+	admin.CreateSchema("c", "s", "")
+	if _, err := admin.CreateAsset(server.CreateAssetRequest{Type: "VOLUME", Name: "landing", ParentFull: "c.s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.WriteVolumeFile("c.s.landing", "raw/data.csv", []byte("a,b\n1,2")); err != nil {
+		t.Fatal(err)
+	}
+	files, err := admin.ListVolumeFiles("c.s.landing")
+	if err != nil || len(files) != 1 || files[0].Name != "raw/data.csv" {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	data, err := admin.ReadVolumeFile("c.s.landing", "raw/data.csv")
+	if err != nil || string(data) != "a,b\n1,2" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+}
+
+func TestCloneAndRenameOverHTTP(t *testing.T) {
+	srv, _, admin := testStack(t)
+	admin.CreateCatalog("c", "")
+	admin.CreateSchema("c", "s", "")
+	tbl, err := admin.CreateTable("c.s", "t", catalog.TableSpec{Columns: []catalog.ColumnInfo{{Name: "id", Type: "BIGINT"}}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := delta.Schema{Fields: []delta.SchemaField{{Name: "id", Type: delta.TypeInt64}}}
+	dt, err := delta.Create(delta.ServiceBlobs{Store: srv.Service.Cloud()}, tbl.StoragePath, "t", schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := delta.NewBatch(schema)
+	for i := 0; i < 5; i++ {
+		b.AppendRow(int64(i))
+	}
+	dt.Append(b)
+
+	clone, err := admin.CloneTable("c.s.t", "c.s", "t_clone")
+	if err != nil || clone.FullName != "c.s.t_clone" {
+		t.Fatalf("clone = %+v, %v", clone, err)
+	}
+	renamed, err := admin.RenameAsset("c.s.t_clone", "t_dev")
+	if err != nil || renamed.FullName != "c.s.t_dev" {
+		t.Fatalf("rename = %+v, %v", renamed, err)
+	}
+	if _, err := admin.GetAsset("c.s.t_dev"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkspaceBindingsOverHTTP(t *testing.T) {
+	_, hs, admin := testStack(t)
+	admin.CreateCatalog("bound", "")
+	if err := admin.SetWorkspaceBindings("bound", []string{"ws-prod"}); err != nil {
+		t.Fatal(err)
+	}
+	// A client with no workspace header is shut out; the header opens it.
+	if _, err := admin.GetAsset("bound"); err == nil {
+		t.Fatal("binding should exclude workspace-less client")
+	}
+	// client doesn't expose a workspace field; set via custom header using
+	// a raw request through a second client wrapper is out of scope — use
+	// errors.Is to verify the 403 mapping instead.
+	var apiErr *client.APIError
+	_, err := admin.GetAsset("bound")
+	if !errors.As(err, &apiErr) || apiErr.Status != 403 {
+		t.Fatalf("binding error = %v", err)
+	}
+	_ = hs
+}

@@ -1,0 +1,740 @@
+// Package server exposes the Unity Catalog service over HTTP — the open
+// REST API through which engines, UIs, and external tools integrate
+// (paper §4.1). It also mounts the Delta Sharing endpoint, the Iceberg REST
+// catalog facade, the model registry, and the discovery APIs (search,
+// lineage), mirroring how the Unity Catalog service fronts both the core
+// and second-tier capabilities (Figure 3).
+//
+// Identity model: requests carry "Authorization: Bearer <principal>" and
+// "X-UC-Metastore: <id>". An engine is treated as trusted only when its
+// principal is registered in the server's trusted-identity set, standing in
+// for the machine-identity authentication of §4.3.2.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/iceberg"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/lineage"
+	"unitycatalog/internal/mlregistry"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/search"
+	"unitycatalog/internal/sharing"
+)
+
+// Server is the HTTP front end.
+type Server struct {
+	Service  *catalog.Service
+	Sharing  *sharing.Server
+	Lineage  *lineage.Service
+	Search   *search.Service
+	Registry *mlregistry.Registry
+
+	mu      sync.RWMutex
+	trusted map[privilege.Principal]bool
+
+	mux  *http.ServeMux
+	once sync.Once
+}
+
+// New assembles a Server with all subsystems attached.
+func New(svc *catalog.Service) *Server {
+	return &Server{
+		Service:  svc,
+		Sharing:  sharing.NewServer(svc),
+		Lineage:  lineage.New(svc),
+		Search:   search.New(svc),
+		Registry: mlregistry.New(svc),
+		trusted:  map[privilege.Principal]bool{},
+	}
+}
+
+// TrustEngine registers a machine identity as a trusted engine.
+func (s *Server) TrustEngine(p privilege.Principal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trusted[p] = true
+}
+
+func (s *Server) isTrusted(p privilege.Principal) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.trusted[p]
+}
+
+// ctx extracts the request identity.
+func (s *Server) ctx(r *http.Request) catalog.Ctx {
+	p := privilege.Principal(strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer "))
+	return catalog.Ctx{
+		Principal:     p,
+		Metastore:     r.Header.Get("X-UC-Metastore"),
+		Workspace:     r.Header.Get("X-UC-Workspace"),
+		TrustedEngine: s.isTrusted(p),
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.once.Do(s.buildMux)
+	s.mux.ServeHTTP(w, r)
+}
+
+const apiPrefix = "/api/2.1/unity-catalog"
+
+func (s *Server) buildMux() {
+	m := http.NewServeMux()
+	s.mux = m
+
+	// --- generic asset CRUD ---
+	m.HandleFunc("POST "+apiPrefix+"/assets", s.handleCreateAsset)
+	m.HandleFunc("GET "+apiPrefix+"/assets/{full}", s.handleGetAsset)
+	m.HandleFunc("PATCH "+apiPrefix+"/assets/{full}", s.handleUpdateAsset)
+	m.HandleFunc("DELETE "+apiPrefix+"/assets/{full}", s.handleDeleteAsset)
+	m.HandleFunc("GET "+apiPrefix+"/assets", s.handleListAssets)
+
+	// --- typed conveniences matching the public UC API shape ---
+	m.HandleFunc("POST "+apiPrefix+"/catalogs", s.handleCreateCatalog)
+	m.HandleFunc("GET "+apiPrefix+"/catalogs", s.handleListCatalogs)
+	m.HandleFunc("POST "+apiPrefix+"/schemas", s.handleCreateSchema)
+	m.HandleFunc("POST "+apiPrefix+"/tables", s.handleCreateTable)
+
+	// --- governance ---
+	m.HandleFunc("POST "+apiPrefix+"/grants", s.handleGrant)
+	m.HandleFunc("DELETE "+apiPrefix+"/grants", s.handleRevoke)
+	m.HandleFunc("GET "+apiPrefix+"/grants/{full}", s.handleGrantsOn)
+	m.HandleFunc("GET "+apiPrefix+"/effective-privileges/{full}", s.handleEffective)
+	m.HandleFunc("POST "+apiPrefix+"/tags", s.handleSetTag)
+	m.HandleFunc("DELETE "+apiPrefix+"/tags", s.handleUnsetTag)
+	m.HandleFunc("POST "+apiPrefix+"/abac-rules", s.handleCreateABAC)
+	m.HandleFunc("GET "+apiPrefix+"/abac-rules", s.handleListABAC)
+	m.HandleFunc("DELETE "+apiPrefix+"/abac-rules/{id}", s.handleDeleteABAC)
+
+	// --- query path ---
+	m.HandleFunc("POST "+apiPrefix+"/resolve", s.handleResolve)
+	m.HandleFunc("POST "+apiPrefix+"/temporary-credentials", s.handleTempCredentials)
+
+	// --- metadata query / discovery ---
+	m.HandleFunc("POST "+apiPrefix+"/query-assets", s.handleQueryAssets)
+	m.HandleFunc("GET "+apiPrefix+"/search", s.handleSearch)
+	m.HandleFunc("POST "+apiPrefix+"/lineage", s.handleSubmitLineage)
+	m.HandleFunc("GET "+apiPrefix+"/lineage/{id}", s.handleQueryLineage)
+
+	// --- model registry ---
+	m.HandleFunc("POST "+apiPrefix+"/models", s.handleCreateModel)
+	m.HandleFunc("POST "+apiPrefix+"/models/{full}/versions", s.handleCreateModelVersion)
+	m.HandleFunc("GET "+apiPrefix+"/models/{full}/versions", s.handleListModelVersions)
+	m.HandleFunc("PATCH "+apiPrefix+"/models/{full}/versions/{version}", s.handleFinalizeModelVersion)
+
+	// --- Delta Sharing protocol ---
+	m.HandleFunc("GET /delta-sharing/shares", s.handleListShares)
+	m.HandleFunc("GET /delta-sharing/shares/{share}/schemas", s.handleListShareSchemas)
+	m.HandleFunc("GET /delta-sharing/shares/{share}/schemas/{schema}/tables", s.handleListShareTables)
+	m.HandleFunc("GET /delta-sharing/shares/{share}/schemas/{schema}/tables/{table}/query", s.handleQueryShareTable)
+
+	// --- Iceberg REST facade, one per metastore path segment ---
+	m.HandleFunc("/iceberg/{ms}/", func(w http.ResponseWriter, r *http.Request) {
+		msID := r.PathValue("ms")
+		ice := iceberg.New(s.Service, msID)
+		http.StripPrefix("/iceberg/"+msID, ice.Handler()).ServeHTTP(w, r)
+	})
+
+	// --- extended surface (volumes, clones, renames, admin) ---
+	s.buildExtraRoutes(m)
+
+	// --- operational ---
+	m.HandleFunc("GET "+apiPrefix+"/stats", s.handleStats)
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, sharing.ErrBadToken):
+		status = http.StatusNotFound
+	case errors.Is(err, catalog.ErrPermissionDenied), errors.Is(err, sharing.ErrNoAccess),
+		errors.Is(err, catalog.ErrTrustedEngineRequired), errors.Is(err, catalog.ErrWorkspaceBinding):
+		status = http.StatusForbidden
+	case errors.Is(err, catalog.ErrAlreadyExists), errors.Is(err, catalog.ErrPathOverlap),
+		errors.Is(err, catalog.ErrNotEmpty):
+		status = http.StatusConflict
+	case errors.Is(err, catalog.ErrInvalidArgument):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: status})
+}
+
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: bad request body: %v", catalog.ErrInvalidArgument, err)
+	}
+	return nil
+}
+
+// --- asset CRUD ---
+
+// CreateAssetRequest is the generic creation body.
+type CreateAssetRequest struct {
+	Type        string            `json:"type"`
+	Name        string            `json:"name"`
+	ParentFull  string            `json:"parent,omitempty"`
+	Comment     string            `json:"comment,omitempty"`
+	Properties  map[string]string `json:"properties,omitempty"`
+	StoragePath string            `json:"storage_path,omitempty"`
+	Spec        json.RawMessage   `json:"spec,omitempty"`
+}
+
+func (s *Server) handleCreateAsset(w http.ResponseWriter, r *http.Request) {
+	var req CreateAssetRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	cr := catalog.CreateRequest{
+		Type: erm.SecurableType(strings.ToUpper(req.Type)), Name: req.Name,
+		ParentFull: req.ParentFull, Comment: req.Comment,
+		Properties: req.Properties, StoragePath: req.StoragePath,
+	}
+	if len(req.Spec) > 0 {
+		cr.Spec = req.Spec
+	}
+	e, err := s.Service.CreateAsset(s.ctx(r), cr)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e)
+}
+
+func (s *Server) handleGetAsset(w http.ResponseWriter, r *http.Request) {
+	e, err := s.Service.GetAsset(s.ctx(r), r.PathValue("full"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// UpdateAssetRequest is the PATCH body.
+type UpdateAssetRequest struct {
+	Comment    *string           `json:"comment,omitempty"`
+	Owner      *string           `json:"owner,omitempty"`
+	Properties map[string]string `json:"properties,omitempty"`
+	Spec       json.RawMessage   `json:"spec,omitempty"`
+}
+
+func (s *Server) handleUpdateAsset(w http.ResponseWriter, r *http.Request) {
+	var req UpdateAssetRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ur := catalog.UpdateRequest{Comment: req.Comment, Properties: req.Properties}
+	if req.Owner != nil {
+		o := privilege.Principal(*req.Owner)
+		ur.Owner = &o
+	}
+	if len(req.Spec) > 0 {
+		ur.Spec = req.Spec
+	}
+	e, err := s.Service.UpdateAsset(s.ctx(r), r.PathValue("full"), ur)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *Server) handleDeleteAsset(w http.ResponseWriter, r *http.Request) {
+	force := r.URL.Query().Get("force") == "true"
+	if err := s.Service.DeleteAsset(s.ctx(r), r.PathValue("full"), force); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListAssets(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	out, err := s.Service.ListAssets(s.ctx(r), q.Get("parent"), erm.SecurableType(strings.ToUpper(q.Get("type"))))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+}
+
+// --- typed conveniences ---
+
+func (s *Server) handleCreateCatalog(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name    string `json:"name"`
+		Comment string `json:"comment,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	e, err := s.Service.CreateCatalog(s.ctx(r), req.Name, req.Comment)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e)
+}
+
+func (s *Server) handleListCatalogs(w http.ResponseWriter, r *http.Request) {
+	out, err := s.Service.ListAssets(s.ctx(r), "", erm.TypeCatalog)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"catalogs": out})
+}
+
+func (s *Server) handleCreateSchema(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		CatalogName string `json:"catalog_name"`
+		Name        string `json:"name"`
+		Comment     string `json:"comment,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	e, err := s.Service.CreateSchema(s.ctx(r), req.CatalogName, req.Name, req.Comment)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e)
+}
+
+func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SchemaFull  string            `json:"schema_full"`
+		Name        string            `json:"name"`
+		StoragePath string            `json:"storage_path,omitempty"`
+		Spec        catalog.TableSpec `json:"spec"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	e, err := s.Service.CreateTable(s.ctx(r), req.SchemaFull, req.Name, req.Spec, req.StoragePath)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e)
+}
+
+// --- governance ---
+
+// GrantRequest is the grant/revoke body.
+type GrantRequest struct {
+	Securable string `json:"securable"`
+	Principal string `json:"principal"`
+	Privilege string `json:"privilege"`
+}
+
+func (s *Server) handleGrant(w http.ResponseWriter, r *http.Request) {
+	var req GrantRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	err := s.Service.Grant(s.ctx(r), req.Securable, privilege.Principal(req.Principal), privilege.Privilege(strings.ToUpper(req.Privilege)))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRevoke(w http.ResponseWriter, r *http.Request) {
+	var req GrantRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	err := s.Service.Revoke(s.ctx(r), req.Securable, privilege.Principal(req.Principal), privilege.Privilege(strings.ToUpper(req.Privilege)))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleGrantsOn(w http.ResponseWriter, r *http.Request) {
+	gs, err := s.Service.GrantsOn(s.ctx(r), r.PathValue("full"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"grants": gs})
+}
+
+func (s *Server) handleEffective(w http.ResponseWriter, r *http.Request) {
+	ps, err := s.Service.EffectivePrivileges(s.ctx(r), r.PathValue("full"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"privileges": ps})
+}
+
+// TagRequest sets or unsets a tag.
+type TagRequest struct {
+	Securable string `json:"securable"`
+	Column    string `json:"column,omitempty"`
+	Key       string `json:"key"`
+	Value     string `json:"value,omitempty"`
+}
+
+func (s *Server) handleSetTag(w http.ResponseWriter, r *http.Request) {
+	var req TagRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.Service.SetTag(s.ctx(r), req.Securable, req.Column, req.Key, req.Value); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUnsetTag(w http.ResponseWriter, r *http.Request) {
+	var req TagRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.Service.UnsetTag(s.ctx(r), req.Securable, req.Column, req.Key); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ABACRequest creates a rule on a scope.
+type ABACRequest struct {
+	Scope string             `json:"scope,omitempty"`
+	Rule  privilege.ABACRule `json:"rule"`
+}
+
+func (s *Server) handleCreateABAC(w http.ResponseWriter, r *http.Request) {
+	var req ABACRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rule, err := s.Service.CreateABACRule(s.ctx(r), req.Scope, req.Rule)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, rule)
+}
+
+func (s *Server) handleListABAC(w http.ResponseWriter, r *http.Request) {
+	rules, err := s.Service.ABACRules(s.ctx(r))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": rules})
+}
+
+func (s *Server) handleDeleteABAC(w http.ResponseWriter, r *http.Request) {
+	if err := s.Service.DeleteABACRule(s.ctx(r), ids.ID(r.PathValue("id"))); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- query path ---
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req catalog.ResolveRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.Service.Resolve(s.ctx(r), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// TempCredentialRequest asks for a temporary storage credential.
+type TempCredentialRequest struct {
+	Asset     string `json:"asset,omitempty"`
+	Path      string `json:"path,omitempty"`
+	Operation string `json:"operation"` // READ or READ_WRITE
+}
+
+func (s *Server) handleTempCredentials(w http.ResponseWriter, r *http.Request) {
+	var req TempCredentialRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	level := cloudsim.AccessRead
+	if strings.EqualFold(req.Operation, "READ_WRITE") {
+		level = cloudsim.AccessReadWrite
+	}
+	var (
+		tc  catalog.TempCredential
+		err error
+	)
+	switch {
+	case req.Asset != "":
+		tc, err = s.Service.TempCredentialForAsset(s.ctx(r), req.Asset, level)
+	case req.Path != "":
+		tc, err = s.Service.TempCredentialForPath(s.ctx(r), req.Path, level)
+	default:
+		err = fmt.Errorf("%w: asset or path required", catalog.ErrInvalidArgument)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tc)
+}
+
+// --- metadata query / discovery ---
+
+// QueryAssetsRequest mirrors catalog.Filter over the wire.
+type QueryAssetsRequest struct {
+	Type         string `json:"type,omitempty"`
+	CatalogName  string `json:"catalog_name,omitempty"`
+	SchemaName   string `json:"schema_name,omitempty"`
+	NameContains string `json:"name_contains,omitempty"`
+	Owner        string `json:"owner,omitempty"`
+	TagKey       string `json:"tag_key,omitempty"`
+	TagValue     string `json:"tag_value,omitempty"`
+	Limit        int    `json:"limit,omitempty"`
+}
+
+func (s *Server) handleQueryAssets(w http.ResponseWriter, r *http.Request) {
+	var req QueryAssetsRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	out, err := s.Service.QueryAssets(s.ctx(r), catalog.Filter{
+		Type: erm.SecurableType(strings.ToUpper(req.Type)), CatalogName: req.CatalogName,
+		SchemaName: req.SchemaName, NameContains: req.NameContains, Owner: req.Owner,
+		TagKey: req.TagKey, TagValue: req.TagValue, Limit: req.Limit,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	res, err := s.Search.Search(s.ctx(r), r.URL.Query().Get("q"), limit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": res})
+}
+
+func (s *Server) handleSubmitLineage(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Edges []lineage.Edge `json:"edges"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.Lineage.Submit(req.Edges)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQueryLineage(w http.ResponseWriter, r *http.Request) {
+	id := ids.ID(r.PathValue("id"))
+	depth, _ := strconv.Atoi(r.URL.Query().Get("depth"))
+	var (
+		nodes []lineage.Node
+		err   error
+	)
+	if r.URL.Query().Get("direction") == "upstream" {
+		nodes, err = s.Lineage.Upstream(s.ctx(r), id, depth)
+	} else {
+		nodes, err = s.Lineage.Downstream(s.ctx(r), id, depth)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": nodes})
+}
+
+// --- model registry ---
+
+func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SchemaFull string `json:"schema_full"`
+		Name       string `json:"name"`
+		Comment    string `json:"comment,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	e, err := s.Registry.CreateRegisteredModel(s.ctx(r), req.SchemaFull, req.Name, req.Comment)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e)
+}
+
+func (s *Server) handleCreateModelVersion(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		RunID  string `json:"run_id,omitempty"`
+		Source string `json:"source,omitempty"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	mv, err := s.Registry.CreateModelVersion(s.ctx(r), r.PathValue("full"), req.RunID, req.Source)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, mv)
+}
+
+func (s *Server) handleListModelVersions(w http.ResponseWriter, r *http.Request) {
+	vs, err := s.Registry.ListModelVersions(s.ctx(r), r.PathValue("full"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"versions": vs})
+}
+
+func (s *Server) handleFinalizeModelVersion(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Status string `json:"status"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := strconv.Atoi(r.PathValue("version"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: bad version", catalog.ErrInvalidArgument))
+		return
+	}
+	if err := s.Registry.FinalizeModelVersion(s.ctx(r), r.PathValue("full"), v, req.Status); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- Delta Sharing ---
+
+func shareToken(r *http.Request) string {
+	return strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+}
+
+func (s *Server) shareMS(r *http.Request) string { return r.Header.Get("X-UC-Metastore") }
+
+func (s *Server) handleListShares(w http.ResponseWriter, r *http.Request) {
+	shares, err := s.Sharing.ListShares(s.shareMS(r), shareToken(r))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": shares})
+}
+
+func (s *Server) handleListShareSchemas(w http.ResponseWriter, r *http.Request) {
+	schemas, err := s.Sharing.ListSchemas(s.shareMS(r), shareToken(r), r.PathValue("share"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": schemas})
+}
+
+func (s *Server) handleListShareTables(w http.ResponseWriter, r *http.Request) {
+	tables, err := s.Sharing.ListTables(s.shareMS(r), shareToken(r), r.PathValue("share"), r.PathValue("schema"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": tables})
+}
+
+func (s *Server) handleQueryShareTable(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.Sharing.QueryTable(s.shareMS(r), shareToken(r), r.PathValue("share"), r.PathValue("schema"), r.PathValue("table"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- stats ---
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctx := s.ctx(r)
+	counts, err := s.Service.TypeCounts(ctx.Metastore)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	bytes, _ := s.Service.WorkingSetBytes(ctx.Metastore)
+	st := s.Service.Audit().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"type_counts":       counts,
+		"working_set_bytes": bytes,
+		"api_total":         st.Total,
+		"api_reads":         st.Reads,
+		"api_writes":        st.Writes,
+		"read_fraction":     s.Service.Audit().ReadFraction(),
+		"cache":             s.Service.CacheMetrics(),
+	})
+}

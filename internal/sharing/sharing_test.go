@@ -1,0 +1,150 @@
+package sharing
+
+import (
+	"errors"
+	"testing"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/store"
+)
+
+func setup(t *testing.T) (*Server, catalog.Ctx) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1")
+	admin := catalog.Ctx{Principal: "admin", Metastore: "ms1", TrustedEngine: true}
+	svc.CreateCatalog(admin, "sales", "")
+	svc.CreateSchema(admin, "sales", "raw", "")
+	e, err := svc.CreateTable(admin, "sales.raw", "orders", catalog.TableSpec{Columns: []catalog.ColumnInfo{
+		{Name: "id", Type: "BIGINT"}, {Name: "region", Type: "STRING"},
+	}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := delta.Schema{Fields: []delta.SchemaField{
+		{Name: "id", Type: delta.TypeInt64}, {Name: "region", Type: delta.TypeString},
+	}}
+	tbl, err := delta.Create(delta.ServiceBlobs{Store: svc.Cloud()}, e.StoragePath, "orders", schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := delta.NewBatch(schema)
+	for i := 0; i < 25; i++ {
+		b.AppendRow(int64(i), []string{"US", "EU"}[i%2])
+	}
+	if _, err := tbl.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(svc), admin
+}
+
+func TestShareDiscoveryAndQuery(t *testing.T) {
+	srv, admin := setup(t)
+	if _, err := srv.CreateShare(admin, "sales_share", []string{"sales.raw.orders"}); err != nil {
+		t.Fatal(err)
+	}
+	token, err := srv.CreateRecipient(admin, "partner_co", []string{"sales_share"})
+	if err != nil || token == "" {
+		t.Fatalf("recipient: %q, %v", token, err)
+	}
+
+	shares, err := srv.ListShares("ms1", token)
+	if err != nil || len(shares) != 1 || shares[0] != "sales_share" {
+		t.Fatalf("shares = %v, %v", shares, err)
+	}
+	schemas, err := srv.ListSchemas("ms1", token, "sales_share")
+	if err != nil || len(schemas) != 1 || schemas[0] != "raw" {
+		t.Fatalf("schemas = %v, %v", schemas, err)
+	}
+	tables, err := srv.ListTables("ms1", token, "sales_share", "raw")
+	if err != nil || len(tables) != 1 || tables[0] != "orders" {
+		t.Fatalf("tables = %v, %v", tables, err)
+	}
+	resp, err := srv.QueryTable("ms1", token, "sales_share", "raw", "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 1 || resp.Files[0].NumRecords != 25 {
+		t.Fatalf("files = %+v", resp.Files)
+	}
+
+	// End-to-end client read using only the protocol response.
+	client := &Client{Server: srv, Cloud: srv.Service.Cloud(), MSID: "ms1", Token: token}
+	batch, err := client.ReadTable("sales_share", "raw", "orders")
+	if err != nil || batch.NumRows != 25 {
+		t.Fatalf("client read = %d rows, %v", batch.NumRows, err)
+	}
+}
+
+func TestRecipientIsolation(t *testing.T) {
+	srv, admin := setup(t)
+	srv.CreateShare(admin, "sales_share", []string{"sales.raw.orders"})
+	srv.CreateShare(admin, "other_share", nil)
+	tok1, _ := srv.CreateRecipient(admin, "r1", []string{"sales_share"})
+	tok2, _ := srv.CreateRecipient(admin, "r2", []string{"other_share"})
+
+	// r2 cannot access sales_share.
+	if _, err := srv.QueryTable("ms1", tok2, "sales_share", "raw", "orders"); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("cross-share access: %v", err)
+	}
+	// Garbage tokens are rejected.
+	if _, err := srv.ListShares("ms1", "dss_bogus"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("bad token: %v", err)
+	}
+	// The file token from a legit query is scoped to the table only.
+	resp, err := srv.QueryTable("ms1", tok1, "sales_share", "raw", "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Service.Cloud().Get(resp.Files[0].Token, "s3://root/ms1/other"); err == nil {
+		t.Fatal("file token escaped its table scope")
+	}
+}
+
+func TestGrantShareAndAddTable(t *testing.T) {
+	srv, admin := setup(t)
+	srv.CreateShare(admin, "s1", nil)
+	tok, _ := srv.CreateRecipient(admin, "r", nil)
+	if shares, _ := srv.ListShares("ms1", tok); len(shares) != 0 {
+		t.Fatalf("initial shares = %v", shares)
+	}
+	if err := srv.GrantShare(admin, "r", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if shares, _ := srv.ListShares("ms1", tok); len(shares) != 1 {
+		t.Fatalf("after grant = %v", shares)
+	}
+	if err := srv.AddTableToShare(admin, "s1", "sales.raw.orders"); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := srv.ListTables("ms1", tok, "s1", "raw")
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("tables = %v, %v", tables, err)
+	}
+	// Adding a nonexistent table fails.
+	if err := srv.AddTableToShare(admin, "s1", "sales.raw.nope"); !errors.Is(err, catalog.ErrNotFound) {
+		t.Fatalf("missing table: %v", err)
+	}
+}
+
+func TestTokenIndexRebuild(t *testing.T) {
+	srv, admin := setup(t)
+	srv.CreateShare(admin, "s1", []string{"sales.raw.orders"})
+	tok, _ := srv.CreateRecipient(admin, "r", []string{"s1"})
+
+	// A fresh server instance (restart) resolves the token from storage.
+	srv2 := NewServer(srv.Service)
+	shares, err := srv2.ListShares("ms1", tok)
+	if err != nil || len(shares) != 1 {
+		t.Fatalf("rebuilt index = %v, %v", shares, err)
+	}
+}

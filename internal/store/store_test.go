@@ -1,0 +1,446 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mustOpen(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestCreateDropMetastore(t *testing.T) {
+	db := mustOpen(t, Options{})
+	if err := db.CreateMetastore("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateMetastore("m1"); !errors.Is(err, ErrMetastoreExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if got := db.Metastores(); len(got) != 1 || got[0] != "m1" {
+		t.Fatalf("metastores = %v", got)
+	}
+	if err := db.DropMetastore("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropMetastore("m1"); !errors.Is(err, ErrNoMetastore) {
+		t.Fatalf("double drop: %v", err)
+	}
+	if _, err := db.Snapshot("m1"); !errors.Is(err, ErrNoMetastore) {
+		t.Fatalf("snapshot dropped: %v", err)
+	}
+}
+
+func TestBasicPutGet(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	v, err := db.Update("m", func(tx *Tx) error {
+		tx.Put("t", "k1", []byte("v1"))
+		tx.Put("t", "k2", []byte("v2"))
+		return nil
+	})
+	if err != nil || v != 1 {
+		t.Fatalf("update: v=%d err=%v", v, err)
+	}
+	snap, _ := db.Snapshot("m")
+	defer snap.Close()
+	if got, ok := snap.Get("t", "k1"); !ok || string(got) != "v1" {
+		t.Fatalf("get k1 = %q, %v", got, ok)
+	}
+	if kvs := snap.Scan("t", ""); len(kvs) != 2 || kvs[0].Key != "k1" || kvs[1].Key != "k2" {
+		t.Fatalf("scan = %v", kvs)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("old")); return nil })
+
+	snap, _ := db.Snapshot("m")
+	defer snap.Close()
+
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("new")); return nil })
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k2", []byte("x")); return nil })
+
+	// The old snapshot still observes the old state.
+	if got, _ := snap.Get("t", "k"); string(got) != "old" {
+		t.Fatalf("snapshot read = %q, want old", got)
+	}
+	if _, ok := snap.Get("t", "k2"); ok {
+		t.Fatal("snapshot should not see later insert")
+	}
+	// A fresh snapshot sees the new state.
+	snap2, _ := db.Snapshot("m")
+	defer snap2.Close()
+	if got, _ := snap2.Get("t", "k"); string(got) != "new" {
+		t.Fatalf("fresh snapshot read = %q, want new", got)
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("v")); return nil })
+	snap, _ := db.Snapshot("m")
+	defer snap.Close()
+	db.Update("m", func(tx *Tx) error { tx.Delete("t", "k"); return nil })
+	if _, ok := snap.Get("t", "k"); !ok {
+		t.Fatal("pinned snapshot should still see the record")
+	}
+	snap2, _ := db.Snapshot("m")
+	defer snap2.Close()
+	if _, ok := snap2.Get("t", "k"); ok {
+		t.Fatal("new snapshot should not see deleted record")
+	}
+	if n := snap2.Count("t", ""); n != 0 {
+		t.Fatalf("count after delete = %d", n)
+	}
+}
+
+func TestUpdateRollbackOnError(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	boom := errors.New("boom")
+	v, err := db.Update("m", func(tx *Tx) error {
+		tx.Put("t", "k", []byte("v"))
+		return boom
+	})
+	if !errors.Is(err, boom) || v != 0 {
+		t.Fatalf("update: v=%d err=%v", v, err)
+	}
+	snap, _ := db.Snapshot("m")
+	defer snap.Close()
+	if _, ok := snap.Get("t", "k"); ok {
+		t.Fatal("aborted write must not be visible")
+	}
+	if ver, _ := db.Version("m"); ver != 0 {
+		t.Fatalf("version after abort = %d", ver)
+	}
+}
+
+func TestReadOnlyTransactionDoesNotBumpVersion(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	v, err := db.Update("m", func(tx *Tx) error { tx.Get("t", "k"); return nil })
+	if err != nil || v != 0 {
+		t.Fatalf("read-only update: v=%d err=%v", v, err)
+	}
+}
+
+func TestUpdateCAS(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("1")); return nil })
+
+	// CAS at the right version succeeds.
+	v, err := db.UpdateCAS("m", 1, func(tx *Tx) error { tx.Put("t", "k", []byte("2")); return nil })
+	if err != nil || v != 2 {
+		t.Fatalf("cas: v=%d err=%v", v, err)
+	}
+	// CAS at a stale version fails without running fn.
+	ran := false
+	_, err = db.UpdateCAS("m", 1, func(tx *Tx) error { ran = true; return nil })
+	if !errors.Is(err, ErrVersionMismatch) || ran {
+		t.Fatalf("stale cas: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestTxReadsOwnWrites(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "a", []byte("1")); return nil })
+	_, err := db.Update("m", func(tx *Tx) error {
+		tx.Put("t", "b", []byte("2"))
+		if got, ok := tx.Get("t", "b"); !ok || string(got) != "2" {
+			return fmt.Errorf("tx should read own write, got %q %v", got, ok)
+		}
+		tx.Delete("t", "a")
+		if _, ok := tx.Get("t", "a"); ok {
+			return errors.New("tx should observe own delete")
+		}
+		kvs := tx.Scan("t", "")
+		if len(kvs) != 1 || kvs[0].Key != "b" {
+			return fmt.Errorf("tx scan = %v", kvs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangesSince(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	for i := 0; i < 5; i++ {
+		db.Update("m", func(tx *Tx) error {
+			tx.Put("t", fmt.Sprintf("k%d", i), []byte("v"))
+			return nil
+		})
+	}
+	cs, err := db.ChangesSince("m", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 || cs[0].Version != 3 || cs[2].Version != 5 {
+		t.Fatalf("changes = %+v", cs)
+	}
+	if cs, err := db.ChangesSince("m", 5); err != nil || cs != nil {
+		t.Fatalf("up-to-date changes = %v, %v", cs, err)
+	}
+}
+
+func TestChangesSinceTrimmed(t *testing.T) {
+	db := mustOpen(t, Options{ChangeLogSize: 3})
+	db.CreateMetastore("m")
+	for i := 0; i < 10; i++ {
+		db.Update("m", func(tx *Tx) error { tx.Put("t", fmt.Sprintf("k%d", i), nil); return nil })
+	}
+	if _, err := db.ChangesSince("m", 1); !errors.Is(err, ErrChangeLogTrimmed) {
+		t.Fatalf("trimmed: %v", err)
+	}
+	// Recent range still works.
+	if cs, err := db.ChangesSince("m", 8); err != nil || len(cs) != 2 {
+		t.Fatalf("recent changes = %v, %v", cs, err)
+	}
+}
+
+func TestSerializableWritesConcurrent(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "counter", []byte{0}); return nil })
+
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				db.Update("m", func(tx *Tx) error {
+					b, _ := tx.Get("t", "counter")
+					tx.Put("t", "counter", []byte{b[0] + 1})
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	snap, _ := db.Snapshot("m")
+	defer snap.Close()
+	b, _ := snap.Get("t", "counter")
+	if int(b[0]) != (writers*each)%256 {
+		t.Fatalf("counter = %d, want %d (lost updates)", b[0], (writers*each)%256)
+	}
+	if v, _ := db.Version("m"); v != writers*each+1 {
+		t.Fatalf("version = %d, want %d", v, writers*each+1)
+	}
+}
+
+func TestWALPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("v1")); return nil })
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("v2")); tx.Put("t", "k2", []byte("x")); return nil })
+	db.Update("m", func(tx *Tx) error { tx.Delete("t", "k2"); return nil })
+	db.CreateMetastore("gone")
+	db.DropMetastore("gone")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Metastores(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("replayed metastores = %v", got)
+	}
+	if v, _ := db2.Version("m"); v != 3 {
+		t.Fatalf("replayed version = %d", v)
+	}
+	snap, _ := db2.Snapshot("m")
+	defer snap.Close()
+	if got, _ := snap.Get("t", "k"); string(got) != "v2" {
+		t.Fatalf("replayed k = %q", got)
+	}
+	if _, ok := snap.Get("t", "k2"); ok {
+		t.Fatal("replayed k2 should be deleted")
+	}
+	// Writes continue from the replayed version.
+	if v, _ := db2.Update("m", func(tx *Tx) error { tx.Put("t", "k3", nil); return nil }); v != 4 {
+		t.Fatalf("post-replay version = %d", v)
+	}
+}
+
+func TestVersionPruning(t *testing.T) {
+	db := mustOpen(t, Options{MaxVersionsPerRecord: 2})
+	db.CreateMetastore("m")
+	for i := 0; i < 10; i++ {
+		db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte{byte(i)}); return nil })
+	}
+	ms, _ := db.metastore("m")
+	ms.stateMu.RLock()
+	n := len(ms.tables["t"]["k"].versions)
+	ms.stateMu.RUnlock()
+	if n > 2 {
+		t.Fatalf("retained %d versions, want <= 2", n)
+	}
+	snap, _ := db.Snapshot("m")
+	defer snap.Close()
+	if b, _ := snap.Get("t", "k"); b[0] != 9 {
+		t.Fatalf("latest = %d", b[0])
+	}
+}
+
+func TestSnapshotPinsVersions(t *testing.T) {
+	db := mustOpen(t, Options{MaxVersionsPerRecord: 1})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("v1")); return nil })
+	snap, _ := db.Snapshot("m") // pins version 1
+	for i := 0; i < 5; i++ {
+		db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte(fmt.Sprintf("v%d", i+2))); return nil })
+	}
+	if got, _ := snap.Get("t", "k"); string(got) != "v1" {
+		t.Fatalf("pinned read = %q, want v1", got)
+	}
+	snap.Close()
+}
+
+func TestWritesAccessor(t *testing.T) {
+	db := mustOpen(t, Options{})
+	db.CreateMetastore("m")
+	var ws []Write
+	db.Update("m", func(tx *Tx) error {
+		tx.Put("t", "a", []byte("1"))
+		tx.Put("t", "a", []byte("2")) // overwrite within tx
+		tx.Delete("t", "b")
+		ws = tx.Writes()
+		return nil
+	})
+	if len(ws) != 2 {
+		t.Fatalf("writes = %+v", ws)
+	}
+	if ws[0].Key != "a" || string(ws[0].Value) != "2" || ws[0].Deleted {
+		t.Fatalf("write a = %+v", ws[0])
+	}
+	if ws[1].Key != "b" || !ws[1].Deleted {
+		t.Fatalf("write b = %+v", ws[1])
+	}
+}
+
+// TestQuickSnapshotStability property-tests that a snapshot's view never
+// changes regardless of subsequent writes.
+func TestQuickSnapshotStability(t *testing.T) {
+	f := func(keys []uint8, extra []uint8) bool {
+		if len(keys) == 0 {
+			keys = []uint8{1}
+		}
+		db, _ := Open(Options{})
+		defer db.Close()
+		db.CreateMetastore("m")
+		db.Update("m", func(tx *Tx) error {
+			for _, k := range keys {
+				tx.Put("t", fmt.Sprintf("k%d", k), []byte{k})
+			}
+			return nil
+		})
+		snap, _ := db.Snapshot("m")
+		defer snap.Close()
+		before := snap.Scan("t", "")
+		for _, k := range extra {
+			db.Update("m", func(tx *Tx) error {
+				tx.Put("t", fmt.Sprintf("k%d", k), []byte{k + 1})
+				tx.Delete("t", fmt.Sprintf("k%d", k/2))
+				return nil
+			})
+		}
+		after := snap.Scan("t", "")
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i].Key != after[i].Key || string(before[i].Value) != string(after[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornFinalLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("durable")); return nil })
+	db.Close()
+
+	// Simulate a crash mid-append: a torn, unparsable final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"commit","ms":"m","ver":2,"w":[{"t":"t","k":"lost","v":`)
+	f.Close()
+
+	db2, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatalf("torn final line should be tolerated: %v", err)
+	}
+	defer db2.Close()
+	snap, _ := db2.Snapshot("m")
+	defer snap.Close()
+	if got, _ := snap.Get("t", "k"); string(got) != "durable" {
+		t.Fatalf("durable data lost: %q", got)
+	}
+	if _, ok := snap.Get("t", "lost"); ok {
+		t.Fatal("torn commit must not be applied")
+	}
+	if v, _ := db2.Version("m"); v != 1 {
+		t.Fatalf("version = %d", v)
+	}
+}
+
+func TestWALMidLogCorruptionFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, _ := Open(Options{WALPath: path})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k", []byte("v")); return nil })
+	db.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the FIRST line, keeping valid entries after it.
+	corrupted := append([]byte("{broken json\n"), data...)
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{WALPath: path}); err == nil {
+		t.Fatal("mid-log corruption should be fatal")
+	}
+}

@@ -1,0 +1,287 @@
+// Package txn implements multi-table, multi-statement transactions over
+// Delta tables coordinated by the catalog — the paper's Section 6.3: single-
+// table transactions come from the storage layer's atomic operations, but
+// spanning multiple tables (whose data may live in different buckets)
+// requires the centralized metadata store to act as the commit coordinator
+// for "catalog-owned" tables.
+//
+// Protocol:
+//
+//  1. Begin authorizes MODIFY on every participant table and snapshots each
+//     table's current log version.
+//  2. The application stages per-table actions (StageAppend writes data
+//     files eagerly; they are invisible until commit).
+//  3. Commit serializes through the coordinator's per-metastore lock,
+//     verifies no participant advanced past its snapshot (optimistic
+//     concurrency), durably records the transaction intent in the catalog's
+//     ACID store, then publishes every table's next log entry. If any
+//     publish fails (an out-of-band writer raced on a table that should be
+//     catalog-owned), the already-published entries of this transaction are
+//     compensated (removed) and the transaction aborts — all or nothing.
+package txn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/events"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/store"
+)
+
+// Common errors.
+var (
+	// ErrConflict means a participant table advanced past the transaction's
+	// snapshot; retry with fresh state.
+	ErrConflict = errors.New("txn: serialization conflict")
+	// ErrAborted is returned by operations on a finished transaction.
+	ErrAborted = errors.New("txn: transaction is no longer active")
+)
+
+// Coordinator commits multi-table transactions through the catalog.
+type Coordinator struct {
+	Service *catalog.Service
+
+	mu sync.Mutex // serializes commits per coordinator (per metastore set)
+}
+
+// NewCoordinator returns a Coordinator over the service.
+func NewCoordinator(svc *catalog.Service) *Coordinator {
+	return &Coordinator{Service: svc}
+}
+
+// participant is one table in a transaction.
+type participant struct {
+	full    string
+	entity  *erm.Entity
+	table   *delta.Table
+	base    *delta.Snapshot
+	actions []delta.Action
+}
+
+// Txn is an in-flight multi-table transaction.
+type Txn struct {
+	ID    ids.ID
+	coord *Coordinator
+	ctx   catalog.Ctx
+	parts map[string]*participant
+	done  bool
+}
+
+// Begin opens a transaction over the named tables, checking MODIFY on each
+// and pinning each table's current version.
+func (c *Coordinator) Begin(ctx catalog.Ctx, tables []string) (*Txn, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("%w: no tables", catalog.ErrInvalidArgument)
+	}
+	resp, err := c.Service.Resolve(ctx, catalog.ResolveRequest{
+		Names: tables, WithCredentials: true, Access: cloudsim.AccessReadWrite,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Txn{ID: ids.New(), coord: c, ctx: ctx, parts: map[string]*participant{}}
+	for _, full := range tables {
+		ra := resp.Assets[full]
+		if ra == nil || ra.Table == nil || ra.Credential == nil {
+			return nil, fmt.Errorf("%w: %s is not a writable table", catalog.ErrInvalidArgument, full)
+		}
+		dt := delta.NewTable(ra.Entity.StoragePath, delta.TokenBlobs{
+			Store: c.Service.Cloud(), Token: ra.Credential.Credential.Token,
+		})
+		snap, err := dt.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("txn: open %s: %w", full, err)
+		}
+		t.parts[full] = &participant{full: full, entity: ra.Entity, table: dt, base: snap}
+	}
+	return t, nil
+}
+
+// Read returns the transaction's pinned snapshot of a participant table,
+// for reads at a consistent point across all participants.
+func (t *Txn) Read(full string) (*delta.Snapshot, error) {
+	p, ok := t.parts[full]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is not a participant", catalog.ErrInvalidArgument, full)
+	}
+	return p.base, nil
+}
+
+// Scan reads from a participant at the transaction snapshot.
+func (t *Txn) Scan(full string, columns []string, preds []delta.Predicate) (*delta.ScanResult, error) {
+	p, ok := t.parts[full]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is not a participant", catalog.ErrInvalidArgument, full)
+	}
+	return p.table.Scan(p.base, columns, preds)
+}
+
+// Stage buffers raw log actions for a participant.
+func (t *Txn) Stage(full string, actions ...delta.Action) error {
+	if t.done {
+		return ErrAborted
+	}
+	p, ok := t.parts[full]
+	if !ok {
+		return fmt.Errorf("%w: %s is not a participant", catalog.ErrInvalidArgument, full)
+	}
+	p.actions = append(p.actions, actions...)
+	return nil
+}
+
+// StageAppend writes the batch as a data file now (invisible until commit)
+// and stages the corresponding AddFile action.
+func (t *Txn) StageAppend(full string, batch *delta.Batch) error {
+	if t.done {
+		return ErrAborted
+	}
+	p, ok := t.parts[full]
+	if !ok {
+		return fmt.Errorf("%w: %s is not a participant", catalog.ErrInvalidArgument, full)
+	}
+	if batch.NumRows == 0 {
+		return nil
+	}
+	data := delta.EncodeBatch(batch)
+	name := fmt.Sprintf("txn-%s-%s.dpf", t.ID.Short(), ids.New())
+	if err := p.table.Blobs.Put(p.table.Path+"/"+name, data); err != nil {
+		return err
+	}
+	p.actions = append(p.actions, delta.Action{Add: &delta.AddFile{
+		Path: name, Size: int64(len(data)), DataChange: true,
+		Stats: delta.ComputeStats(batch),
+	}})
+	return nil
+}
+
+// txnRecord is the durable intent written to the catalog store.
+type txnRecord struct {
+	ID        ids.ID           `json:"id"`
+	Principal string           `json:"principal"`
+	Tables    map[string]int64 `json:"tables"` // full name -> committed version
+	State     string           `json:"state"`  // COMMITTED, ABORTED
+}
+
+// storeTable is the catalog store table holding transaction records.
+const storeTable = "multitable_txn"
+
+// Commit atomically publishes all staged actions. On conflict nothing is
+// applied and ErrConflict is returned.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrAborted
+	}
+	t.done = true
+	c := t.coord
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Validate: no participant advanced past its pinned version.
+	for _, p := range t.parts {
+		cur, err := p.table.Snapshot()
+		if err != nil {
+			return err
+		}
+		if cur.Version != p.base.Version {
+			return fmt.Errorf("%w: %s moved v%d -> v%d", ErrConflict, p.full, p.base.Version, cur.Version)
+		}
+	}
+
+	// Durably record intent in the catalog's ACID store before touching
+	// any log: recovery can tell a committed transaction from an aborted
+	// one.
+	rec := txnRecord{ID: t.ID, Principal: string(t.ctx.Principal), Tables: map[string]int64{}, State: "COMMITTED"}
+	for _, p := range t.parts {
+		rec.Tables[p.full] = p.base.Version + 1
+	}
+	recB, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	db := c.Service.DB()
+	if _, err := db.Update(t.ctx.Metastore, func(tx *store.Tx) error {
+		tx.Put(storeTable, string(t.ID), recB)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Publish each participant's next log version. Under catalog ownership
+	// the coordinator is the only committer, so these cannot conflict; if
+	// an out-of-band writer raced anyway, compensate and abort.
+	var published []*participant
+	for _, p := range t.parts {
+		op := fmt.Sprintf("MULTI-TABLE TXN %s", t.ID.Short())
+		if _, err := p.table.Commit(p.base, p.actions, op); err != nil {
+			for _, q := range published {
+				q.table.Blobs.Delete(logPath(q.table, q.base.Version+1))
+			}
+			t.markAborted()
+			if errors.Is(err, delta.ErrConflict) {
+				return fmt.Errorf("%w: %s (out-of-band writer)", ErrConflict, p.full)
+			}
+			return err
+		}
+		published = append(published, p)
+	}
+	// Announce a table-data commit event per participant.
+	for _, p := range t.parts {
+		c.Service.Bus().Publish(events.Event{
+			Metastore: t.ctx.Metastore, Op: events.OpCommit,
+			EntityID: p.entity.ID, Type: string(p.entity.Type), FullName: p.full,
+			Principal: string(t.ctx.Principal), Detail: "txn " + t.ID.Short(),
+		})
+	}
+	return nil
+}
+
+// markAborted flips the durable record to ABORTED (best effort).
+func (t *Txn) markAborted() {
+	rec := txnRecord{ID: t.ID, Principal: string(t.ctx.Principal), State: "ABORTED"}
+	if b, err := json.Marshal(rec); err == nil {
+		t.coord.Service.DB().Update(t.ctx.Metastore, func(tx *store.Tx) error {
+			tx.Put(storeTable, string(t.ID), b)
+			return nil
+		})
+	}
+}
+
+// Abort discards the transaction (staged data files become garbage for
+// VACUUM; they were never referenced by any log).
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.markAborted()
+}
+
+// logPath mirrors the delta package's log naming for compensation.
+func logPath(tbl *delta.Table, version int64) string {
+	return fmt.Sprintf("%s/_delta_log/%020d.json", tbl.Path, version)
+}
+
+// Record fetches a transaction's durable record (for tests and tooling).
+func (c *Coordinator) Record(msID string, id ids.ID) (state string, tables map[string]int64, err error) {
+	snap, err := c.Service.DB().Snapshot(msID)
+	if err != nil {
+		return "", nil, err
+	}
+	defer snap.Close()
+	b, ok := snap.Get(storeTable, string(id))
+	if !ok {
+		return "", nil, fmt.Errorf("%w: txn %s", catalog.ErrNotFound, id.Short())
+	}
+	var rec txnRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return "", nil, err
+	}
+	return rec.State, rec.Tables, nil
+}

@@ -1,0 +1,254 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/store"
+)
+
+func setup(t *testing.T) (*Coordinator, catalog.Ctx, map[string]*delta.Table) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateMetastore("ms1", "m", "r", "admin", "s3://root/ms1")
+	admin := catalog.Ctx{Principal: "admin", Metastore: "ms1", TrustedEngine: true}
+	svc.CreateCatalog(admin, "bank", "")
+	svc.CreateSchema(admin, "bank", "ledger", "")
+	schema := delta.Schema{Fields: []delta.SchemaField{
+		{Name: "account", Type: delta.TypeInt64}, {Name: "delta_amount", Type: delta.TypeFloat64},
+	}}
+	tables := map[string]*delta.Table{}
+	for _, name := range []string{"checking", "savings", "auditlog"} {
+		e, err := svc.CreateTable(admin, "bank.ledger", name, catalog.TableSpec{Columns: []catalog.ColumnInfo{
+			{Name: "account", Type: "BIGINT"}, {Name: "delta_amount", Type: "DOUBLE"},
+		}}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, err := delta.Create(delta.ServiceBlobs{Store: svc.Cloud()}, e.StoragePath, name, schema, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables["bank.ledger."+name] = dt
+	}
+	return NewCoordinator(svc), admin, tables
+}
+
+func batchOf(t *testing.T, rows ...[2]float64) *delta.Batch {
+	t.Helper()
+	b := delta.NewBatch(delta.Schema{Fields: []delta.SchemaField{
+		{Name: "account", Type: delta.TypeInt64}, {Name: "delta_amount", Type: delta.TypeFloat64},
+	}})
+	for _, r := range rows {
+		if err := b.AppendRow(int64(r[0]), r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func totalRows(t *testing.T, dt *delta.Table) int64 {
+	t.Helper()
+	snap, err := dt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap.NumRecords()
+}
+
+func TestAtomicCrossTableCommit(t *testing.T) {
+	c, admin, tables := setup(t)
+	tx, err := c.Begin(admin, []string{"bank.ledger.checking", "bank.ledger.savings"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A transfer: debit checking, credit savings — one atomic unit.
+	if err := tx.StageAppend("bank.ledger.checking", batchOf(t, [2]float64{1, -100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.StageAppend("bank.ledger.savings", batchOf(t, [2]float64{1, +100})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if totalRows(t, tables["bank.ledger.checking"]) != 1 || totalRows(t, tables["bank.ledger.savings"]) != 1 {
+		t.Fatal("both sides should be visible")
+	}
+	// Durable record says COMMITTED with both tables at v1.
+	state, committed, err := c.Record("ms1", tx.ID)
+	if err != nil || state != "COMMITTED" || len(committed) != 2 {
+		t.Fatalf("record = %s %v, %v", state, committed, err)
+	}
+	// Reuse after commit is rejected.
+	if err := tx.Stage("bank.ledger.checking"); !errors.Is(err, ErrAborted) {
+		t.Fatalf("stage after commit: %v", err)
+	}
+}
+
+func TestConflictAbortsAtomically(t *testing.T) {
+	c, admin, tables := setup(t)
+	tx, err := c.Begin(admin, []string{"bank.ledger.checking", "bank.ledger.savings"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.StageAppend("bank.ledger.checking", batchOf(t, [2]float64{1, -5}))
+	tx.StageAppend("bank.ledger.savings", batchOf(t, [2]float64{1, +5}))
+
+	// An independent writer advances savings before our commit.
+	if _, err := tables["bank.ledger.savings"].Append(batchOf(t, [2]float64{9, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("commit after conflict: %v", err)
+	}
+	// Nothing from the transaction is visible anywhere.
+	if totalRows(t, tables["bank.ledger.checking"]) != 0 {
+		t.Fatal("checking leaked staged rows")
+	}
+	if totalRows(t, tables["bank.ledger.savings"]) != 1 {
+		t.Fatal("savings should only have the independent append")
+	}
+}
+
+func TestConcurrentTransfersSerialize(t *testing.T) {
+	c, admin, tables := setup(t)
+	const workers, transfersEach = 4, 10
+	var wg sync.WaitGroup
+	var committed, conflicted int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < transfersEach; i++ {
+				for {
+					tx, err := c.Begin(admin, []string{"bank.ledger.checking", "bank.ledger.savings"})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					tx.StageAppend("bank.ledger.checking", batchOf(t, [2]float64{float64(w), -1}))
+					tx.StageAppend("bank.ledger.savings", batchOf(t, [2]float64{float64(w), +1}))
+					err = tx.Commit()
+					if err == nil {
+						mu.Lock()
+						committed++
+						mu.Unlock()
+						break
+					}
+					if errors.Is(err, ErrConflict) {
+						mu.Lock()
+						conflicted++
+						mu.Unlock()
+						continue // retry
+					}
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(workers * transfersEach)
+	// The invariant: both tables saw exactly the same number of committed
+	// transfer halves — no partial transfers ever.
+	if got := totalRows(t, tables["bank.ledger.checking"]); got != want {
+		t.Fatalf("checking rows = %d, want %d", got, want)
+	}
+	if got := totalRows(t, tables["bank.ledger.savings"]); got != want {
+		t.Fatalf("savings rows = %d, want %d", got, want)
+	}
+	if committed != workers*transfersEach {
+		t.Fatalf("committed = %d", committed)
+	}
+}
+
+func TestReadYourSnapshotAcrossTables(t *testing.T) {
+	c, admin, tables := setup(t)
+	tables["bank.ledger.checking"].Append(batchOf(t, [2]float64{1, 10}))
+	tx, err := c.Begin(admin, []string{"bank.ledger.checking", "bank.ledger.savings"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads inside the txn see the pinned snapshot even after outside writes.
+	tables["bank.ledger.checking"].Append(batchOf(t, [2]float64{2, 20}))
+	res, err := tx.Scan("bank.ledger.checking", nil, nil)
+	if err != nil || res.Batch.NumRows != 1 {
+		t.Fatalf("txn scan rows = %d, %v", res.Batch.NumRows, err)
+	}
+	tx.Abort()
+	if state, _, err := c.Record("ms1", tx.ID); err != nil || state != "ABORTED" {
+		t.Fatalf("abort record = %s, %v", state, err)
+	}
+}
+
+func TestBeginChecksPrivileges(t *testing.T) {
+	c, _, _ := setup(t)
+	mallory := catalog.Ctx{Principal: "mallory", Metastore: "ms1"}
+	if _, err := c.Begin(mallory, []string{"bank.ledger.checking"}); !errors.Is(err, catalog.ErrPermissionDenied) {
+		t.Fatalf("unauthorized begin: %v", err)
+	}
+	admin := catalog.Ctx{Principal: "admin", Metastore: "ms1"}
+	if _, err := c.Begin(admin, nil); !errors.Is(err, catalog.ErrInvalidArgument) {
+		t.Fatalf("empty begin: %v", err)
+	}
+	if _, err := c.Begin(admin, []string{"bank.ledger.nope"}); !errors.Is(err, catalog.ErrNotFound) {
+		t.Fatalf("missing table: %v", err)
+	}
+}
+
+func TestAuditLogStatementInSameTxn(t *testing.T) {
+	// Multi-statement: a transfer plus an audit row in a third table, all
+	// atomic.
+	c, admin, tables := setup(t)
+	tx, err := c.Begin(admin, []string{"bank.ledger.checking", "bank.ledger.savings", "bank.ledger.auditlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.StageAppend("bank.ledger.checking", batchOf(t, [2]float64{7, -42}))
+	tx.StageAppend("bank.ledger.savings", batchOf(t, [2]float64{7, 42}))
+	tx.StageAppend("bank.ledger.auditlog", batchOf(t, [2]float64{7, 0}))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for name, dt := range tables {
+		if totalRows(t, dt) != 1 {
+			t.Fatalf("%s rows != 1", name)
+		}
+	}
+}
+
+func TestCommitEventPublished(t *testing.T) {
+	c, admin, _ := setup(t)
+	sub := c.Service.Bus().Subscribe()
+	defer sub.Cancel()
+	tx, _ := c.Begin(admin, []string{"bank.ledger.checking"})
+	tx.StageAppend("bank.ledger.checking", batchOf(t, [2]float64{1, 1}))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	timeout := time.After(2 * time.Second)
+	for {
+		select {
+		case e := <-sub.C:
+			if string(e.Op) == "COMMIT" && e.FullName == "bank.ledger.checking" {
+				return
+			}
+		case <-timeout:
+			t.Fatal("no COMMIT event observed")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/delta"
+)
+
+// This file provides scaled-down TPC-H and TPC-DS workloads for the
+// Figure 10(a) and 10(c) experiments: the real schemas (tables + columns
+// relevant to the metadata path), data generators for Delta tables, and the
+// per-query table footprints that drive metadata resolution.
+
+// TPCTable describes one benchmark table.
+type TPCTable struct {
+	Name    string
+	Columns []catalog.ColumnInfo
+	// Rows at scale factor 1 of this reproduction (scaled down from spec).
+	Rows int
+}
+
+// TPCHTables is the eight-table TPC-H schema.
+var TPCHTables = []TPCTable{
+	{Name: "region", Rows: 5, Columns: tpcCols("r_regionkey:BIGINT", "r_name:STRING", "r_comment:STRING")},
+	{Name: "nation", Rows: 25, Columns: tpcCols("n_nationkey:BIGINT", "n_name:STRING", "n_regionkey:BIGINT", "n_comment:STRING")},
+	{Name: "supplier", Rows: 100, Columns: tpcCols("s_suppkey:BIGINT", "s_name:STRING", "s_nationkey:BIGINT", "s_acctbal:DOUBLE")},
+	{Name: "customer", Rows: 1500, Columns: tpcCols("c_custkey:BIGINT", "c_name:STRING", "c_nationkey:BIGINT", "c_acctbal:DOUBLE", "c_mktsegment:STRING")},
+	{Name: "part", Rows: 2000, Columns: tpcCols("p_partkey:BIGINT", "p_name:STRING", "p_type:STRING", "p_retailprice:DOUBLE")},
+	{Name: "partsupp", Rows: 8000, Columns: tpcCols("ps_partkey:BIGINT", "ps_suppkey:BIGINT", "ps_availqty:BIGINT", "ps_supplycost:DOUBLE")},
+	{Name: "orders", Rows: 15000, Columns: tpcCols("o_orderkey:BIGINT", "o_custkey:BIGINT", "o_totalprice:DOUBLE", "o_orderdate:BIGINT", "o_orderpriority:STRING")},
+	{Name: "lineitem", Rows: 60000, Columns: tpcCols("l_orderkey:BIGINT", "l_partkey:BIGINT", "l_suppkey:BIGINT", "l_quantity:DOUBLE", "l_extendedprice:DOUBLE", "l_discount:DOUBLE", "l_shipdate:BIGINT", "l_returnflag:STRING")},
+}
+
+// TPCHQueryFootprints lists, per TPC-H query (1-22), the tables the query
+// references — exactly what the catalog's metadata path must resolve.
+var TPCHQueryFootprints = [][]string{
+	{"lineitem"}, // Q1
+	{"part", "supplier", "partsupp", "nation", "region"},               // Q2
+	{"customer", "orders", "lineitem"},                                 // Q3
+	{"orders", "lineitem"},                                             // Q4
+	{"customer", "orders", "lineitem", "supplier", "nation", "region"}, // Q5
+	{"lineitem"}, // Q6
+	{"supplier", "lineitem", "orders", "customer", "nation"},                   // Q7
+	{"part", "supplier", "lineitem", "orders", "customer", "nation", "region"}, // Q8
+	{"part", "supplier", "lineitem", "partsupp", "orders", "nation"},           // Q9
+	{"customer", "orders", "lineitem", "nation"},                               // Q10
+	{"partsupp", "supplier", "nation"},                                         // Q11
+	{"orders", "lineitem"},                                                     // Q12
+	{"customer", "orders"},                                                     // Q13
+	{"lineitem", "part"},                                                       // Q14
+	{"supplier", "lineitem"},                                                   // Q15
+	{"partsupp", "part", "supplier"},                                           // Q16
+	{"lineitem", "part"},                                                       // Q17
+	{"customer", "orders", "lineitem"},                                         // Q18
+	{"lineitem", "part"},                                                       // Q19
+	{"supplier", "nation", "partsupp", "part", "lineitem"},                     // Q20
+	{"supplier", "lineitem", "orders", "nation"},                               // Q21
+	{"customer", "orders"},                                                     // Q22
+}
+
+// TPCDSTables is a representative TPC-DS subset (the store sales channel
+// plus shared dimensions), enough to exercise wide metadata footprints.
+var TPCDSTables = []TPCTable{
+	{Name: "date_dim", Rows: 3650, Columns: tpcCols("d_date_sk:BIGINT", "d_year:BIGINT", "d_moy:BIGINT", "d_dom:BIGINT")},
+	{Name: "time_dim", Rows: 1000, Columns: tpcCols("t_time_sk:BIGINT", "t_hour:BIGINT", "t_minute:BIGINT")},
+	{Name: "item", Rows: 2000, Columns: tpcCols("i_item_sk:BIGINT", "i_brand:STRING", "i_category:STRING", "i_current_price:DOUBLE")},
+	{Name: "customer", Rows: 5000, Columns: tpcCols("c_customer_sk:BIGINT", "c_first_name:STRING", "c_last_name:STRING", "c_birth_year:BIGINT")},
+	{Name: "customer_address", Rows: 2500, Columns: tpcCols("ca_address_sk:BIGINT", "ca_state:STRING", "ca_zip:STRING")},
+	{Name: "customer_demographics", Rows: 1000, Columns: tpcCols("cd_demo_sk:BIGINT", "cd_gender:STRING", "cd_education_status:STRING")},
+	{Name: "household_demographics", Rows: 700, Columns: tpcCols("hd_demo_sk:BIGINT", "hd_income_band_sk:BIGINT")},
+	{Name: "store", Rows: 12, Columns: tpcCols("s_store_sk:BIGINT", "s_store_name:STRING", "s_state:STRING")},
+	{Name: "promotion", Rows: 30, Columns: tpcCols("p_promo_sk:BIGINT", "p_channel_email:STRING")},
+	{Name: "store_sales", Rows: 50000, Columns: tpcCols("ss_sold_date_sk:BIGINT", "ss_item_sk:BIGINT", "ss_customer_sk:BIGINT", "ss_store_sk:BIGINT", "ss_quantity:BIGINT", "ss_sales_price:DOUBLE", "ss_net_profit:DOUBLE")},
+	{Name: "store_returns", Rows: 5000, Columns: tpcCols("sr_returned_date_sk:BIGINT", "sr_item_sk:BIGINT", "sr_customer_sk:BIGINT", "sr_return_amt:DOUBLE")},
+	{Name: "inventory", Rows: 20000, Columns: tpcCols("inv_date_sk:BIGINT", "inv_item_sk:BIGINT", "inv_quantity_on_hand:BIGINT")},
+	{Name: "warehouse", Rows: 5, Columns: tpcCols("w_warehouse_sk:BIGINT", "w_warehouse_name:STRING")},
+	{Name: "web_sales", Rows: 25000, Columns: tpcCols("ws_sold_date_sk:BIGINT", "ws_item_sk:BIGINT", "ws_bill_customer_sk:BIGINT", "ws_sales_price:DOUBLE")},
+	{Name: "catalog_sales", Rows: 30000, Columns: tpcCols("cs_sold_date_sk:BIGINT", "cs_item_sk:BIGINT", "cs_bill_customer_sk:BIGINT", "cs_sales_price:DOUBLE")},
+}
+
+// TPCDSQueryFootprints samples representative TPC-DS query footprints.
+var TPCDSQueryFootprints = [][]string{
+	{"store_sales", "date_dim", "item"},                                   // q3-like
+	{"store_sales", "date_dim", "customer", "customer_address"},           // q6-like
+	{"store_sales", "customer_demographics", "date_dim", "store", "item"}, // q7-like
+	{"store_sales", "household_demographics", "time_dim", "store"},        // q88-like
+	{"store_sales", "store_returns", "date_dim", "store", "customer"},     // q1-like
+	{"inventory", "date_dim", "item", "warehouse"},                        // q21-like
+	{"web_sales", "date_dim", "item"},                                     // q12-like
+	{"catalog_sales", "date_dim", "customer", "customer_address"},         // q15-like
+	{"store_sales", "web_sales", "catalog_sales", "date_dim", "item"},     // cross-channel
+	{"store_sales", "date_dim", "item", "promotion", "customer"},          // promo
+	{"customer", "customer_address", "customer_demographics"},             // dims only
+	{"store_sales", "date_dim"},                                           // narrow
+}
+
+func tpcCols(defs ...string) []catalog.ColumnInfo {
+	out := make([]catalog.ColumnInfo, len(defs))
+	for i, d := range defs {
+		name, typ := d, "STRING"
+		for j := 0; j < len(d); j++ {
+			if d[j] == ':' {
+				name, typ = d[:j], d[j+1:]
+				break
+			}
+		}
+		out[i] = catalog.ColumnInfo{Name: name, Type: typ, Nullable: true, Position: i}
+	}
+	return out
+}
+
+func deltaType(t string) delta.ColType {
+	switch t {
+	case "BIGINT":
+		return delta.TypeInt64
+	case "DOUBLE":
+		return delta.TypeFloat64
+	default:
+		return delta.TypeString
+	}
+}
+
+// DeltaSchema converts a TPC table to a Delta schema.
+func (t TPCTable) DeltaSchema() delta.Schema {
+	var s delta.Schema
+	for _, c := range t.Columns {
+		s.Fields = append(s.Fields, delta.SchemaField{Name: c.Name, Type: deltaType(c.Type), Nullable: true})
+	}
+	return s
+}
+
+// GenerateRows fills a batch with rows*scale synthetic rows.
+func (t TPCTable) GenerateRows(seed int64, scale float64) *delta.Batch {
+	r := rand.New(rand.NewSource(seed))
+	schema := t.DeltaSchema()
+	b := delta.NewBatch(schema)
+	n := int(float64(t.Rows) * scale)
+	if n < 1 {
+		n = 1
+	}
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for i := 0; i < n; i++ {
+		row := make([]any, len(schema.Fields))
+		for j, f := range schema.Fields {
+			switch f.Type {
+			case delta.TypeInt64:
+				if j == 0 {
+					row[j] = int64(i) // primary-key-ish
+				} else {
+					row[j] = int64(r.Intn(10000))
+				}
+			case delta.TypeFloat64:
+				row[j] = r.Float64() * 1000
+			default:
+				row[j] = words[r.Intn(len(words))]
+			}
+		}
+		b.AppendRow(row...)
+	}
+	return b
+}
+
+// SetupTPC registers the benchmark tables in "catalog.schema" and, when
+// withData is true, creates Delta tables with generated rows at the scale.
+func SetupTPC(svc *catalog.Service, admin catalog.Ctx, catalogName, schemaName string, tables []TPCTable, scale float64, withData bool, seed int64) error {
+	if _, err := svc.CreateCatalog(admin, catalogName, "TPC benchmark data"); err != nil {
+		return err
+	}
+	if _, err := svc.CreateSchema(admin, catalogName, schemaName, ""); err != nil {
+		return err
+	}
+	schemaFull := catalogName + "." + schemaName
+	for i, t := range tables {
+		e, err := svc.CreateTable(admin, schemaFull, t.Name, catalog.TableSpec{Columns: t.Columns}, "")
+		if err != nil {
+			return err
+		}
+		if withData {
+			dt, err := delta.Create(delta.ServiceBlobs{Store: svc.Cloud()}, e.StoragePath, t.Name, t.DeltaSchema(), nil)
+			if err != nil {
+				return err
+			}
+			if _, err := dt.Append(t.GenerateRows(seed+int64(i), scale)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// QueryNames expands footprints into full names under "catalog.schema".
+func QueryNames(catalogName, schemaName string, footprint []string) []string {
+	out := make([]string, len(footprint))
+	for i, t := range footprint {
+		out[i] = fmt.Sprintf("%s.%s.%s", catalogName, schemaName, t)
+	}
+	return out
+}

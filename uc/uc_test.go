@@ -1,0 +1,119 @@
+package uc_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"unitycatalog/internal/erm"
+	"unitycatalog/uc"
+)
+
+func open(t *testing.T, cfg uc.Config) *uc.Catalog {
+	t.Helper()
+	cat, err := uc.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	if _, err := cat.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cat := open(t, uc.Config{})
+	admin := cat.Session("admin", "ms1")
+	if _, err := admin.CreateCatalog("c", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.CreateSchema("c", "s", ""); err != nil {
+		t.Fatal(err)
+	}
+	cols := []uc.ColumnInfo{{Name: "id", Type: "BIGINT"}, {Name: "v", Type: "STRING"}}
+	tbl, err := admin.CreateTable("c.s", "t", uc.TableSpec{Columns: cols}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BootstrapDeltaTable(tbl.StoragePath, cols); err != nil {
+		t.Fatal(err)
+	}
+	eng := cat.NewEngine("e", true)
+	ctx := uc.Ctx{Principal: "admin", Metastore: "ms1"}
+	if _, err := eng.Execute(ctx, "INSERT INTO c.s.t VALUES (1, 'x'), (2, 'y')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Execute(ctx, "SELECT id FROM c.s.t WHERE id >= 2")
+	if err != nil || res.RowsReturned != 1 {
+		t.Fatalf("query = %+v, %v", res, err)
+	}
+	// Grants + sentinel errors across the facade.
+	if err := admin.Grant("c.s.t", "alice", uc.Select); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Session("mallory", "ms1").Get("c.s.t"); !errors.Is(err, uc.ErrPermissionDenied) {
+		t.Fatalf("mallory: %v", err)
+	}
+	// List via session.
+	tables, err := admin.List("c.s", erm.TypeTable)
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("list = %v, %v", tables, err)
+	}
+	// Credential via session; the token works on the data plane.
+	cred, err := admin.Credential("c.s.t", uc.AccessRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Cloud.List(cred.Credential.Token, tbl.StoragePath); err != nil {
+		t.Fatalf("vended token rejected: %v", err)
+	}
+}
+
+func TestFacadeHTTPHandler(t *testing.T) {
+	cat := open(t, uc.Config{})
+	hs := httptest.NewServer(cat.Handler())
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz = %v, %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+func TestFacadeDurability(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "uc.wal")
+	cat, err := uc.Open(uc.Config{WALPath: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1")
+	admin := cat.Session("admin", "ms1")
+	admin.CreateCatalog("persisted", "")
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cat2, err := uc.Open(uc.Config{WALPath: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat2.Close()
+	if _, err := cat2.Service.OpenMetastore("ms1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat2.Session("admin", "ms1").Get("persisted"); err != nil {
+		t.Fatalf("metadata lost across restart: %v", err)
+	}
+}
+
+func TestFacadeOptimizerAndTxn(t *testing.T) {
+	cat := open(t, uc.Config{})
+	if cat.Optimizer == nil || cat.NewTransactionCoordinator() == nil {
+		t.Fatal("facade missing optimizer or txn coordinator")
+	}
+	if cat.Models == nil || cat.Artifacts == nil || cat.Sharing == nil {
+		t.Fatal("facade missing registry subsystems")
+	}
+}
