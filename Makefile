@@ -1,0 +1,29 @@
+# Developer targets. The CI tier-1 gate is `make test`; `make race` is the
+# concurrency gate for the packages on the hot read path (sharded cache,
+# store read counting, service fan-out, lock-striped audit log).
+
+GO ?= go
+
+.PHONY: test race bench bench-parallel
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race gate: runs the stress and coalescing tests (and everything else in
+# these packages) under the race detector. Must pass before touching the
+# cache, store, catalog, or audit concurrency machinery.
+race:
+	$(GO) test -race -count=1 \
+		./internal/cache/... \
+		./internal/store/... \
+		./internal/catalog/... \
+		./internal/audit/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Just the contended read-path micro-benchmarks.
+bench-parallel:
+	$(GO) test -run xxx -bench 'Parallel' -benchmem .
+	$(GO) test -run xxx -bench 'Parallel' -benchmem ./internal/cache/

@@ -10,6 +10,8 @@ package unitycatalog_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"unitycatalog/internal/bench"
@@ -108,11 +110,52 @@ func benchService(b *testing.B) (*catalog.Service, catalog.Ctx, *workload.Popula
 	return svc, admin, pop
 }
 
+// sharedBench lazily builds one populated read-only service reused across
+// all read-path micro-benchmarks: the population is immutable once built,
+// so regenerating it per benchmark only wastes setup time. Write
+// benchmarks (BenchmarkCreateTable) still get a fresh service.
+var sharedBench struct {
+	once  sync.Once
+	svc   *catalog.Service
+	admin catalog.Ctx
+	pop   *workload.Population
+	err   error
+}
+
+func sharedBenchService(b *testing.B) (*catalog.Service, catalog.Ctx, *workload.Population) {
+	b.Helper()
+	s := &sharedBench
+	s.once.Do(func() {
+		db, err := store.Open(store.Options{})
+		if err != nil {
+			s.err = err
+			return
+		}
+		svc, err := catalog.New(catalog.Config{DB: db})
+		if err != nil {
+			s.err = err
+			return
+		}
+		if _, err := svc.CreateMetastore("bench", "bench", "r", "admin", "s3://root/bench"); err != nil {
+			s.err = err
+			return
+		}
+		s.admin = catalog.Ctx{Principal: "admin", Metastore: "bench", TrustedEngine: true}
+		s.pop, s.err = workload.Generate(svc, s.admin, workload.PopulationSpec{Seed: 1, Catalogs: 4})
+		s.svc = svc
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.svc, s.admin, s.pop
+}
+
 // BenchmarkGetAssetCached measures the cached metadata point lookup — the
 // dominant operation in production (98.2% reads).
 func BenchmarkGetAssetCached(b *testing.B) {
-	svc, admin, pop := benchService(b)
+	svc, admin, pop := sharedBenchService(b)
 	names := tableNames(b, pop)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := svc.GetAsset(admin, names[i%len(names)]); err != nil {
@@ -121,10 +164,32 @@ func BenchmarkGetAssetCached(b *testing.B) {
 	}
 }
 
+// BenchmarkGetAssetCachedParallel is the contended version of the dominant
+// read: every goroutine issues cached point lookups against one service.
+// With the sharded cache and atomic metrics the goroutines should share
+// nothing but read locks on distinct shards.
+func BenchmarkGetAssetCachedParallel(b *testing.B) {
+	svc, admin, pop := sharedBenchService(b)
+	names := tableNames(b, pop)
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 7919 // offset goroutines across the name space
+		for pb.Next() {
+			if _, err := svc.GetAsset(admin, names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkResolveWithCredentials measures the batched query-path call.
 func BenchmarkResolveWithCredentials(b *testing.B) {
-	svc, admin, pop := benchService(b)
+	svc, admin, pop := sharedBenchService(b)
 	names := tableNames(b, pop)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := svc.Resolve(admin, catalog.ResolveRequest{
@@ -135,9 +200,66 @@ func BenchmarkResolveWithCredentials(b *testing.B) {
 	}
 }
 
+// BenchmarkResolveParallel runs the batched query-path call from many
+// goroutines at once (resolution + authorization + credential vending, all
+// reads after warmup).
+func BenchmarkResolveParallel(b *testing.B) {
+	svc, admin, pop := sharedBenchService(b)
+	names := tableNames(b, pop)
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 7919
+		for pb.Next() {
+			if _, err := svc.Resolve(admin, catalog.ResolveRequest{
+				Names: []string{names[i%len(names)]}, WithCredentials: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkMixedReadWriteParallel models the production API mix (§6.1,
+// 98.2% reads): concurrent cached reads with one write-through table
+// creation per ~50 operations. Uses a dedicated service so the writes do
+// not grow the shared read-only population.
+func BenchmarkMixedReadWriteParallel(b *testing.B) {
+	svc, admin, pop := benchService(b)
+	names := tableNames(b, pop)
+	if _, err := svc.CreateCatalog(admin, "mixcat", ""); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.CreateSchema(admin, "mixcat", "s", ""); err != nil {
+		b.Fatal(err)
+	}
+	cols := []catalog.ColumnInfo{{Name: "x", Type: "BIGINT"}}
+	var seq, writes atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 7919
+		for pb.Next() {
+			if i%50 == 0 {
+				name := fmt.Sprintf("mix_t%08d", writes.Add(1))
+				if _, err := svc.CreateTable(admin, "mixcat.s", name, catalog.TableSpec{Columns: cols}, ""); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := svc.GetAsset(admin, names[i%len(names)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkTempCredentialByPath measures path→asset resolution plus vending.
 func BenchmarkTempCredentialByPath(b *testing.B) {
-	svc, admin, pop := benchService(b)
+	svc, admin, pop := sharedBenchService(b)
 	var paths []string
 	for _, t := range pop.Tables() {
 		if t.StoragePath != "" {
@@ -147,6 +269,7 @@ func BenchmarkTempCredentialByPath(b *testing.B) {
 	if len(paths) == 0 {
 		b.Fatal("no storage paths")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := svc.TempCredentialForPath(admin, paths[i%len(paths)], cloudsim.AccessRead); err != nil {
@@ -166,6 +289,7 @@ func BenchmarkCreateTable(b *testing.B) {
 		b.Fatal(err)
 	}
 	cols := []catalog.ColumnInfo{{Name: "x", Type: "BIGINT"}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		name := fmt.Sprintf("bench_t%08d", i)

@@ -6,12 +6,22 @@
 // lines) and bounded retention, and exposes simple query and aggregate
 // interfaces used by the evaluation harness (e.g. the read/write API mix of
 // §6.1).
+//
+// Every API request appends at least one record, so Append sits on the hot
+// read path of the service. To keep it from serializing that path, the log
+// is lock-striped: each record takes a global atomic sequence number and is
+// appended to the shard it maps to under that shard's mutex, while the
+// aggregate counters (total/reads/writes/denied and per-operation counts)
+// are plain atomics. Readers merge the shards by sequence number, so
+// Recent and Filter preserve the append order exactly as before.
 package audit
 
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitycatalog/internal/clock"
@@ -43,17 +53,51 @@ type Record struct {
 	Extra     map[string]string `json:"extra,omitempty"`
 }
 
+// logEntry is a retained record stamped with its global sequence number,
+// which totally orders records across shards.
+type logEntry struct {
+	seq uint64
+	rec Record
+}
+
+// logShard is one stripe of the retained-record ring.
+type logShard struct {
+	mu      sync.Mutex
+	entries []logEntry
+	_       [32]byte // pad to keep neighboring shard mutexes off one cache line
+}
+
+// sinkBox holds the optional JSON-lines sink; swapped atomically so the
+// no-sink hot path is a single pointer load.
+type sinkBox struct {
+	mu sync.Mutex // serializes line writes
+	w  io.Writer
+}
+
+type clockBox struct{ c clock.Clock }
+
 // Log is the audit trail. The zero value is not usable; call NewLog.
 type Log struct {
-	mu      sync.Mutex
-	records []Record
-	max     int
-	sink    io.Writer
-	clk     clock.Clock
+	max     int // total retention bound across shards
+	perMax  int // per-shard retention bound
+	shards  []logShard
+	seq     atomic.Uint64
+	clk     atomic.Pointer[clockBox]
+	sink    atomic.Pointer[sinkBox]
 
 	// aggregate counters survive retention trimming
-	total, reads, writes, denied int64
-	byOperation                  map[string]int64
+	total, reads, writes, denied atomic.Int64
+	byOperation                  sync.Map // string -> *atomic.Int64
+}
+
+// logShards picks the striping factor: 1 for small logs (where trimming
+// granularity matters more than concurrency) and 8 for production-sized
+// retention.
+func logShards(max int) int {
+	if max < 4096 {
+		return 1
+	}
+	return 8
 }
 
 // NewLog returns a Log retaining up to max records (0 means 100000).
@@ -61,76 +105,104 @@ func NewLog(max int) *Log {
 	if max <= 0 {
 		max = 100000
 	}
-	return &Log{max: max, clk: clock.Real{}, byOperation: map[string]int64{}}
+	n := logShards(max)
+	l := &Log{max: max, perMax: max / n, shards: make([]logShard, n)}
+	l.clk.Store(&clockBox{c: clock.Real{}})
+	return l
 }
 
 // SetSink directs a copy of every record, JSON-encoded one per line, to w.
 func (l *Log) SetSink(w io.Writer) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.sink = w
+	if w == nil {
+		l.sink.Store(nil)
+		return
+	}
+	l.sink.Store(&sinkBox{w: w})
 }
 
 // SetClock overrides the clock (for simulations).
 func (l *Log) SetClock(c clock.Clock) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.clk = c
+	l.clk.Store(&clockBox{c: c})
 }
 
 // Append records r, stamping its time if unset.
 func (l *Log) Append(r Record) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if r.Time.IsZero() {
-		r.Time = l.clk.Now()
+		r.Time = l.clk.Load().c.Now()
 	}
-	l.records = append(l.records, r)
-	if len(l.records) > l.max {
+	seq := l.seq.Add(1)
+	sh := &l.shards[seq%uint64(len(l.shards))]
+	sh.mu.Lock()
+	sh.entries = append(sh.entries, logEntry{seq: seq, rec: r})
+	if len(sh.entries) > l.perMax {
 		// Amortized trim: drop the oldest half in one copy so sustained
 		// high-rate appends stay O(1) per record instead of O(max).
-		keep := l.max / 2
-		l.records = append([]Record(nil), l.records[len(l.records)-keep:]...)
+		keep := l.perMax / 2
+		if keep < 1 {
+			keep = 1
+		}
+		sh.entries = append([]logEntry(nil), sh.entries[len(sh.entries)-keep:]...)
 	}
-	l.total++
+	sh.mu.Unlock()
+
+	l.total.Add(1)
 	if r.ReadOnly {
-		l.reads++
+		l.reads.Add(1)
 	} else {
-		l.writes++
+		l.writes.Add(1)
 	}
 	if !r.Allowed {
-		l.denied++
+		l.denied.Add(1)
 	}
 	if r.Operation != "" {
-		l.byOperation[r.Operation]++
+		c, ok := l.byOperation.Load(r.Operation)
+		if !ok {
+			c, _ = l.byOperation.LoadOrStore(r.Operation, new(atomic.Int64))
+		}
+		c.(*atomic.Int64).Add(1)
 	}
-	if l.sink != nil {
+	if box := l.sink.Load(); box != nil {
 		if b, err := json.Marshal(r); err == nil {
-			l.sink.Write(append(b, '\n'))
+			box.mu.Lock()
+			box.w.Write(append(b, '\n'))
+			box.mu.Unlock()
 		}
 	}
 }
 
+// collect snapshots all retained entries ordered by sequence number
+// (append order, oldest first).
+func (l *Log) collect() []logEntry {
+	var all []logEntry
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.entries...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	return all
+}
+
 // Recent returns up to n most recent records, newest last.
 func (l *Log) Recent(n int) []Record {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if n <= 0 || n > len(l.records) {
-		n = len(l.records)
+	all := l.collect()
+	if n <= 0 || n > len(all) {
+		n = len(all)
 	}
 	out := make([]Record, n)
-	copy(out, l.records[len(l.records)-n:])
+	for i, e := range all[len(all)-n:] {
+		out[i] = e.rec
+	}
 	return out
 }
 
 // Filter returns retained records matching pred, oldest first.
 func (l *Log) Filter(pred func(Record) bool) []Record {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var out []Record
-	for _, r := range l.records {
-		if pred(r) {
-			out = append(out, r)
+	for _, e := range l.collect() {
+		if pred(e.rec) {
+			out = append(out, e.rec)
 		}
 	}
 	return out
@@ -147,22 +219,26 @@ type Stats struct {
 
 // Stats returns aggregate counters.
 func (l *Log) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	byOp := make(map[string]int64, len(l.byOperation))
-	for k, v := range l.byOperation {
-		byOp[k] = v
+	byOp := map[string]int64{}
+	l.byOperation.Range(func(k, v any) bool {
+		byOp[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return Stats{
+		Total:       l.total.Load(),
+		Reads:       l.reads.Load(),
+		Writes:      l.writes.Load(),
+		Denied:      l.denied.Load(),
+		ByOperation: byOp,
 	}
-	return Stats{Total: l.total, Reads: l.reads, Writes: l.writes, Denied: l.denied, ByOperation: byOp}
 }
 
 // ReadFraction returns the fraction of requests that were read-only
 // (the paper reports 98.2% for production UC).
 func (l *Log) ReadFraction() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.total == 0 {
+	total := l.total.Load()
+	if total == 0 {
 		return 0
 	}
-	return float64(l.reads) / float64(l.total)
+	return float64(l.reads.Load()) / float64(total)
 }

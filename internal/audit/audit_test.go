@@ -3,7 +3,9 @@ package audit
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -68,6 +70,90 @@ func TestSinkReceivesJSONLines(t *testing.T) {
 	}
 	if r.Operation != "GetTable" || r.Principal != "bob" {
 		t.Fatalf("record = %+v", r)
+	}
+}
+
+// TestShardedOrderingPreserved checks that the lock-striped log still
+// returns records in exact append order: a production-sized retention uses
+// multiple shards, and Recent/Filter must merge them by sequence number.
+func TestShardedOrderingPreserved(t *testing.T) {
+	l := NewLog(0) // default retention → sharded
+	if len(l.shards) < 2 {
+		t.Fatalf("default log should be sharded, got %d shards", len(l.shards))
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.Append(Record{Operation: fmt.Sprintf("op%04d", i), Allowed: true})
+	}
+	recs := l.Recent(0)
+	if len(recs) != n {
+		t.Fatalf("retained %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("op%04d", i); r.Operation != want {
+			t.Fatalf("record %d = %s, want %s (shard merge broke ordering)", i, r.Operation, want)
+		}
+	}
+	// Filter preserves the same oldest-first order.
+	odd := l.Filter(func(r Record) bool { return strings.HasSuffix(r.Operation, "1") })
+	for i := 1; i < len(odd); i++ {
+		if odd[i].Operation <= odd[i-1].Operation {
+			t.Fatalf("filter out of order: %s after %s", odd[i].Operation, odd[i-1].Operation)
+		}
+	}
+}
+
+// TestConcurrentAppends hammers Append from many goroutines while readers
+// run; counters must be exact and reads must not race (verified by the
+// -race gate).
+func TestConcurrentAppends(t *testing.T) {
+	l := NewLog(0)
+	const writers, per = 8, 500
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	readWG.Add(1)
+	go func() { // concurrent readers
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.Recent(10)
+			l.Stats()
+			l.ReadFraction()
+			l.Filter(func(r Record) bool { return !r.Allowed })
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < per; i++ {
+				l.Append(Record{
+					Kind: KindAPIRequest, Operation: "GetTable",
+					Allowed: i%10 != 0, ReadOnly: w%4 != 0,
+				})
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	st := l.Stats()
+	if st.Total != writers*per {
+		t.Fatalf("total = %d, want %d", st.Total, writers*per)
+	}
+	if st.Denied != writers*per/10 {
+		t.Fatalf("denied = %d, want %d", st.Denied, writers*per/10)
+	}
+	if st.ByOperation["GetTable"] != writers*per {
+		t.Fatalf("byOp = %v", st.ByOperation)
+	}
+	if got := len(l.Recent(0)); got > writers*per {
+		t.Fatalf("retained %d > appended %d", got, writers*per)
 	}
 }
 

@@ -28,13 +28,47 @@
 //     unpopular records with all their versions, and old versions of
 //     popular records are pruned lazily once past the API-timeout horizon,
 //     because no in-flight request can still need them.
+//
+// # Concurrency model
+//
+// The production traffic the paper reports is 98.2% metadata reads, so the
+// cached read path is built to be contention-free across cores:
+//
+//   - Each metastore's records and scans are split into numShards
+//     lock-striped shards keyed by a hash of the record key. A cache hit
+//     takes only its shard's RLock; hits on different assets touch
+//     different locks.
+//   - Hit bookkeeping (lastUsed, uses) and all effectiveness counters are
+//     sync/atomic values, so a hit mutates nothing under a lock.
+//   - The metastore's known version is an atomic. Operations that must
+//     change it together with cached state (reconciliation, write-through
+//     installation) acquire every shard lock in index order; the miss
+//     path's "insert only if the view is still at the known version" check
+//     runs under a single shard lock, which suffices because the known
+//     version cannot change while any shard lock is held.
+//   - A View's pin state is one atomic word (pin bit | version), so a view
+//     shared by many goroutines stays on a single consistent snapshot: the
+//     version changes only by the CAS that also sets the pin bit.
+//   - Cold misses are coalesced by a per-metastore singleflight keyed by
+//     (version, record key): a thundering herd on one cold key issues one
+//     database read; latecomers wait for the leader's result.
+//   - Eviction is per-shard with approximate global accounting: inserts
+//     bump an atomic entry count, and when it exceeds the cap a victim is
+//     chosen by policy within one shard (rotating across shards), so
+//     eviction never stops the world.
+//
+// Values returned by Get and Scan are shared with the cache and the store;
+// callers must treat them as immutable. Scan returns a fresh []store.KV
+// slice, so appending to or reordering the result is safe.
 package cache
 
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitycatalog/internal/store"
@@ -62,6 +96,12 @@ const (
 	EvictLFU
 )
 
+// numShards is the lock-striping factor for each metastore's record and
+// scan maps. Power of two; sized so that at typical server core counts two
+// concurrent hits rarely share a lock, while keeping the cost of
+// all-shard operations (reconcile, write-through) trivial.
+const numShards = 32
+
 // Options configures a Cache.
 type Options struct {
 	// MaxEntriesPerMetastore bounds cached records per metastore
@@ -80,14 +120,28 @@ type Options struct {
 	Disabled bool
 }
 
-// Metrics exposes cache effectiveness counters.
+// Metrics is a point-in-time snapshot of the cache effectiveness counters.
 type Metrics struct {
 	Hits, Misses         int64
 	ScanHits, ScanMisses int64
-	FullReconciles       int64
-	SelectiveReconciles  int64
-	Evictions            int64
-	WriteConflicts       int64
+	// CoalescedMisses counts misses that piggybacked on another in-flight
+	// database read for the same (version, key) instead of issuing their own.
+	CoalescedMisses     int64
+	FullReconciles      int64
+	SelectiveReconciles int64
+	Evictions           int64
+	WriteConflicts      int64
+}
+
+// counters holds the live atomic counters behind Metrics.
+type counters struct {
+	hits, misses         atomic.Int64
+	scanHits, scanMisses atomic.Int64
+	coalescedMisses      atomic.Int64
+	fullReconciles       atomic.Int64
+	selectiveReconciles  atomic.Int64
+	evictions            atomic.Int64
+	writeConflicts       atomic.Int64
 }
 
 type cachedVersion struct {
@@ -98,10 +152,15 @@ type cachedVersion struct {
 }
 
 type cachedRecord struct {
-	versions []cachedVersion // ascending by version
-	// bookkeeping for eviction
-	lastUsed time.Time
-	uses     int64
+	versions []cachedVersion // ascending by version; guarded by the shard lock
+	// Eviction bookkeeping, updated lock-free on the hit path.
+	lastUsed atomic.Int64 // unix nanoseconds
+	uses     atomic.Int64
+}
+
+func (r *cachedRecord) touch() {
+	r.lastUsed.Store(time.Now().UnixNano())
+	r.uses.Add(1)
 }
 
 func (r *cachedRecord) at(v uint64) (value []byte, deleted, ok bool) {
@@ -115,21 +174,107 @@ func (r *cachedRecord) at(v uint64) (value []byte, deleted, ok bool) {
 }
 
 type cachedScan struct {
-	version uint64
+	version uint64 // guarded by the shard lock (bumped under all-shard locks)
 	kvs     []store.KV
-	// bookkeeping
-	lastUsed time.Time
-	uses     int64
+	// Eviction bookkeeping, updated lock-free on the hit path.
+	lastUsed atomic.Int64
+	uses     atomic.Int64
 }
 
-type msCache struct {
-	mu           sync.RWMutex
-	knownVersion uint64
+func (s *cachedScan) touch() {
+	s.lastUsed.Store(time.Now().UnixNano())
+	s.uses.Add(1)
+}
+
+// shard is one lock stripe of a metastore's cached state.
+type shard struct {
+	mu sync.RWMutex
 	// records keyed by table+"\x00"+key; these include the secondary-key
 	// index records (name→id, path→id), so the cache serves lookups by ID,
 	// name, or path, as the paper describes.
 	records map[string]*cachedRecord
 	scans   map[string]*cachedScan
+}
+
+// flight is one in-progress database read shared by coalesced misses.
+type flight struct {
+	done  chan struct{}
+	val   []byte
+	found bool
+	kvs   []store.KV
+	err   error
+}
+
+type msCache struct {
+	// knownVersion is read lock-free on the hot path; it is only written
+	// while every shard lock is held.
+	knownVersion atomic.Uint64
+	shards       [numShards]shard
+	// entries approximates the total record count across shards.
+	entries     atomic.Int64
+	evictCursor atomic.Uint32
+
+	flightMu sync.Mutex
+	flight   map[string]*flight
+}
+
+func newMsCache(v uint64) *msCache {
+	m := &msCache{flight: map[string]*flight{}}
+	m.knownVersion.Store(v)
+	for i := range m.shards {
+		m.shards[i].records = map[string]*cachedRecord{}
+		m.shards[i].scans = map[string]*cachedScan{}
+	}
+	return m
+}
+
+func (m *msCache) shardFor(key string) *shard {
+	// Inline FNV-1a; the stdlib hash/fnv allocates.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &m.shards[h&(numShards-1)]
+}
+
+// lockAll acquires every shard lock in index order. While held, no shard
+// operation can run, so knownVersion and cached state can change together.
+func (m *msCache) lockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+	}
+}
+
+func (m *msCache) unlockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// doFlight runs fn once per key among concurrent callers. The leader (the
+// caller that runs fn) gets leader=true; the rest block until the leader
+// finishes and share its flight result.
+func (m *msCache) doFlight(key string, fn func(*flight)) (f *flight, leader bool) {
+	m.flightMu.Lock()
+	if f, ok := m.flight[key]; ok {
+		m.flightMu.Unlock()
+		<-f.done
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	m.flight[key] = f
+	m.flightMu.Unlock()
+	fn(f)
+	m.flightMu.Lock()
+	delete(m.flight, key)
+	m.flightMu.Unlock()
+	close(f.done)
+	return f, true
+}
+
+func flightKey(kind byte, version uint64, key string) string {
+	return string(kind) + strconv.FormatUint(version, 10) + "\x00" + key
 }
 
 // Cache is a cache node, owning and caching a set of metastores over one DB.
@@ -141,8 +286,7 @@ type Cache struct {
 	owned  map[string]*msCache
 	closed bool
 
-	metricsMu sync.Mutex
-	metrics   Metrics
+	metrics counters
 }
 
 // New returns a cache node over db.
@@ -156,17 +300,19 @@ func New(db *store.DB, opts Options) *Cache {
 	return &Cache{db: db, opts: opts, owned: map[string]*msCache{}}
 }
 
-// Metrics returns a copy of the cache counters.
+// Metrics returns a snapshot of the cache counters.
 func (c *Cache) Metrics() Metrics {
-	c.metricsMu.Lock()
-	defer c.metricsMu.Unlock()
-	return c.metrics
-}
-
-func (c *Cache) count(f func(*Metrics)) {
-	c.metricsMu.Lock()
-	f(&c.metrics)
-	c.metricsMu.Unlock()
+	return Metrics{
+		Hits:                c.metrics.hits.Load(),
+		Misses:              c.metrics.misses.Load(),
+		ScanHits:            c.metrics.scanHits.Load(),
+		ScanMisses:          c.metrics.scanMisses.Load(),
+		CoalescedMisses:     c.metrics.coalescedMisses.Load(),
+		FullReconciles:      c.metrics.fullReconciles.Load(),
+		SelectiveReconciles: c.metrics.selectiveReconciles.Load(),
+		Evictions:           c.metrics.evictions.Load(),
+		WriteConflicts:      c.metrics.writeConflicts.Load(),
+	}
 }
 
 // Own registers a metastore with this node, initializing its known version
@@ -179,7 +325,7 @@ func (c *Cache) Own(msID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.owned[msID]; !ok {
-		c.owned[msID] = &msCache{knownVersion: v, records: map[string]*cachedRecord{}, scans: map[string]*cachedScan{}}
+		c.owned[msID] = newMsCache(v)
 	}
 	return nil
 }
@@ -206,36 +352,46 @@ func scanKey(table, prefix string) string {
 	return table + "\x00" + prefix
 }
 
-// reconcile brings the metastore cache up to the database's current version.
-// Caller must hold m.mu for writing.
-func (c *Cache) reconcileLocked(msID string, m *msCache) error {
+// reconcileAllLocked brings the metastore cache up to the database's current
+// version. Caller must hold every shard lock (lockAll).
+func (c *Cache) reconcileAllLocked(msID string, m *msCache) error {
 	dbV, err := c.db.Version(msID)
 	if err != nil {
 		return err
 	}
-	if dbV == m.knownVersion {
+	known := m.knownVersion.Load()
+	if dbV == known {
 		return nil
 	}
 	if c.opts.Strategy == ReconcileSelective {
-		changes, err := c.db.ChangesSince(msID, m.knownVersion)
+		changes, err := c.db.ChangesSince(msID, known)
 		if err == nil {
 			for _, ch := range changes {
-				delete(m.records, recordKey(ch.Table, ch.Key))
+				rk := recordKey(ch.Table, ch.Key)
+				sh := m.shardFor(rk)
+				if _, ok := sh.records[rk]; ok {
+					delete(sh.records, rk)
+					m.entries.Add(-1)
+				}
 				// Invalidate scans over the changed table whose prefix
 				// covers the changed key.
-				for sk := range m.scans {
-					tbl, prefix, _ := strings.Cut(sk, "\x00")
-					if tbl == ch.Table && strings.HasPrefix(ch.Key, prefix) {
-						delete(m.scans, sk)
+				for i := range m.shards {
+					for sk := range m.shards[i].scans {
+						tbl, prefix, _ := strings.Cut(sk, "\x00")
+						if tbl == ch.Table && strings.HasPrefix(ch.Key, prefix) {
+							delete(m.shards[i].scans, sk)
+						}
 					}
 				}
 			}
 			// Surviving entries remain the latest as of dbV.
-			for _, s := range m.scans {
-				s.version = dbV
+			for i := range m.shards {
+				for _, s := range m.shards[i].scans {
+					s.version = dbV
+				}
 			}
-			m.knownVersion = dbV
-			c.count(func(mt *Metrics) { mt.SelectiveReconciles++ })
+			m.knownVersion.Store(dbV)
+			c.metrics.selectiveReconciles.Add(1)
 			return nil
 		}
 		if !errors.Is(err, store.ErrChangeLogTrimmed) {
@@ -243,12 +399,19 @@ func (c *Cache) reconcileLocked(msID string, m *msCache) error {
 		}
 		// fall through to full eviction
 	}
-	m.records = map[string]*cachedRecord{}
-	m.scans = map[string]*cachedScan{}
-	m.knownVersion = dbV
-	c.count(func(mt *Metrics) { mt.FullReconciles++ })
+	for i := range m.shards {
+		m.shards[i].records = map[string]*cachedRecord{}
+		m.shards[i].scans = map[string]*cachedScan{}
+	}
+	m.entries.Store(0)
+	m.knownVersion.Store(dbV)
+	c.metrics.fullReconciles.Add(1)
 	return nil
 }
+
+// pinnedBit marks a View's state word as pinned; the remaining bits are the
+// view's snapshot version.
+const pinnedBit = uint64(1) << 63
 
 // View is a snapshot-isolated read view of one metastore served from the
 // cache with database fallback. The view's version is pinned lazily: a view
@@ -258,13 +421,19 @@ func (c *Cache) reconcileLocked(msID string, m *msCache) error {
 // — so fresh requests observe other nodes' committed writes, while accesses
 // after pinning stay on one consistent snapshot. Close releases the
 // underlying DB snapshot if one was opened.
+//
+// A View is safe for concurrent use: the pin state is a single atomic word,
+// so all goroutines sharing a view observe one consistent snapshot version.
 type View struct {
-	c       *Cache
-	msID    string
-	m       *msCache
-	Version uint64
-	pinned  bool
-	snap    *store.Snapshot // cache-disabled mode reads straight from this
+	c    *Cache
+	msID string
+	m    *msCache
+	// state packs pinnedBit with the snapshot version. The version changes
+	// only via the CAS that also sets the pin bit, so once any access pins
+	// the view its version is immutable.
+	state atomic.Uint64
+	pinMu sync.Mutex      // serializes pinOnMiss reconciliation
+	snap  *store.Snapshot // cache-disabled mode reads straight from this
 }
 
 // NewView opens a read view of the metastore. When the cache is disabled,
@@ -275,136 +444,228 @@ func (c *Cache) NewView(msID string) (*View, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &View{c: c, msID: msID, Version: snap.Version, pinned: true, snap: snap}, nil
+		v := &View{c: c, msID: msID, snap: snap}
+		v.state.Store(snap.Version | pinnedBit)
+		return v, nil
 	}
 	m, err := c.owner(msID)
 	if err != nil {
 		return nil, err
 	}
-	m.mu.RLock()
-	v := m.knownVersion
-	m.mu.RUnlock()
-	return &View{c: c, msID: msID, m: m, Version: v}, nil
+	v := &View{c: c, msID: msID, m: m}
+	v.state.Store(m.knownVersion.Load())
+	return v, nil
 }
+
+// Version returns the snapshot version the view reads at.
+func (v *View) Version() uint64 { return v.state.Load() &^ pinnedBit }
+
+func (v *View) pinned() bool { return v.state.Load()&pinnedBit != 0 }
 
 // pinOnMiss validates the known version against the database (reconciling
-// if another node advanced it) and pins the view. Only called while the
-// view is still unpinned.
+// if another node advanced it) and pins the view. No-op if the view pinned
+// concurrently.
 func (v *View) pinOnMiss() {
-	v.m.mu.Lock()
-	if err := v.c.reconcileLocked(v.msID, v.m); err == nil {
-		v.Version = v.m.knownVersion
+	v.pinMu.Lock()
+	defer v.pinMu.Unlock()
+	st := v.state.Load()
+	if st&pinnedBit != 0 {
+		return
 	}
-	v.m.mu.Unlock()
-	v.pinned = true
+	v.m.lockAll()
+	target := st &^ pinnedBit
+	if err := v.c.reconcileAllLocked(v.msID, v.m); err == nil {
+		target = v.m.knownVersion.Load()
+	}
+	// A concurrent hit may have pinned the view at its original version in
+	// the meantime; that pin wins and this CAS is a no-op.
+	v.state.CompareAndSwap(st, target|pinnedBit)
+	v.m.unlockAll()
 }
 
-// Get returns the value of (table, key) as of the view's version.
+// tryHit serves (and pins) a cache hit for rk, if present at the view's
+// version. The retry loop handles the race between finding a value at an
+// unpinned version and another goroutine pinning the view elsewhere.
+func (v *View) tryHit(sh *shard, rk string) (val []byte, deleted, ok bool) {
+	for {
+		st := v.state.Load()
+		ver := st &^ pinnedBit
+		sh.mu.RLock()
+		rec := sh.records[rk]
+		var found bool
+		if rec != nil {
+			val, deleted, found = rec.at(ver)
+		}
+		sh.mu.RUnlock()
+		if !found {
+			return nil, false, false
+		}
+		if st&pinnedBit == 0 && !v.state.CompareAndSwap(st, ver|pinnedBit) {
+			// The view pinned under us, possibly at a different version;
+			// re-serve at the authoritative version.
+			continue
+		}
+		rec.touch()
+		return val, deleted, true
+	}
+}
+
+// Get returns the value of (table, key) as of the view's version. The
+// returned bytes are shared with the cache and must not be mutated.
 func (v *View) Get(table, key string) ([]byte, bool) {
 	if v.snap != nil { // cache disabled
 		return v.snap.Get(table, key)
 	}
 	rk := recordKey(table, key)
-	v.m.mu.RLock()
-	rec, ok := v.m.records[rk]
-	if ok {
-		if val, deleted, found := rec.at(v.Version); found {
-			rec.lastUsed = time.Now()
-			rec.uses++
-			v.m.mu.RUnlock()
-			v.pinned = true
-			v.c.count(func(mt *Metrics) { mt.Hits++ })
+	sh := v.m.shardFor(rk)
+	if val, deleted, ok := v.tryHit(sh, rk); ok {
+		v.c.metrics.hits.Add(1)
+		if deleted {
+			return nil, false
+		}
+		return val, true
+	}
+	v.c.metrics.misses.Add(1)
+
+	// First-access miss: validate the node's version against the DB and
+	// reconcile, so this view observes other nodes' commits.
+	if !v.pinned() {
+		v.pinOnMiss()
+		// The reconciled cache may now hold the record (selective
+		// reconciliation keeps unchanged entries).
+		if val, deleted, ok := v.tryHit(sh, rk); ok {
+			v.c.metrics.hits.Add(1)
 			if deleted {
 				return nil, false
 			}
 			return val, true
 		}
 	}
-	v.m.mu.RUnlock()
-	v.c.count(func(mt *Metrics) { mt.Misses++ })
 
-	// First-access miss: validate the node's version against the DB and
-	// reconcile, so this view observes other nodes' commits.
-	if !v.pinned {
-		v.pinOnMiss()
-		// The reconciled cache may now hold the record (selective
-		// reconciliation keeps unchanged entries).
-		v.m.mu.RLock()
-		if rec, ok := v.m.records[rk]; ok {
-			if val, deleted, found := rec.at(v.Version); found {
-				v.m.mu.RUnlock()
-				v.c.count(func(mt *Metrics) { mt.Hits++ })
-				if deleted {
-					return nil, false
-				}
-				return val, true
-			}
+	// Miss: read from the database at the pinned version, coalescing
+	// concurrent misses on the same (version, key) into one read. The
+	// leader installs the result before the flight closes, so latecomers
+	// either join the flight or hit the cache — never re-read the DB.
+	ver := v.Version()
+	f, leader := v.m.doFlight(flightKey('g', ver, rk), func(f *flight) {
+		snap, err := v.c.db.SnapshotAt(v.msID, ver)
+		if err != nil {
+			f.err = err
+			return
 		}
-		v.m.mu.RUnlock()
-	}
-
-	// Miss: read from the database at the pinned version.
-	snap, err := v.c.db.SnapshotAt(v.msID, v.Version)
-	if err != nil {
+		f.val, f.found = snap.Get(table, key)
+		snap.Close()
+		// Cache the result only when the view is at the cache's current
+		// known version; otherwise a change in (view, known] could make the
+		// insert stale with respect to newer readers. knownVersion cannot
+		// change while this shard lock is held (writers take all shards).
+		sh.mu.Lock()
+		if v.m.knownVersion.Load() == ver {
+			v.c.insertShardLocked(v.m, sh, rk, cachedVersion{version: ver, value: f.val, deleted: !f.found, cachedAt: time.Now()})
+		}
+		sh.mu.Unlock()
+		v.c.maybeEvict(v.m)
+	})
+	if f.err != nil {
 		return nil, false
 	}
-	val, found := snap.Get(table, key)
-	snap.Close()
-
-	// Cache the result only when the view is at the cache's current known
-	// version; otherwise a change in (view, known] could make the insert
-	// stale with respect to newer readers.
-	v.m.mu.Lock()
-	if v.m.knownVersion == v.Version {
-		v.c.insertLocked(v.m, rk, cachedVersion{version: v.Version, value: val, deleted: !found, cachedAt: time.Now()})
+	if !leader {
+		v.c.metrics.coalescedMisses.Add(1)
 	}
-	v.m.mu.Unlock()
-	if !found {
+	if !f.found {
 		return nil, false
 	}
-	return val, true
+	return f.val, true
 }
 
 // Scan returns live pairs with the key prefix as of the view's version,
-// served from the scan cache when possible.
+// served from the scan cache when possible. The returned slice is the
+// caller's to keep; the values it contains are shared and must be treated
+// as immutable.
 func (v *View) Scan(table, prefix string) []store.KV {
 	if v.snap != nil { // cache disabled
 		return v.snap.Scan(table, prefix)
 	}
 	sk := scanKey(table, prefix)
-	v.m.mu.RLock()
-	if s, ok := v.m.scans[sk]; ok && s.version >= v.Version {
-		// The scan result is the latest as of s.version >= view version and
-		// unchanged since the view version (otherwise invalidated), so it is
-		// valid for this view only if it was already valid at view version.
-		// Entries are only stored/bumped when proven unchanged, so >= is safe.
-		s.lastUsed = time.Now()
-		s.uses++
-		out := s.kvs
-		v.m.mu.RUnlock()
-		v.pinned = true
-		v.c.count(func(mt *Metrics) { mt.ScanHits++ })
-		return out
+	sh := v.m.shardFor(sk)
+	if kvs, ok := v.tryScanHit(sh, sk); ok {
+		v.c.metrics.scanHits.Add(1)
+		return kvs
 	}
-	v.m.mu.RUnlock()
-	v.c.count(func(mt *Metrics) { mt.ScanMisses++ })
+	v.c.metrics.scanMisses.Add(1)
 
-	if !v.pinned {
+	if !v.pinned() {
 		v.pinOnMiss()
+		if kvs, ok := v.tryScanHit(sh, sk); ok {
+			v.c.metrics.scanHits.Add(1)
+			return kvs
+		}
 	}
-	snap, err := v.c.db.SnapshotAt(v.msID, v.Version)
-	if err != nil {
+	ver := v.Version()
+	f, leader := v.m.doFlight(flightKey('s', ver, sk), func(f *flight) {
+		snap, err := v.c.db.SnapshotAt(v.msID, ver)
+		if err != nil {
+			f.err = err
+			return
+		}
+		f.kvs = snap.Scan(table, prefix)
+		snap.Close()
+		sh.mu.Lock()
+		if v.m.knownVersion.Load() == ver {
+			s := &cachedScan{version: ver, kvs: f.kvs}
+			s.touch()
+			sh.scans[sk] = s
+		}
+		sh.mu.Unlock()
+	})
+	if f.err != nil {
 		return nil
 	}
-	kvs := snap.Scan(table, prefix)
-	snap.Close()
-
-	v.m.mu.Lock()
-	if v.m.knownVersion == v.Version {
-		v.m.scans[sk] = &cachedScan{version: v.Version, kvs: kvs, lastUsed: time.Now(), uses: 1}
+	if !leader {
+		v.c.metrics.coalescedMisses.Add(1)
 	}
-	v.m.mu.Unlock()
-	return kvs
+	return copyKVs(f.kvs)
+}
+
+// tryScanHit serves (and pins) a cached scan valid at the view's version.
+func (v *View) tryScanHit(sh *shard, sk string) ([]store.KV, bool) {
+	for {
+		st := v.state.Load()
+		ver := st &^ pinnedBit
+		sh.mu.RLock()
+		s := sh.scans[sk]
+		var kvs []store.KV
+		found := false
+		if s != nil && s.version >= ver {
+			// The scan result is the latest as of s.version >= view version
+			// and unchanged since the view version (otherwise invalidated),
+			// so it is valid for this view only if it was already valid at
+			// view version. Entries are only stored/bumped when proven
+			// unchanged, so >= is safe.
+			kvs, found = s.kvs, true
+		}
+		sh.mu.RUnlock()
+		if !found {
+			return nil, false
+		}
+		if st&pinnedBit == 0 && !v.state.CompareAndSwap(st, ver|pinnedBit) {
+			continue
+		}
+		s.touch()
+		return copyKVs(kvs), true
+	}
+}
+
+// copyKVs returns a fresh slice over the same (immutable) values, so a
+// caller mutating the returned slice cannot corrupt the cache for other
+// views.
+func copyKVs(kvs []store.KV) []store.KV {
+	if kvs == nil {
+		return nil
+	}
+	out := make([]store.KV, len(kvs))
+	copy(out, kvs)
+	return out
 }
 
 // Close releases resources held by the view.
@@ -415,16 +676,14 @@ func (v *View) Close() {
 	}
 }
 
-// insertLocked adds a version to a record, pruning stale versions lazily.
-// Caller holds m.mu.
-func (c *Cache) insertLocked(m *msCache, rk string, cv cachedVersion) {
-	rec, ok := m.records[rk]
+// insertShardLocked adds a version to a record, pruning stale versions
+// lazily. Caller holds the shard's write lock (alone or via lockAll).
+func (c *Cache) insertShardLocked(m *msCache, sh *shard, rk string, cv cachedVersion) {
+	rec, ok := sh.records[rk]
 	if !ok {
-		if len(m.records) >= c.opts.MaxEntriesPerMetastore {
-			c.evictOneLocked(m)
-		}
 		rec = &cachedRecord{}
-		m.records[rk] = rec
+		sh.records[rk] = rec
+		m.entries.Add(1)
 	}
 	// Keep versions ascending; drop any version >= cv.version (shouldn't
 	// happen, but reconciliation races are possible when disabled checks
@@ -444,34 +703,80 @@ func (c *Cache) insertLocked(m *msCache, rk string, cv cachedVersion) {
 		kept = kept[1:]
 	}
 	rec.versions = append(kept, cv)
-	rec.lastUsed = time.Now()
-	rec.uses++
+	rec.touch()
 }
 
-// evictOneLocked removes one record according to the eviction policy.
-func (c *Cache) evictOneLocked(m *msCache) {
+// maybeEvict evicts records while the approximate entry count exceeds the
+// cap, one shard at a time. Callers must not hold any shard lock.
+func (c *Cache) maybeEvict(m *msCache) {
+	for m.entries.Load() > int64(c.opts.MaxEntriesPerMetastore) {
+		if !c.evictOne(m) {
+			return
+		}
+	}
+}
+
+// evictOne removes one record according to the eviction policy from the
+// next non-empty shard in rotation. Returns false if nothing was evicted.
+func (c *Cache) evictOne(m *msCache) bool {
+	start := int(m.evictCursor.Add(1))
+	for i := 0; i < numShards; i++ {
+		sh := &m.shards[(start+i)&(numShards-1)]
+		sh.mu.Lock()
+		if victim := c.victimLocked(sh); victim != "" {
+			delete(sh.records, victim)
+			m.entries.Add(-1)
+			c.metrics.evictions.Add(1)
+			sh.mu.Unlock()
+			return true
+		}
+		sh.mu.Unlock()
+	}
+	return false
+}
+
+// evictAllLocked is maybeEvict for callers already holding every shard lock.
+func (c *Cache) evictAllLocked(m *msCache) {
+	for m.entries.Load() > int64(c.opts.MaxEntriesPerMetastore) {
+		evicted := false
+		for i := range m.shards {
+			sh := &m.shards[i]
+			if victim := c.victimLocked(sh); victim != "" {
+				delete(sh.records, victim)
+				m.entries.Add(-1)
+				c.metrics.evictions.Add(1)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// victimLocked picks the policy victim within one shard. Caller holds the
+// shard's write lock.
+func (c *Cache) victimLocked(sh *shard) string {
 	var victim string
 	switch c.opts.Policy {
 	case EvictLFU:
 		var min int64 = 1<<63 - 1
-		for k, r := range m.records {
-			if r.uses < min {
-				min, victim = r.uses, k
+		for k, r := range sh.records {
+			if u := r.uses.Load(); u < min {
+				min, victim = u, k
 			}
 		}
 	default: // LRU
-		var oldest time.Time
+		var oldest int64
 		first := true
-		for k, r := range m.records {
-			if first || r.lastUsed.Before(oldest) {
-				oldest, victim, first = r.lastUsed, k, false
+		for k, r := range sh.records {
+			if lu := r.lastUsed.Load(); first || lu < oldest {
+				oldest, victim, first = lu, k, false
 			}
 		}
 	}
-	if victim != "" {
-		delete(m.records, victim)
-		c.count(func(mt *Metrics) { mt.Evictions++ })
-	}
+	return victim
 }
 
 // maxWriteRetries bounds optimistic write retries after version conflicts.
@@ -488,9 +793,7 @@ func (c *Cache) Update(msID string, fn func(tx *store.Tx) error) (uint64, error)
 		return 0, err
 	}
 	for attempt := 0; attempt < maxWriteRetries; attempt++ {
-		m.mu.Lock()
-		known := m.knownVersion
-		m.mu.Unlock()
+		known := m.knownVersion.Load()
 
 		var captured []store.Write
 		newV, err := c.db.UpdateCAS(msID, known, func(tx *store.Tx) error {
@@ -501,10 +804,10 @@ func (c *Cache) Update(msID string, fn func(tx *store.Tx) error) (uint64, error)
 			return nil
 		})
 		if errors.Is(err, store.ErrVersionMismatch) {
-			c.count(func(mt *Metrics) { mt.WriteConflicts++ })
-			m.mu.Lock()
-			rerr := c.reconcileLocked(msID, m)
-			m.mu.Unlock()
+			c.metrics.writeConflicts.Add(1)
+			m.lockAll()
+			rerr := c.reconcileAllLocked(msID, m)
+			m.unlockAll()
 			if rerr != nil {
 				return 0, rerr
 			}
@@ -517,25 +820,30 @@ func (c *Cache) Update(msID string, fn func(tx *store.Tx) error) (uint64, error)
 			return newV, nil // read-only transaction
 		}
 		// Write-through: install the new versions and advance known version.
-		m.mu.Lock()
-		if m.knownVersion == known {
+		m.lockAll()
+		if m.knownVersion.Load() == known {
 			now := time.Now()
 			for _, w := range captured {
 				rk := recordKey(w.Table, w.Key)
-				c.insertLocked(m, rk, cachedVersion{version: newV, value: w.Value, deleted: w.Deleted, cachedAt: now})
-				for sk := range m.scans {
-					tbl, prefix, _ := strings.Cut(sk, "\x00")
-					if tbl == w.Table && strings.HasPrefix(w.Key, prefix) {
-						delete(m.scans, sk)
+				c.insertShardLocked(m, m.shardFor(rk), rk, cachedVersion{version: newV, value: w.Value, deleted: w.Deleted, cachedAt: now})
+				for i := range m.shards {
+					for sk := range m.shards[i].scans {
+						tbl, prefix, _ := strings.Cut(sk, "\x00")
+						if tbl == w.Table && strings.HasPrefix(w.Key, prefix) {
+							delete(m.shards[i].scans, sk)
+						}
 					}
 				}
 			}
-			for _, s := range m.scans {
-				s.version = newV
+			for i := range m.shards {
+				for _, s := range m.shards[i].scans {
+					s.version = newV
+				}
 			}
-			m.knownVersion = newV
+			m.knownVersion.Store(newV)
+			c.evictAllLocked(m)
 		}
-		m.mu.Unlock()
+		m.unlockAll()
 		return newV, nil
 	}
 	return 0, fmt.Errorf("cache: update on %s exceeded %d retries", msID, maxWriteRetries)
@@ -551,9 +859,9 @@ func (c *Cache) Refresh(msID string) error {
 	if err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return c.reconcileLocked(msID, m)
+	m.lockAll()
+	defer m.unlockAll()
+	return c.reconcileAllLocked(msID, m)
 }
 
 // KnownVersion returns the node's in-memory version for the metastore.
@@ -565,9 +873,7 @@ func (c *Cache) KnownVersion(msID string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.knownVersion, nil
+	return m.knownVersion.Load(), nil
 }
 
 // EntryCount returns the number of cached records for the metastore.
@@ -576,9 +882,14 @@ func (c *Cache) EntryCount(msID string) int {
 	if err != nil {
 		return 0
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.records)
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.records)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // DB exposes the underlying database for components that need direct access

@@ -300,10 +300,12 @@ func TestVersionRetentionPruning(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	m, _ := c.owner("m")
-	m.mu.RLock()
-	rec := m.records[recordKey("t", "k")]
+	rk := recordKey("t", "k")
+	sh := m.shardFor(rk)
+	sh.mu.RLock()
+	rec := sh.records[rk]
 	n := len(rec.versions)
-	m.mu.RUnlock()
+	sh.mu.RUnlock()
 	if n > 2 {
 		t.Fatalf("retained %d cached versions after retention window", n)
 	}

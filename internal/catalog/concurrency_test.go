@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/privilege"
+)
+
+// TestConcurrentServiceReadsAndWrites hammers the full service read path
+// (GetAsset, Resolve with credentials, path resolution) from many
+// goroutines while a writer creates tables and updates grants. It is the
+// service-level companion to the cache package's stress tests and the main
+// subject of the `make race` gate: every read flows through one shared
+// Cache node, one audit log, and one token cache.
+func TestConcurrentServiceReadsAndWrites(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	for i := 0; i < 8; i++ {
+		if _, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("events%d", i),
+			TableSpec{Columns: cols("id", "ts")}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	names := make([]string, 0, 9)
+	names = append(names, "sales.raw.orders")
+	for i := 0; i < 8; i++ {
+		names = append(names, fmt.Sprintf("sales.raw.events%d", i))
+	}
+
+	const readers = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := r * 7
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[i%len(names)]
+				if _, err := svc.GetAsset(admin, name); err != nil {
+					t.Errorf("GetAsset(%s): %v", name, err)
+					return
+				}
+				if _, err := svc.Resolve(admin, ResolveRequest{
+					Names: []string{name}, WithCredentials: true,
+				}); err != nil {
+					t.Errorf("Resolve(%s): %v", name, err)
+					return
+				}
+				if i%5 == 0 {
+					asset, err := svc.GetAsset(admin, name)
+					if err == nil && asset.StoragePath != "" {
+						svc.TempCredentialForPath(admin, asset.StoragePath+"/part-0", cloudsim.AccessRead)
+					}
+				}
+				i++
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // metrics reader races the hot path's atomic counters
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc.CacheMetrics()
+			svc.Audit().Stats()
+		}
+	}()
+
+	// Writer: table creations and grant changes drive write-through updates
+	// and cache invalidations under the readers.
+	for i := 0; i < 40; i++ {
+		if _, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("stress%03d", i),
+			TableSpec{Columns: cols("id")}, ""); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			if err := svc.Grant(admin, "sales.raw.orders", "analyst", privilege.Select); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Revoke(admin, "sales.raw.orders", "analyst", privilege.Select); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-stress: the service still answers consistently.
+	for _, name := range names {
+		if _, err := svc.GetAsset(admin, name); err != nil {
+			t.Fatalf("post-stress GetAsset(%s): %v", name, err)
+		}
+	}
+	m := svc.CacheMetrics()
+	if m.Hits == 0 {
+		t.Fatalf("stress produced no cache hits: %+v", m)
+	}
+}

@@ -107,9 +107,23 @@ func TestConcurrentWritersTwoNodes(t *testing.T) {
 			t.Fatalf("node%d: %v", n+1, err)
 		}
 	}
-	tables, err := node1.ListAssets(admin, "c.s", erm.TypeTable)
+	// No lost writes: a node with no prior cache state sees every create.
+	node3, _ := New(Config{DB: db, Cloud: cloud})
+	node3.OpenMetastore("ms1")
+	tables, err := node3.ListAssets(admin, "c.s", erm.TypeTable)
 	if err != nil || len(tables) != 2*each {
 		t.Fatalf("tables = %d, %v", len(tables), err)
+	}
+	// node1 may still be serving an older (consistent) snapshot if its last
+	// operation predates node2's last writes — foreign commits only surface
+	// when a DB read or write CAS validates the node's version. Its next
+	// write forces that validation, after which its cache is current.
+	if _, err := node1.CreateTable(admin, "c.s", "final", TableSpec{Columns: cols("x")}, ""); err != nil {
+		t.Fatal(err)
+	}
+	tables, err = node1.ListAssets(admin, "c.s", erm.TypeTable)
+	if err != nil || len(tables) != 2*each+1 {
+		t.Fatalf("post-reconcile tables = %d, %v", len(tables), err)
 	}
 }
 

@@ -68,7 +68,7 @@ func (s *Service) Resolve(ctx Ctx, req ResolveRequest) (resp *ResolveResponse, e
 	}
 	defer v.Close()
 
-	resp = &ResolveResponse{Assets: map[string]*ResolvedAsset{}, MetastoreVersion: v.Version}
+	resp = &ResolveResponse{Assets: map[string]*ResolvedAsset{}, MetastoreVersion: v.Version()}
 	for _, name := range req.Names {
 		if err := s.resolveOne(ctx, v, ms, req, resp, name, false, 0); err != nil {
 			return nil, err

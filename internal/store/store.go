@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -124,6 +125,10 @@ type DB struct {
 	walMu sync.Mutex
 	wal   *os.File
 	walW  *bufio.Writer
+
+	// reads counts snapshot point reads and scans served by the database;
+	// the cache layer's tests use it to verify miss coalescing.
+	reads atomic.Int64
 }
 
 // Open creates a DB. If opts.WALPath exists, its contents are replayed.
@@ -638,10 +643,16 @@ func firstVersion(cs []Change) uint64 {
 }
 
 func (db *DB) simulateRead() {
+	db.reads.Add(1)
 	if db.opts.ReadLatency > 0 {
 		time.Sleep(db.opts.ReadLatency)
 	}
 }
+
+// ReadCount returns the number of snapshot Get/Scan/Count operations the
+// database has served since Open. Each one pays ReadLatency, so the counter
+// measures exactly the work the metadata cache exists to avoid.
+func (db *DB) ReadCount() int64 { return db.reads.Load() }
 
 func (db *DB) simulateCommit() {
 	if db.opts.CommitLatency > 0 {
