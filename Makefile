@@ -1,6 +1,7 @@
 # Developer targets. The CI tier-1 gate is `make test`; `make race` is the
 # concurrency gate for the packages on the hot read path (sharded cache,
-# store read counting, service fan-out, lock-striped audit log).
+# store read counting, service fan-out, lock-striped audit log) plus the
+# fault-injection/retry machinery and the chaos suite.
 
 GO ?= go
 
@@ -8,17 +9,26 @@ GO ?= go
 
 test:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
 
-# Race gate: runs the stress and coalescing tests (and everything else in
-# these packages) under the race detector. Must pass before touching the
-# cache, store, catalog, or audit concurrency machinery.
+# Race gate: runs the stress, coalescing, and chaos tests (and everything
+# else in these packages) under the race detector. Must pass before touching
+# the cache, store, catalog, or audit concurrency machinery, the fault
+# injector, or the retry paths.
 race:
 	$(GO) test -race -count=1 \
 		./internal/cache/... \
 		./internal/store/... \
 		./internal/catalog/... \
-		./internal/audit/...
+		./internal/audit/... \
+		./internal/faults/... \
+		./internal/retry/... \
+		./internal/cloudsim/... \
+		./internal/delta/... \
+		./internal/client/... \
+		./internal/server/... \
+		./internal/chaos/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

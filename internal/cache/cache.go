@@ -57,6 +57,17 @@
 //     chosen by policy within one shard (rotating across shards), so
 //     eviction never stops the world.
 //
+// # Graceful degradation
+//
+// When the database reports an Unavailable fault (an outage, not a one-off
+// error), the metastore enters *degraded mode*: reads that miss at the
+// view's pinned version fall back to the newest cached version of the
+// record, bounded by Options.MaxStaleness since the node last heard from
+// the database. Past the bound the cache fails closed. Degraded serving is
+// tracked by dedicated metrics and surfaced through Health for /healthz;
+// the first successful database interaction clears the flag, and the next
+// reconciliation converges the cache to the database's current version.
+//
 // Values returned by Get and Scan are shared with the cache and the store;
 // callers must treat them as immutable. Scan returns a fresh []store.KV
 // slice, so appending to or reordering the result is safe.
@@ -65,12 +76,15 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"unitycatalog/internal/clock"
+	"unitycatalog/internal/faults"
 	"unitycatalog/internal/store"
 )
 
@@ -118,6 +132,14 @@ type Options struct {
 	// Disabled bypasses the cache entirely (every read hits the database);
 	// used by the Figure 10(b) benchmark's no-cache arm.
 	Disabled bool
+	// MaxStaleness bounds how stale a degraded-mode read may be: when the
+	// database is unavailable, cached data is served only while the time
+	// since the node last heard from the database stays within this bound.
+	// Zero means 2 minutes; negative disables degraded serving entirely.
+	MaxStaleness time.Duration
+	// Clock supplies time for the staleness bound (nil means real time).
+	// Tests inject a fake to walk a degraded cache past its bound.
+	Clock clock.Clock
 }
 
 // Metrics is a point-in-time snapshot of the cache effectiveness counters.
@@ -131,6 +153,17 @@ type Metrics struct {
 	SelectiveReconciles int64
 	Evictions           int64
 	WriteConflicts      int64
+	// DegradedReads counts reads served from stale cached data while the
+	// database was unavailable; DegradedMisses counts degraded reads that
+	// found nothing cached; DegradedDenied counts reads refused because the
+	// staleness bound was exceeded (fail closed).
+	DegradedReads  int64
+	DegradedMisses int64
+	DegradedDenied int64
+	// Outages counts transitions into degraded mode; Recoveries counts
+	// transitions back to healthy.
+	Outages    int64
+	Recoveries int64
 }
 
 // counters holds the live atomic counters behind Metrics.
@@ -142,6 +175,11 @@ type counters struct {
 	selectiveReconciles  atomic.Int64
 	evictions            atomic.Int64
 	writeConflicts       atomic.Int64
+	degradedReads        atomic.Int64
+	degradedMisses       atomic.Int64
+	degradedDenied       atomic.Int64
+	outages              atomic.Int64
+	recoveries           atomic.Int64
 }
 
 type cachedVersion struct {
@@ -214,13 +252,20 @@ type msCache struct {
 	entries     atomic.Int64
 	evictCursor atomic.Uint32
 
+	// degraded marks the metastore as serving through a database outage;
+	// lastSync is the unix-nano time of the last successful database
+	// interaction, bounding how stale degraded reads may get.
+	degraded atomic.Bool
+	lastSync atomic.Int64
+
 	flightMu sync.Mutex
 	flight   map[string]*flight
 }
 
-func newMsCache(v uint64) *msCache {
+func newMsCache(v uint64, now time.Time) *msCache {
 	m := &msCache{flight: map[string]*flight{}}
 	m.knownVersion.Store(v)
+	m.lastSync.Store(now.UnixNano())
 	for i := range m.shards {
 		m.shards[i].records = map[string]*cachedRecord{}
 		m.shards[i].scans = map[string]*cachedScan{}
@@ -297,7 +342,44 @@ func New(db *store.DB, opts Options) *Cache {
 	if opts.VersionRetention == 0 {
 		opts.VersionRetention = 30 * time.Second
 	}
+	if opts.MaxStaleness == 0 {
+		opts.MaxStaleness = 2 * time.Minute
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
 	return &Cache{db: db, opts: opts, owned: map[string]*msCache{}}
+}
+
+func (c *Cache) now() time.Time { return c.opts.Clock.Now() }
+
+// noteDBSuccess records a successful database interaction: the staleness
+// reference point advances and an outage, if any, is over.
+func (c *Cache) noteDBSuccess(m *msCache) {
+	m.lastSync.Store(c.now().UnixNano())
+	if m.degraded.CompareAndSwap(true, false) {
+		c.metrics.recoveries.Add(1)
+	}
+}
+
+// noteDBError enters degraded mode when the database reports an outage.
+// One-off failures (Transient, Timeout, Throttled) do not trip the flag:
+// they are the retry layer's job, not the cache's.
+func (c *Cache) noteDBError(m *msCache, err error) {
+	if faults.Is(err, faults.Unavailable) {
+		if m.degraded.CompareAndSwap(false, true) {
+			c.metrics.outages.Add(1)
+		}
+	}
+}
+
+// staleAllowed reports whether a degraded read is still within the
+// staleness bound.
+func (c *Cache) staleAllowed(m *msCache) bool {
+	if c.opts.MaxStaleness < 0 {
+		return false
+	}
+	return c.now().Sub(time.Unix(0, m.lastSync.Load())) <= c.opts.MaxStaleness
 }
 
 // Metrics returns a snapshot of the cache counters.
@@ -312,7 +394,53 @@ func (c *Cache) Metrics() Metrics {
 		SelectiveReconciles: c.metrics.selectiveReconciles.Load(),
 		Evictions:           c.metrics.evictions.Load(),
 		WriteConflicts:      c.metrics.writeConflicts.Load(),
+		DegradedReads:       c.metrics.degradedReads.Load(),
+		DegradedMisses:      c.metrics.degradedMisses.Load(),
+		DegradedDenied:      c.metrics.degradedDenied.Load(),
+		Outages:             c.metrics.outages.Load(),
+		Recoveries:          c.metrics.recoveries.Load(),
 	}
+}
+
+// MetastoreHealth describes one owned metastore's cache state for health
+// endpoints.
+type MetastoreHealth struct {
+	MetastoreID   string        `json:"metastore_id"`
+	Degraded      bool          `json:"degraded"`
+	KnownVersion  uint64        `json:"known_version"`
+	SinceLastSync time.Duration `json:"since_last_sync"`
+	Entries       int64         `json:"entries"`
+}
+
+// Health reports per-metastore degradation state, sorted by metastore ID.
+func (c *Cache) Health() []MetastoreHealth {
+	now := c.now()
+	c.mu.RLock()
+	out := make([]MetastoreHealth, 0, len(c.owned))
+	for id, m := range c.owned {
+		out = append(out, MetastoreHealth{
+			MetastoreID:   id,
+			Degraded:      m.degraded.Load(),
+			KnownVersion:  m.knownVersion.Load(),
+			SinceLastSync: now.Sub(time.Unix(0, m.lastSync.Load())),
+			Entries:       m.entries.Load(),
+		})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].MetastoreID < out[j].MetastoreID })
+	return out
+}
+
+// Degraded reports whether any owned metastore is in degraded mode.
+func (c *Cache) Degraded() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, m := range c.owned {
+		if m.degraded.Load() {
+			return true
+		}
+	}
+	return false
 }
 
 // Own registers a metastore with this node, initializing its known version
@@ -325,7 +453,7 @@ func (c *Cache) Own(msID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.owned[msID]; !ok {
-		c.owned[msID] = newMsCache(v)
+		c.owned[msID] = newMsCache(v, c.now())
 	}
 	return nil
 }
@@ -357,8 +485,10 @@ func scanKey(table, prefix string) string {
 func (c *Cache) reconcileAllLocked(msID string, m *msCache) error {
 	dbV, err := c.db.Version(msID)
 	if err != nil {
+		c.noteDBError(m, err)
 		return err
 	}
+	c.noteDBSuccess(m)
 	known := m.knownVersion.Load()
 	if dbV == known {
 		return nil
@@ -434,6 +564,25 @@ type View struct {
 	state atomic.Uint64
 	pinMu sync.Mutex      // serializes pinOnMiss reconciliation
 	snap  *store.Snapshot // cache-disabled mode reads straight from this
+	// verr records the last backend error a read on this view absorbed, so
+	// callers can distinguish "not found" from "backend unavailable".
+	verr atomic.Pointer[viewErr]
+}
+
+// viewErr boxes an error for atomic storage.
+type viewErr struct{ err error }
+
+func (v *View) setErr(err error) { v.verr.Store(&viewErr{err: err}) }
+
+// Err returns the last backend error absorbed by a Get or Scan on this
+// view, or nil. A non-nil Err means a recent "not found" result may really
+// be "could not read": callers should report the backend failure rather
+// than a spurious NotFound.
+func (v *View) Err() error {
+	if e := v.verr.Load(); e != nil {
+		return e.err
+	}
+	return nil
 }
 
 // NewView opens a read view of the metastore. When the cache is disabled,
@@ -567,8 +716,19 @@ func (v *View) Get(table, key string) ([]byte, bool) {
 		v.c.maybeEvict(v.m)
 	})
 	if f.err != nil {
+		v.c.noteDBError(v.m, f.err)
+		if faults.Is(f.err, faults.Unavailable) {
+			if val, deleted, served := v.degradedGet(sh, rk); served {
+				if deleted {
+					return nil, false
+				}
+				return val, true
+			}
+		}
+		v.setErr(f.err)
 		return nil, false
 	}
+	v.c.noteDBSuccess(v.m)
 	if !leader {
 		v.c.metrics.coalescedMisses.Add(1)
 	}
@@ -576,6 +736,32 @@ func (v *View) Get(table, key string) ([]byte, bool) {
 		return nil, false
 	}
 	return f.val, true
+}
+
+// degradedGet is the outage fallback: serve the newest cached version of
+// rk regardless of the view's pinned version, provided the staleness bound
+// allows it. Returns served=false when the bound is exceeded (fail closed)
+// or nothing is cached.
+func (v *View) degradedGet(sh *shard, rk string) (val []byte, deleted, served bool) {
+	if !v.c.staleAllowed(v.m) {
+		v.c.metrics.degradedDenied.Add(1)
+		return nil, false, false
+	}
+	sh.mu.RLock()
+	rec := sh.records[rk]
+	ok := rec != nil && len(rec.versions) > 0
+	if ok {
+		cv := rec.versions[len(rec.versions)-1]
+		val, deleted = cv.value, cv.deleted
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		v.c.metrics.degradedMisses.Add(1)
+		return nil, false, false
+	}
+	rec.touch()
+	v.c.metrics.degradedReads.Add(1)
+	return val, deleted, true
 }
 
 // Scan returns live pairs with the key prefix as of the view's version,
@@ -619,12 +805,44 @@ func (v *View) Scan(table, prefix string) []store.KV {
 		sh.mu.Unlock()
 	})
 	if f.err != nil {
+		v.c.noteDBError(v.m, f.err)
+		if faults.Is(f.err, faults.Unavailable) {
+			if kvs, served := v.degradedScan(sh, sk); served {
+				return kvs
+			}
+		}
+		v.setErr(f.err)
 		return nil
 	}
+	v.c.noteDBSuccess(v.m)
 	if !leader {
 		v.c.metrics.coalescedMisses.Add(1)
 	}
 	return copyKVs(f.kvs)
+}
+
+// degradedScan is the outage fallback for Scan: serve the cached scan
+// result whatever its version, within the staleness bound.
+func (v *View) degradedScan(sh *shard, sk string) ([]store.KV, bool) {
+	if !v.c.staleAllowed(v.m) {
+		v.c.metrics.degradedDenied.Add(1)
+		return nil, false
+	}
+	sh.mu.RLock()
+	s := sh.scans[sk]
+	var kvs []store.KV
+	ok := s != nil
+	if ok {
+		kvs = s.kvs
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		v.c.metrics.degradedMisses.Add(1)
+		return nil, false
+	}
+	s.touch()
+	v.c.metrics.degradedReads.Add(1)
+	return copyKVs(kvs), true
 }
 
 // tryScanHit serves (and pins) a cached scan valid at the view's version.
@@ -814,8 +1032,10 @@ func (c *Cache) Update(msID string, fn func(tx *store.Tx) error) (uint64, error)
 			continue
 		}
 		if err != nil {
+			c.noteDBError(m, err)
 			return 0, err
 		}
+		c.noteDBSuccess(m)
 		if newV == known {
 			return newV, nil // read-only transaction
 		}

@@ -122,7 +122,10 @@ func (s *Service) vend(ctx Ctx, r erm.Reader, e *erm.Entity, level cloudsim.Acce
 			return TempCredential{Asset: e.ID, AssetName: e.FullName, Credential: cred, Level: level}, nil
 		}
 	}
-	cred := s.cloud.MintCredentialTTL(e.StoragePath, level, s.credTTL)
+	cred, err := s.mint(e.StoragePath, level)
+	if err != nil {
+		return tc, err
+	}
 	if s.tokenCache != nil {
 		s.tokenCache.put(key, cred)
 	}
@@ -139,7 +142,10 @@ func (s *Service) vendUnchecked(ctx Ctx, e *erm.Entity, level cloudsim.AccessLev
 	if e.StoragePath == "" {
 		return TempCredential{}, fmt.Errorf("%w: %s has no storage", ErrInvalidArgument, e.FullName)
 	}
-	cred := s.cloud.MintCredentialTTL(e.StoragePath, level, s.credTTL)
+	cred, err := s.mint(e.StoragePath, level)
+	if err != nil {
+		return TempCredential{}, err
+	}
 	s.audit.Append(audit.Record{Kind: audit.KindCredential, Metastore: ctx.Metastore,
 		Principal: string(ctx.Principal), Operation: "TempCredential", Securable: e.ID,
 		Allowed: true, ReadOnly: true, Detail: "via-view"})

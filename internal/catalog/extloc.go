@@ -111,6 +111,9 @@ func (s *Service) extLocPathCredential(ctx Ctx, r erm.Reader, path string, level
 		return tc, err
 	}
 	// Down-scope to the requested path, not the whole location.
-	cred := s.cloud.MintCredentialTTL(path, level, s.credTTL)
+	cred, err := s.mint(path, level)
+	if err != nil {
+		return tc, err
+	}
 	return TempCredential{Asset: loc.ID, AssetName: loc.FullName, Credential: cred, Level: level}, nil
 }

@@ -15,6 +15,7 @@ import (
 	"unitycatalog/internal/ids"
 	"unitycatalog/internal/pathtrie"
 	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/retry"
 	"unitycatalog/internal/store"
 )
 
@@ -32,6 +33,11 @@ type Config struct {
 	Groups    privilege.GroupResolver
 	// CredentialTTL bounds vended temporary credentials (default 15m).
 	CredentialTTL time.Duration
+	// STSRetry configures retries around credential minting: throttled or
+	// transiently failing STS calls are replayed with backoff (minting is
+	// idempotent — every call yields a fresh token). The zero value means
+	// the retry package defaults.
+	STSRetry retry.Policy
 	// DisableTokenCache turns off credential reuse (ablation).
 	DisableTokenCache bool
 	// SoftDeleteRetention is how long soft-deleted entities are kept before
@@ -51,6 +57,7 @@ type Service struct {
 	groups privilege.GroupResolver
 
 	credTTL     time.Duration
+	stsRetry    retry.Policy
 	tokenCache  *tokenCache
 	gcRetention time.Duration
 
@@ -108,6 +115,7 @@ func New(cfg Config) (*Service, error) {
 		reg:         cfg.Registry,
 		groups:      cfg.Groups,
 		credTTL:     cfg.CredentialTTL,
+		stsRetry:    cfg.STSRetry,
 		gcRetention: cfg.SoftDeleteRetention,
 		metas:       map[string]*metaState{},
 	}
@@ -133,6 +141,21 @@ func (s *Service) Registry() *erm.Registry { return s.reg }
 
 // CacheMetrics returns the metadata cache counters.
 func (s *Service) CacheMetrics() cache.Metrics { return s.cache.Metrics() }
+
+// CacheHealth reports per-metastore cache degradation state for /healthz.
+func (s *Service) CacheHealth() []cache.MetastoreHealth { return s.cache.Health() }
+
+// CacheDegraded reports whether any owned metastore is serving degraded.
+func (s *Service) CacheDegraded() bool { return s.cache.Degraded() }
+
+// mint issues a down-scoped credential through the STS retry policy.
+// Throttled and transient mint failures are replayed with backoff; minting
+// is idempotent, so every fault class is safe to retry.
+func (s *Service) mint(scope string, level cloudsim.AccessLevel) (cloudsim.Credential, error) {
+	return retry.DoValue(s.stsRetry, retry.Retryable, func() (cloudsim.Credential, error) {
+		return s.cloud.Mint(scope, level, s.credTTL)
+	})
+}
 
 // DB exposes the backing metadata store for trusted collaborators (the
 // multi-table transaction coordinator persists its commit records there).

@@ -1,0 +1,332 @@
+// Package chaos is a test-only package: it drives seeded fault schedules
+// against realistic concurrent workloads and asserts the system's
+// end-to-end robustness invariants — no lost or duplicated Delta commits,
+// cache convergence after an outage, no goroutine leaks, and bit-identical
+// behavior when the same seed is replayed.
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/delta"
+	"unitycatalog/internal/faults"
+	"unitycatalog/internal/retry"
+	"unitycatalog/internal/store"
+
+	ucache "unitycatalog/internal/cache"
+)
+
+// fastPolicy is a retry policy with generous attempts and no real sleeping,
+// so chaos runs are fast and scheduler-independent.
+func fastPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 64,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    8 * time.Microsecond,
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+// chaosInjector is the canonical mixed schedule: a background drizzle of
+// every fault class plus a hard storage outage window early in the run.
+func chaosInjector(seed int64) *faults.Injector {
+	inj := faults.New(seed)
+	inj.AddRule(faults.Rule{Op: "get", Class: faults.Transient, P: 0.05})
+	inj.AddRule(faults.Rule{Op: "put", Class: faults.Timeout, P: 0.05})
+	inj.AddRule(faults.Rule{Op: "put_if_absent", Class: faults.Throttled, P: 0.08, RetryAfter: time.Millisecond})
+	inj.AddRule(faults.Rule{Op: "list", Class: faults.Transient, P: 0.04})
+	inj.Schedule(faults.Window{Class: faults.Unavailable, From: 40, To: 80, RetryAfter: time.Millisecond})
+	return inj
+}
+
+// TestChaosDeltaAppendsNoLossNoDuplication is the headline invariant:
+// concurrent writers appending through a hostile storage layer lose
+// nothing and double-write nothing.
+func TestChaosDeltaAppendsNoLossNoDuplication(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cs := cloudsim.New()
+	tbl, err := delta.Create(delta.ServiceBlobs{Store: cs}, "s3://lake/chaos", "chaos", chaosSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.CommitRetry = fastPolicy()
+	cs.SetFaults(chaosInjector(42))
+
+	const (
+		writers    = 4
+		appends    = 5
+		rowsPerAdd = 20
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for a := 0; a < appends; a++ {
+				base := int64(w*appends*rowsPerAdd + a*rowsPerAdd)
+				if _, err := tbl.Append(chaosBatch(t, rowsPerAdd, base)); err != nil {
+					errs <- fmt.Errorf("writer %d append %d: %w", w, a, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	cs.SetFaults(nil)
+
+	snap, err := tbl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := writers * appends * rowsPerAdd
+	if snap.NumRecords() != int64(wantRows) {
+		t.Errorf("records = %d, want %d (lost or duplicated commits)", snap.NumRecords(), wantRows)
+	}
+	if len(snap.Files) != writers*appends {
+		t.Errorf("data files = %d, want %d", len(snap.Files), writers*appends)
+	}
+	if snap.Version != int64(writers*appends) {
+		t.Errorf("version = %d, want %d (one commit per append)", snap.Version, writers*appends)
+	}
+	seen := map[string]bool{}
+	for _, f := range snap.Files {
+		if seen[f.Path] {
+			t.Errorf("duplicate data file %s", f.Path)
+		}
+		seen[f.Path] = true
+	}
+	// Every row id written must appear exactly once.
+	res, err := tbl.Scan(snap, []string{"id"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int64]int{}
+	for _, id := range res.Batch.Ints["id"] {
+		ids[id]++
+	}
+	if len(ids) != wantRows {
+		t.Errorf("distinct ids = %d, want %d", len(ids), wantRows)
+	}
+	for id, n := range ids {
+		if n != 1 {
+			t.Errorf("id %d appears %d times", id, n)
+		}
+	}
+
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestChaosCacheConvergesAfterOutage: a cache node that rode out a storage
+// outage in degraded mode converges exactly to the database state once the
+// outage lifts.
+func TestChaosCacheConvergesAfterOutage(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateMetastore("m")
+	c := ucache.New(db, ucache.Options{MaxStaleness: time.Minute})
+	if err := c.Own("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed some state, and warm the cache, while healthy.
+	for i := 0; i < 8; i++ {
+		if _, err := c.Update("m", func(tx *store.Tx) error {
+			tx.Put("t", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d-0", i)))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := c.NewView("m")
+	for i := 0; i < 8; i++ {
+		v.Get("t", fmt.Sprintf("k%d", i))
+	}
+	v.Close()
+
+	// Outage: every db operation fails for a window of operations. Reads
+	// and writes keep arriving; writes fail, degraded reads are served
+	// from cache.
+	inj := faults.New(7)
+	inj.AddRule(faults.Rule{Class: faults.Unavailable, P: 1, RetryAfter: time.Millisecond})
+	db.SetFaults(inj)
+
+	var degradedServed, failedWrites int
+	for i := 0; i < 20; i++ {
+		if _, err := c.Update("m", func(tx *store.Tx) error {
+			tx.Put("t", "k0", []byte("lost"))
+			return nil
+		}); err != nil {
+			failedWrites++
+		}
+		rv, _ := c.NewView("m")
+		if _, ok := rv.Get("t", fmt.Sprintf("k%d", i%8)); ok {
+			degradedServed++
+		}
+		rv.Close()
+	}
+	if failedWrites != 20 {
+		t.Errorf("writes during outage: %d failed, want all 20", failedWrites)
+	}
+	if degradedServed == 0 {
+		t.Error("no degraded reads served during outage")
+	}
+	if !c.Degraded() {
+		t.Error("cache not degraded during outage")
+	}
+
+	// Recovery: clear the faults, write through, and verify convergence.
+	db.SetFaults(nil)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Update("m", func(tx *store.Tx) error {
+			tx.Put("t", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d-1", i)))
+			return nil
+		}); err != nil {
+			t.Fatalf("post-outage write: %v", err)
+		}
+	}
+	if err := c.Refresh("m"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Error("cache still degraded after recovery")
+	}
+	dbV, _ := db.Version("m")
+	if kv, _ := c.KnownVersion("m"); kv != dbV {
+		t.Errorf("known version %d != db version %d", kv, dbV)
+	}
+	rv, _ := c.NewView("m")
+	defer rv.Close()
+	for i := 0; i < 8; i++ {
+		want := fmt.Sprintf("v%d-1", i)
+		if got, ok := rv.Get("t", fmt.Sprintf("k%d", i)); !ok || string(got) != want {
+			t.Errorf("k%d after recovery = %q %v, want %q", i, got, ok, want)
+		}
+	}
+	m := c.Metrics()
+	if m.Outages == 0 || m.Recoveries == 0 {
+		t.Errorf("outage lifecycle not recorded: %+v", m)
+	}
+
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestChaosSameSeedIsDeterministic replays an identical single-threaded
+// workload under the same fault schedule twice and requires the observed
+// error sequences to match exactly, independent of wall-clock time.
+func TestChaosSameSeedIsDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		cs := cloudsim.New()
+		cs.SetFaults(chaosInjector(seed))
+		var trace []string
+		record := func(op string, err error) {
+			if c, ok := faults.ClassOf(err); ok {
+				trace = append(trace, op+":"+c.String())
+			} else if err != nil {
+				trace = append(trace, op+":other")
+			} else {
+				trace = append(trace, op+":ok")
+			}
+		}
+		for i := 0; i < 150; i++ {
+			path := fmt.Sprintf("s3://lake/det/obj-%d", i%10)
+			switch i % 4 {
+			case 0:
+				record("put", cs.ServicePut(path, []byte("x")))
+			case 1:
+				_, err := cs.ServiceGet(path)
+				record("get", err)
+			case 2:
+				record("put_if_absent", cs.ServicePutIfAbsent(fmt.Sprintf("%s-%d", path, i), []byte("y")))
+			case 3:
+				_, err := cs.ServiceList("s3://lake/det")
+				record("list", err)
+			}
+		}
+		return trace
+	}
+
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different fault placement (the
+	// schedule windows still fire, but the probabilistic drizzle moves).
+	if c := run(77); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestChaosRetryBoundedWork verifies the injector accounts every injected
+// fault, and that retries stop at the policy bound instead of spinning.
+func TestChaosRetryBoundedWork(t *testing.T) {
+	cs := cloudsim.New()
+	inj := faults.New(5)
+	inj.AddRule(faults.Rule{Op: "get", Class: faults.Transient, P: 1})
+	cs.SetFaults(inj)
+
+	p := fastPolicy()
+	p.MaxAttempts = 7
+	err := retry.Do(p, retry.Retryable, func() error {
+		_, err := cs.ServiceGet("s3://lake/never")
+		return err
+	})
+	if !faults.Is(err, faults.Transient) {
+		t.Fatalf("exhausted retries should surface the fault, got %v", err)
+	}
+	if got := inj.InjectedTotal(); got != 7 {
+		t.Fatalf("injected %d faults, want exactly MaxAttempts=7", got)
+	}
+}
+
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+}
+
+func chaosSchema() delta.Schema {
+	return delta.Schema{Fields: []delta.SchemaField{
+		{Name: "id", Type: delta.TypeInt64},
+		{Name: "payload", Type: delta.TypeString, Nullable: true},
+	}}
+}
+
+func chaosBatch(t *testing.T, n int, startID int64) *delta.Batch {
+	t.Helper()
+	b := delta.NewBatch(chaosSchema())
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(startID+int64(i), fmt.Sprintf("row-%d", startID+int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}

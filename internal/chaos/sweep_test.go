@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/client"
+	"unitycatalog/internal/faults"
+	"unitycatalog/internal/retry"
+	"unitycatalog/internal/server"
+	"unitycatalog/internal/store"
+)
+
+// TestFaultSweep measures, end to end over HTTP, how request success rate
+// and tail latency respond to increasing front-end fault probability, with
+// and without client retries. Results are logged as the table recorded in
+// EXPERIMENTS.md. With retries enabled the success rate should stay near
+// 1.0 at fault rates that visibly dent the no-retry line.
+func TestFaultSweep(t *testing.T) {
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(svc)
+	t.Cleanup(func() { srv.Lineage.Close(); srv.Search.Close() })
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	if _, err := client.New(hs.URL, "admin", "ms1").CreateCatalog("c1", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	const requests = 150
+	probs := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	t.Logf("%-8s %-8s %-10s %-10s", "p", "retries", "success", "p99")
+	for _, withRetries := range []bool{false, true} {
+		for _, p := range probs {
+			inj := faults.New(1234)
+			// Timeout faults → 504, retryable for idempotent requests.
+			inj.AddRule(faults.Rule{Op: "http.GET", Class: faults.Timeout, P: p})
+			srv.SetFaults(inj)
+
+			c := client.New(hs.URL, "admin", "ms1")
+			pol := retry.Policy{MaxAttempts: 1, BaseDelay: 2 * time.Millisecond, MaxDelay: 8 * time.Millisecond}
+			if withRetries {
+				pol.MaxAttempts = 4
+			}
+			c.Retry = pol
+
+			ok := 0
+			lat := make([]time.Duration, 0, requests)
+			for i := 0; i < requests; i++ {
+				start := time.Now()
+				_, err := c.GetAsset("c1")
+				lat = append(lat, time.Since(start))
+				if err == nil {
+					ok++
+				}
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p99 := lat[len(lat)*99/100]
+			rate := float64(ok) / requests
+			t.Logf("%-8.2f %-8v %-10.3f %-10v", p, withRetries, rate, p99.Round(10*time.Microsecond))
+
+			if withRetries && p <= 0.3 && rate < 0.95 {
+				t.Errorf("p=%.2f with retries: success %.3f, want >= 0.95", p, rate)
+			}
+			if p == 0 && rate != 1 {
+				t.Errorf("baseline success = %.3f, want 1.0", rate)
+			}
+		}
+	}
+	srv.SetFaults(nil)
+}

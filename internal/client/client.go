@@ -6,12 +6,15 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"unitycatalog/internal/catalog"
 	"unitycatalog/internal/cloudsim"
@@ -20,21 +23,46 @@ import (
 	"unitycatalog/internal/lineage"
 	"unitycatalog/internal/mlregistry"
 	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/retry"
 	"unitycatalog/internal/search"
 	"unitycatalog/internal/server"
 )
 
+// defaultHTTPTimeout bounds a whole HTTP exchange (dial, write, read) when
+// the caller does not supply its own http.Client. http.DefaultClient has no
+// timeout at all, which turns a hung server into a hung client.
+const defaultHTTPTimeout = 30 * time.Second
+
 // Client talks to one Unity Catalog server as one principal.
+//
+// Requests are retried transparently: 429 (throttled) responses are retried
+// for every method because the server rejected the request before
+// processing it, while 503/504 responses and transport-level failures —
+// whose outcome is unknown — are retried only for idempotent methods (GET,
+// HEAD, PUT, DELETE). Retry-After headers extend the backoff. Set
+// Retry.MaxAttempts to 1 to disable retries.
 type Client struct {
 	Base      string // e.g. "http://localhost:8080"
 	HTTP      *http.Client
 	Principal string
 	Metastore string
+	// Retry configures the backoff between attempts; the zero value means
+	// the retry package defaults (4 attempts, 10ms base, 1s cap).
+	Retry retry.Policy
+	// RequestTimeout bounds each individual attempt via a context deadline,
+	// so one slow attempt fails fast and the retry budget is spent on fresh
+	// attempts (0 = rely on the http.Client's overall timeout alone).
+	RequestTimeout time.Duration
 }
 
-// New returns a Client with the default HTTP transport.
+// New returns a Client whose transport times out instead of hanging.
 func New(base, principal, metastore string) *Client {
-	return &Client{Base: base, HTTP: http.DefaultClient, Principal: principal, Metastore: metastore}
+	return &Client{
+		Base:      base,
+		HTTP:      &http.Client{Timeout: defaultHTTPTimeout},
+		Principal: principal,
+		Metastore: metastore,
+	}
 }
 
 const apiPrefix = "/api/2.1/unity-catalog"
@@ -43,9 +71,24 @@ const apiPrefix = "/api/2.1/unity-catalog"
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's suggested pause from a Retry-After header
+	// (0 = none).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string { return fmt.Sprintf("uc api: %d: %s", e.Status, e.Message) }
+
+// RetryAfterHint exposes the Retry-After header to retry policies.
+func (e *APIError) RetryAfterHint() (time.Duration, bool) {
+	return e.RetryAfter, e.RetryAfter > 0
+}
+
+// transportError marks a failure where the request may or may not have
+// reached the server (dial failure, reset connection, client-side timeout).
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "uc client: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
 
 // Unwrap maps HTTP statuses back to the catalog sentinel errors so callers
 // can use errors.Is across the wire.
@@ -63,42 +106,99 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
+// retryable returns the retry classifier for one HTTP method: throttling
+// is always retryable (the request was rejected before processing); 503,
+// 504 and transport failures have unknown outcomes and are retried only
+// when the method is idempotent.
+func retryable(method string) func(error) bool {
+	idempotent := method == "GET" || method == "HEAD" || method == "PUT" || method == "DELETE"
+	return func(err error) bool {
+		var ae *APIError
+		if errors.As(err, &ae) {
+			switch ae.Status {
+			case http.StatusTooManyRequests:
+				return true
+			case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+				return idempotent
+			}
+			return false
+		}
+		var te *transportError
+		return errors.As(err, &te) && idempotent
+	}
+}
+
+// roundTrip performs one logical request with retries. body is re-read
+// from scratch on every attempt, and each attempt gets its own deadline.
+func (c *Client) roundTrip(method, path string, body []byte, jsonBody bool) ([]byte, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: defaultHTTPTimeout}
+	}
+	return retry.DoValue(c.Retry, retryable(method), func() ([]byte, error) {
+		ctx, cancel := context.Background(), func() {}
+		if c.RequestTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		}
+		defer cancel()
+		var rdr io.Reader
+		if body != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rdr)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Authorization", "Bearer "+c.Principal)
+		req.Header.Set("X-UC-Metastore", c.Metastore)
+		if jsonBody && body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return nil, &transportError{err: err}
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, &transportError{err: err}
+		}
+		if resp.StatusCode >= 300 {
+			return nil, newAPIError(resp, data)
+		}
+		return data, nil
+	})
+}
+
+func newAPIError(resp *http.Response, data []byte) *APIError {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	json.Unmarshal(data, &eb)
+	if eb.Error == "" {
+		eb.Error = string(data)
+	}
+	ae := &APIError{Status: resp.StatusCode, Message: eb.Error}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
 func (c *Client) do(method, path string, body, out any) error {
-	var rdr io.Reader
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rdr = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequest(method, c.Base+path, rdr)
+	data, err := c.roundTrip(method, path, payload, true)
 	if err != nil {
 		return err
-	}
-	req.Header.Set("Authorization", "Bearer "+c.Principal)
-	req.Header.Set("X-UC-Metastore", c.Metastore)
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		json.Unmarshal(data, &eb)
-		if eb.Error == "" {
-			eb.Error = string(data)
-		}
-		return &APIError{Status: resp.StatusCode, Message: eb.Error}
 	}
 	if out != nil && len(data) > 0 {
 		return json.Unmarshal(data, out)
@@ -258,29 +358,7 @@ func (c *Client) TempCredentialForPath(path string, level cloudsim.AccessLevel) 
 // --- volumes / table management ---
 
 func (c *Client) doRaw(method, path string, body []byte) ([]byte, error) {
-	var rdr io.Reader
-	if body != nil {
-		rdr = bytes.NewReader(body)
-	}
-	req, err := http.NewRequest(method, c.Base+path, rdr)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Authorization", "Bearer "+c.Principal)
-	req.Header.Set("X-UC-Metastore", c.Metastore)
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode >= 300 {
-		return nil, &APIError{Status: resp.StatusCode, Message: string(data)}
-	}
-	return data, nil
+	return c.roundTrip(method, path, body, false)
 }
 
 // WriteVolumeFile uploads a file to a volume.

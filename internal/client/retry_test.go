@@ -1,0 +1,147 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/retry"
+)
+
+// flaky returns a handler that fails the first n requests with status and
+// then succeeds, counting every request it sees.
+func flaky(n int, status int, retryAfter string) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": "injected"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"ok": "true"})
+	})
+	return h, &calls
+}
+
+func fastClient(base string) *Client {
+	c := New(base, "alice", "m")
+	c.Retry = retry.Policy{MaxAttempts: 4, BaseDelay: time.Microsecond, Sleep: func(time.Duration) {}}
+	return c
+}
+
+// TestGetRetries503ThenSucceeds is the acceptance scenario: a GET that hits
+// a temporarily unavailable server succeeds transparently once the server
+// recovers.
+func TestGetRetries503ThenSucceeds(t *testing.T) {
+	h, calls := flaky(2, http.StatusServiceUnavailable, "")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var out map[string]string
+	if err := fastClient(srv.URL).do("GET", "/x", nil, &out); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if out["ok"] != "true" || calls.Load() != 3 {
+		t.Fatalf("out=%v calls=%d", out, calls.Load())
+	}
+}
+
+// TestPostNotRetriedOn503 verifies non-idempotent methods are not blindly
+// retried when the outcome is unknown.
+func TestPostNotRetriedOn503(t *testing.T) {
+	h, calls := flaky(1, http.StatusServiceUnavailable, "")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	err := fastClient(srv.URL).do("POST", "/x", map[string]string{"a": "b"}, nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("POST retried on 503: %d calls", calls.Load())
+	}
+}
+
+// TestPostRetriedOn429 verifies throttling is retried even for POST: the
+// server rejected the request before processing it.
+func TestPostRetriedOn429(t *testing.T) {
+	h, calls := flaky(1, http.StatusTooManyRequests, "0")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if err := fastClient(srv.URL).do("POST", "/x", map[string]string{"a": "b"}, nil); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+// TestRetryAfterHeaderExtendsBackoff verifies the server's Retry-After
+// hint reaches the backoff computation.
+func TestRetryAfterHeaderExtendsBackoff(t *testing.T) {
+	h, _ := flaky(1, http.StatusTooManyRequests, "2")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := New(srv.URL, "alice", "m")
+	c.Retry = retry.Policy{MaxAttempts: 2, BaseDelay: time.Microsecond, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	if err := c.do("GET", "/x", nil, nil); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if len(slept) != 1 || slept[0] < 2*time.Second {
+		t.Fatalf("slept = %v, want >= 2s from Retry-After", slept)
+	}
+}
+
+// TestRetriesExhaustedSurfaceLastError verifies a persistent outage is
+// reported, not masked.
+func TestRetriesExhaustedSurfaceLastError(t *testing.T) {
+	h, calls := flaky(1000, http.StatusServiceUnavailable, "")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	err := fastClient(srv.URL).do("GET", "/x", nil, nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts", calls.Load())
+	}
+}
+
+// TestPerRequestDeadline verifies RequestTimeout bounds a single attempt.
+func TestPerRequestDeadline(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	c := New(srv.URL, "alice", "m")
+	c.Retry = retry.Policy{MaxAttempts: 1}
+	c.RequestTimeout = 20 * time.Millisecond
+	start := time.Now()
+	err := c.do("POST", "/x", nil, nil)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	var te *transportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not applied")
+	}
+}

@@ -28,9 +28,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitycatalog/internal/clock"
+	"unitycatalog/internal/faults"
 )
 
 // Common errors.
@@ -83,14 +85,37 @@ type Store struct {
 	// cloud provider's remote token service round trip.
 	STSLatency time.Duration
 
-	// Faults, if set, is consulted before every storage operation with the
-	// operation name ("get", "put", "put_if_absent", "delete", "list") and
-	// path; a non-nil return is injected as the operation's error. Used by
-	// failure-injection tests.
-	Faults func(op, path string) error
+	// injector and faultFn are consulted before every storage operation
+	// (ops "get", "put", "put_if_absent", "delete", "list") and before
+	// every credential mint (op "sts.mint"); a non-nil return is injected
+	// as the operation's error. Both are swapped atomically via SetFaults/
+	// SetFaultFunc so tests can change schedules while operations are in
+	// flight without a data race.
+	injector atomic.Pointer[faults.Injector]
+	faultFn  atomic.Pointer[faultFunc]
 
-	// stats
-	gets, puts, lists, deletes int64
+	// stats, updated under RLock by read ops, so they must be atomic
+	gets, puts, lists, deletes atomic.Int64
+}
+
+// faultFunc boxes a fault callback so it can live in an atomic.Pointer.
+type faultFunc struct {
+	fn func(op, path string) error
+}
+
+// SetFaults installs (or, with nil, removes) the typed fault injector
+// consulted by every storage and STS operation.
+func (s *Store) SetFaults(inj *faults.Injector) { s.injector.Store(inj) }
+
+// SetFaultFunc installs (or, with nil, removes) an arbitrary fault callback.
+// It runs after the typed injector and exists for tests that need precise
+// control, e.g. "fail exactly the third put".
+func (s *Store) SetFaultFunc(fn func(op, path string) error) {
+	if fn == nil {
+		s.faultFn.Store(nil)
+		return
+	}
+	s.faultFn.Store(&faultFunc{fn: fn})
 }
 
 // New returns a Store with a random STS signing secret and a 15-minute token
@@ -145,6 +170,21 @@ func (c Credential) Expired(now time.Time) bool { return !now.Before(c.ExpiresAt
 // service".
 func (s *Store) MintCredential(scope string, level AccessLevel) Credential {
 	return s.MintCredentialTTL(scope, level, s.TokenTTL)
+}
+
+// Mint issues a token like MintCredentialTTL but is subject to fault
+// injection (op "sts.mint"), modeling the cloud provider's token service
+// throttling or failing. A ttl of 0 uses the store's TokenTTL. Callers that
+// must survive STS outages should wrap Mint in a retry policy; the legacy
+// MintCredential/MintCredentialTTL entry points remain infallible.
+func (s *Store) Mint(scope string, level AccessLevel, ttl time.Duration) (Credential, error) {
+	if err := s.fault("sts.mint", scope); err != nil {
+		return Credential{}, err
+	}
+	if ttl <= 0 {
+		ttl = s.TokenTTL
+	}
+	return s.MintCredentialTTL(scope, level, ttl), nil
 }
 
 // MintCredentialTTL issues a token with an explicit TTL.
@@ -238,8 +278,11 @@ func (s *Store) PutIfAbsent(token, path string, data []byte) error {
 }
 
 func (s *Store) fault(op, path string) error {
-	if s.Faults != nil {
-		return s.Faults(op, path)
+	if err := s.injector.Load().Check(op, path); err != nil {
+		return err
+	}
+	if f := s.faultFn.Load(); f != nil {
+		return f.fn(op, path)
 	}
 	return nil
 }
@@ -263,7 +306,7 @@ func (s *Store) putInternal(path string, data []byte, mustBeAbsent bool) error {
 		}
 	}
 	s.objects[p] = &Object{Path: p, Size: int64(len(cp)), Modified: s.Clock.Now(), Data: cp}
-	s.puts++
+	s.puts.Add(1)
 	return nil
 }
 
@@ -287,7 +330,7 @@ func (s *Store) getInternal(path string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
 	}
-	s.gets++
+	s.gets.Add(1)
 	out := make([]byte, len(o.Data))
 	copy(out, o.Data)
 	return out, nil
@@ -309,7 +352,7 @@ func (s *Store) Delete(token, path string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, p)
 	}
 	delete(s.objects, p)
-	s.deletes++
+	s.deletes.Add(1)
 	return nil
 }
 
@@ -319,12 +362,14 @@ func (s *Store) List(token, prefix string) ([]ObjectInfo, error) {
 	if err := s.validate(token, prefix, false); err != nil {
 		return nil, err
 	}
-	return s.listInternal(prefix), nil
+	return s.listInternal(prefix)
 }
 
-func (s *Store) listInternal(prefix string) []ObjectInfo {
+// listInternal propagates injected faults rather than swallowing them: a
+// failed LIST must never be indistinguishable from an empty directory.
+func (s *Store) listInternal(prefix string) ([]ObjectInfo, error) {
 	if err := s.fault("list", prefix); err != nil {
-		return nil
+		return nil, err
 	}
 	p := normalize(prefix)
 	s.mu.RLock()
@@ -336,8 +381,8 @@ func (s *Store) listInternal(prefix string) []ObjectInfo {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	s.lists++
-	return out
+	s.lists.Add(1)
+	return out, nil
 }
 
 // --- control plane (catalog-service-only, no token) ---
@@ -358,7 +403,7 @@ func (s *Store) ServicePutIfAbsent(path string, data []byte) error {
 func (s *Store) ServiceGet(path string) ([]byte, error) { return s.getInternal(path) }
 
 // ServiceList lists objects with standing access.
-func (s *Store) ServiceList(prefix string) []ObjectInfo { return s.listInternal(prefix) }
+func (s *Store) ServiceList(prefix string) ([]ObjectInfo, error) { return s.listInternal(prefix) }
 
 // ServiceDelete removes an object with standing access; missing objects are
 // ignored (idempotent cleanup).
@@ -367,7 +412,7 @@ func (s *Store) ServiceDelete(path string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.objects, p)
-	s.deletes++
+	s.deletes.Add(1)
 }
 
 // ServiceDeletePrefix removes every object under prefix and returns the
@@ -383,15 +428,13 @@ func (s *Store) ServiceDeletePrefix(prefix string) int {
 			n++
 		}
 	}
-	s.deletes += int64(n)
+	s.deletes.Add(int64(n))
 	return n
 }
 
 // Stats reports operation counters (gets, puts, lists, deletes).
 func (s *Store) Stats() (gets, puts, lists, deletes int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gets, s.puts, s.lists, s.deletes
+	return s.gets.Load(), s.puts.Load(), s.lists.Load(), s.deletes.Load()
 }
 
 // TotalBytes returns the total stored bytes under prefix ("" for all).

@@ -20,12 +20,12 @@ func TestAppendFaultLeavesTableConsistent(t *testing.T) {
 
 	boom := errors.New("injected storage failure")
 	var failing atomic.Bool
-	cs.Faults = func(op, path string) error {
+	cs.SetFaultFunc(func(op, path string) error {
 		if failing.Load() && op == "put_if_absent" && strings.Contains(path, "_delta_log") {
 			return boom
 		}
 		return nil
-	}
+	})
 	failing.Store(true)
 	if _, err := tbl.Append(fillBatch(t, 10, 100)); !errors.Is(err, boom) {
 		t.Fatalf("append during fault: %v", err)
@@ -58,16 +58,16 @@ func TestAppendFaultLeavesTableConsistent(t *testing.T) {
 func TestDataFileFaultFailsBeforeCommit(t *testing.T) {
 	tbl, cs := testTable(t)
 	boom := errors.New("data put failed")
-	cs.Faults = func(op, path string) error {
+	cs.SetFaultFunc(func(op, path string) error {
 		if op == "put" && strings.HasSuffix(path, ".dpf") {
 			return boom
 		}
 		return nil
-	}
+	})
 	if _, err := tbl.Append(fillBatch(t, 10, 0)); !errors.Is(err, boom) {
 		t.Fatalf("append: %v", err)
 	}
-	cs.Faults = nil
+	cs.SetFaultFunc(nil)
 	snap, _ := tbl.Snapshot()
 	if snap.Version != 0 || len(snap.Files) != 0 {
 		t.Fatalf("partial append visible: v%d files=%d", snap.Version, len(snap.Files))
@@ -81,12 +81,12 @@ func TestScanFaultSurfacesError(t *testing.T) {
 	tbl.Append(fillBatch(t, 10, 0))
 	snap, _ := tbl.Snapshot()
 	boom := errors.New("read failed")
-	cs.Faults = func(op, path string) error {
+	cs.SetFaultFunc(func(op, path string) error {
 		if op == "get" && strings.HasSuffix(path, ".dpf") {
 			return boom
 		}
 		return nil
-	}
+	})
 	if _, err := tbl.Scan(snap, nil, nil); !errors.Is(err, boom) {
 		t.Fatalf("scan during fault: %v", err)
 	}
@@ -113,16 +113,16 @@ func TestCheckpointFaultDegradesGracefully(t *testing.T) {
 	}
 	snap, _ := tbl.Snapshot()
 	boom := errors.New("checkpoint write failed")
-	cs.Faults = func(op, path string) error {
+	cs.SetFaultFunc(func(op, path string) error {
 		if strings.Contains(path, "checkpoint") {
 			return boom
 		}
 		return nil
-	}
+	})
 	if err := tbl.Checkpoint(snap); !errors.Is(err, boom) {
 		t.Fatalf("checkpoint during fault: %v", err)
 	}
-	cs.Faults = nil
+	cs.SetFaultFunc(nil)
 	snap2, err := tbl.Snapshot()
 	if err != nil || snap2.NumRecords() != 25 {
 		t.Fatalf("table unreadable after failed checkpoint: %v (records=%d)", err, snap2.NumRecords())

@@ -1,0 +1,103 @@
+package delta
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/clock"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/faults"
+	"unitycatalog/internal/retry"
+)
+
+// TestRenewingBlobsSurvivesTokenExpiry is the satellite acceptance test: a
+// long-running writer whose vended credential crosses the TokenTTL keeps
+// working because RenewingBlobs transparently re-mints, while the same
+// sequence through plain TokenBlobs fails closed.
+func TestRenewingBlobsSurvivesTokenExpiry(t *testing.T) {
+	cs := cloudsim.New()
+	fc := clock.NewFake(time.Unix(1000, 0))
+	cs.Clock = fc
+	cs.TokenTTL = time.Minute
+
+	var mints atomic.Int64
+	blobs := &RenewingBlobs{
+		Store: cs,
+		Mint: func() (cloudsim.Credential, error) {
+			mints.Add(1)
+			return cs.Mint("s3://lake/t", cloudsim.AccessReadWrite, 0)
+		},
+	}
+	tbl, err := Create(blobs, "s3://lake/t", "t", testSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Append(fillBatch(t, 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The credential expires while the writer is idle.
+	fc.Advance(2 * time.Minute)
+	if _, err := tbl.Append(fillBatch(t, 5, 100)); err != nil {
+		t.Fatalf("append after expiry: %v", err)
+	}
+	snap, err := tbl.Snapshot()
+	if err != nil || snap.NumRecords() != 10 {
+		t.Fatalf("snapshot after renewal: %v (records=%d)", err, snap.NumRecords())
+	}
+	if mints.Load() < 2 {
+		t.Fatalf("expected a re-mint, got %d mints", mints.Load())
+	}
+
+	// Control: the same expiry without refresh fails closed.
+	cred, _ := cs.Mint("s3://lake/t", cloudsim.AccessRead, 0)
+	fixed := NewTable("s3://lake/t", TokenBlobs{Store: cs, Token: cred.Token})
+	if _, err := fixed.Snapshot(); err != nil {
+		t.Fatalf("fresh token should work: %v", err)
+	}
+	fc.Advance(2 * time.Minute)
+	if _, err := fixed.Snapshot(); !errors.Is(err, cloudsim.ErrTokenExpired) {
+		t.Fatalf("expired fixed token: %v, want ErrTokenExpired", err)
+	}
+}
+
+// TestRenewingBlobsMintRetriesThroughThrottle verifies the recommended
+// composition: a Mint callback wrapping the STS call in a retry policy
+// rides out throttled mints.
+func TestRenewingBlobsMintRetriesThroughThrottle(t *testing.T) {
+	cs := cloudsim.New()
+	var mintAttempts atomic.Int64
+	cs.SetFaultFunc(func(op, path string) error {
+		if op == "sts.mint" && mintAttempts.Add(1) <= 2 {
+			return &faults.Error{Class: faults.Throttled, Op: op, Path: path, RetryAfter: time.Millisecond}
+		}
+		return nil
+	})
+	p := retry.Policy{MaxAttempts: 5, BaseDelay: time.Microsecond, Sleep: func(time.Duration) {}}
+	blobs := &RenewingBlobs{
+		Store: cs,
+		Mint: func() (cloudsim.Credential, error) {
+			return retry.DoValue(p, retry.Retryable, func() (cloudsim.Credential, error) {
+				return cs.Mint("s3://lake/t2", cloudsim.AccessReadWrite, 0)
+			})
+		},
+	}
+	if _, err := Create(blobs, "s3://lake/t2", "t2", testSchema(), nil); err != nil {
+		t.Fatalf("create through throttled STS: %v", err)
+	}
+	if mintAttempts.Load() != 3 {
+		t.Fatalf("mint attempts = %d, want 3 (two throttled, one success)", mintAttempts.Load())
+	}
+}
+
+// TestRenewingBlobsWithoutMintFailsClosed: no refresh callback means token
+// expiry is terminal, not silently ignored.
+func TestRenewingBlobsWithoutMintFailsClosed(t *testing.T) {
+	cs := cloudsim.New()
+	blobs := &RenewingBlobs{Store: cs}
+	if _, err := blobs.Get("s3://lake/t/x"); !errors.Is(err, cloudsim.ErrTokenExpired) {
+		t.Fatalf("got %v, want ErrTokenExpired", err)
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"unitycatalog/internal/cloudsim"
 	"unitycatalog/internal/ids"
+	"unitycatalog/internal/retry"
 )
 
 // Blobs abstracts the object-store operations the table format needs, so a
@@ -42,7 +44,7 @@ func (s ServiceBlobs) Get(path string) ([]byte, error) { return s.Store.ServiceG
 
 // List implements Blobs.
 func (s ServiceBlobs) List(prefix string) ([]cloudsim.ObjectInfo, error) {
-	return s.Store.ServiceList(prefix), nil
+	return s.Store.ServiceList(prefix)
 }
 
 // Delete implements Blobs.
@@ -74,11 +76,119 @@ func (t TokenBlobs) List(prefix string) ([]cloudsim.ObjectInfo, error) {
 // Delete implements Blobs.
 func (t TokenBlobs) Delete(path string) error { return t.Store.Delete(t.Token, path) }
 
+// RenewingBlobs is TokenBlobs with transparent credential renewal: when
+// storage rejects the token as expired, it re-mints through Mint and
+// replays the operation once. A long-running query or writer whose vended
+// credential crosses its TTL keeps working instead of failing mid-flight;
+// without a Mint callback, expiry still fails closed.
+type RenewingBlobs struct {
+	Store *cloudsim.Store
+	// Mint returns a fresh credential whose scope covers the table; callers
+	// that must survive STS hiccups pass a Mint that retries internally.
+	Mint func() (cloudsim.Credential, error)
+
+	mu    sync.Mutex
+	token string
+}
+
+// renewLocked mints a fresh token. Caller holds b.mu.
+func (b *RenewingBlobs) renewLocked() (string, error) {
+	if b.Mint == nil {
+		return "", cloudsim.ErrTokenExpired
+	}
+	cred, err := b.Mint()
+	if err != nil {
+		return "", err
+	}
+	b.token = cred.Token
+	return b.token, nil
+}
+
+// with runs fn with the current token, renewing and replaying once when
+// the token is rejected as expired.
+func (b *RenewingBlobs) with(fn func(token string) error) error {
+	b.mu.Lock()
+	tok := b.token
+	var err error
+	if tok == "" {
+		tok, err = b.renewLocked()
+	}
+	b.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err = fn(tok); !errors.Is(err, cloudsim.ErrTokenExpired) {
+		return err
+	}
+	b.mu.Lock()
+	if b.token == tok { // a concurrent operation may have renewed already
+		_, err = b.renewLocked()
+	}
+	tok, renewErr := b.token, err
+	b.mu.Unlock()
+	if renewErr != nil {
+		return renewErr
+	}
+	return fn(tok)
+}
+
+// Put implements Blobs.
+func (b *RenewingBlobs) Put(path string, data []byte) error {
+	return b.with(func(tok string) error { return b.Store.Put(tok, path, data) })
+}
+
+// PutIfAbsent implements Blobs.
+func (b *RenewingBlobs) PutIfAbsent(path string, data []byte) error {
+	return b.with(func(tok string) error { return b.Store.PutIfAbsent(tok, path, data) })
+}
+
+// Get implements Blobs.
+func (b *RenewingBlobs) Get(path string) (data []byte, err error) {
+	err = b.with(func(tok string) error {
+		data, err = b.Store.Get(tok, path)
+		return err
+	})
+	return data, err
+}
+
+// List implements Blobs.
+func (b *RenewingBlobs) List(prefix string) (infos []cloudsim.ObjectInfo, err error) {
+	err = b.with(func(tok string) error {
+		infos, err = b.Store.List(tok, prefix)
+		return err
+	})
+	return infos, err
+}
+
+// Delete implements Blobs.
+func (b *RenewingBlobs) Delete(path string) error {
+	return b.with(func(tok string) error { return b.Store.Delete(tok, path) })
+}
+
 // Table is a handle to a Delta table rooted at Path.
 type Table struct {
 	Path  string
 	Blobs Blobs
 	Now   func() time.Time
+	// CommitRetry overrides the append retry policy; the zero value means
+	// 32 attempts with 1ms..25ms backoff — conflicts are expected under
+	// contention, so attempts are plentiful and delays tiny.
+	CommitRetry retry.Policy
+}
+
+// commitPolicy returns the effective append retry policy.
+func (t *Table) commitPolicy() retry.Policy {
+	p := t.CommitRetry
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 32
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 25 * time.Millisecond
+	}
+	return p
 }
 
 // NewTable returns a handle; it does not touch storage.
@@ -288,8 +398,12 @@ func (t *Table) Commit(base *Snapshot, actions []Action, op string) (int64, erro
 }
 
 // Append writes the batch as one data file and commits it, retrying commit
-// conflicts (blind appends never semantically conflict). Returns the new
-// version.
+// conflicts and injected storage faults (blind appends never semantically
+// conflict). The retry loop is duplicate-safe: before re-committing, it
+// checks whether an earlier attempt — say one whose success signal was
+// lost to a timeout after the log write landed — already published the
+// data file, and adopts that commit instead of appending it twice.
+// Unclassified errors surface immediately. Returns the new version.
 func (t *Table) Append(batch *Batch) (int64, error) {
 	if batch.NumRows == 0 {
 		snap, err := t.Snapshot()
@@ -298,29 +412,36 @@ func (t *Table) Append(batch *Batch) (int64, error) {
 		}
 		return snap.Version, nil
 	}
+	p := t.commitPolicy()
 	data := EncodeBatch(batch)
 	name := fmt.Sprintf("part-%s.dpf", ids.New())
-	if err := t.Blobs.Put(t.Path+"/"+name, data); err != nil {
+	// Rewriting the same bytes to the same fresh name is idempotent, so
+	// every fault class is safe to retry here.
+	if err := retry.Do(p, retry.Retryable, func() error {
+		return t.Blobs.Put(t.Path+"/"+name, data)
+	}); err != nil {
 		return 0, err
 	}
 	add := Action{Add: &AddFile{
 		Path: name, Size: int64(len(data)), ModificationTime: nowMillis(t.Now()),
 		DataChange: true, Stats: ComputeStats(batch),
 	}}
-	for attempt := 0; attempt < 32; attempt++ {
+	retryableCommit := func(err error) bool {
+		return errors.Is(err, ErrConflict) || retry.Retryable(err)
+	}
+	return retry.DoValue(p, retryableCommit, func() (int64, error) {
 		snap, err := t.Snapshot()
 		if err != nil {
 			return 0, err
 		}
-		v, err := t.Commit(snap, []Action{add}, "WRITE")
-		if err == nil {
-			return v, nil
+		for _, f := range snap.Files {
+			if f.Path == name {
+				// An earlier attempt's commit landed; adopt it.
+				return snap.Version, nil
+			}
 		}
-		if !errors.Is(err, ErrConflict) {
-			return 0, err
-		}
-	}
-	return 0, fmt.Errorf("delta: append exceeded retry budget")
+		return t.Commit(snap, []Action{add}, "WRITE")
+	})
 }
 
 // Predicate prunes and filters scans: Column op Value.

@@ -1,0 +1,7 @@
+package server
+
+import "net/http"
+
+// WriteErrForTest exposes the error→status mapping to the external test
+// package.
+func WriteErrForTest(w http.ResponseWriter, err error) { writeErr(w, err) }

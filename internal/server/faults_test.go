@@ -1,0 +1,205 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/cache"
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/client"
+	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/faults"
+	"unitycatalog/internal/retry"
+	"unitycatalog/internal/server"
+	"unitycatalog/internal/store"
+)
+
+// faultStack is testStack plus access to the backing DB, so tests can
+// inject storage-layer faults as well as front-end ones.
+func faultStack(t *testing.T) (*store.DB, *server.Server, *httptest.Server) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(svc)
+	t.Cleanup(func() { srv.Lineage.Close(); srv.Search.Close() })
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return db, srv, hs
+}
+
+func rawGet(t *testing.T, hs *httptest.Server, path string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, hs.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer admin")
+	req.Header.Set("X-UC-Metastore", "ms1")
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestInjectedFaultStatusMapping: each fault class becomes the HTTP status
+// a real overloaded/partitioned service would return, with a Retry-After
+// header on the retryable ones (satellite c).
+func TestInjectedFaultStatusMapping(t *testing.T) {
+	_, srv, hs := faultStack(t)
+	cases := []struct {
+		class      faults.Class
+		retryAfter time.Duration
+		status     int
+		header     string
+	}{
+		{faults.Throttled, 2 * time.Second, http.StatusTooManyRequests, "2"},
+		{faults.Throttled, 0, http.StatusTooManyRequests, "1"},
+		{faults.Unavailable, 5 * time.Second, http.StatusServiceUnavailable, "5"},
+		{faults.Transient, 0, http.StatusServiceUnavailable, "1"},
+		{faults.Timeout, 0, http.StatusGatewayTimeout, ""},
+	}
+	for _, tc := range cases {
+		inj := faults.New(7)
+		inj.AddRule(faults.Rule{Op: "http.GET", Class: tc.class, P: 1, RetryAfter: tc.retryAfter})
+		srv.SetFaults(inj)
+		resp := rawGet(t, hs, "/api/2.1/unity-catalog/stats")
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%v: status = %d, want %d", tc.class, resp.StatusCode, tc.status)
+		}
+		if got := resp.Header.Get("Retry-After"); got != tc.header {
+			t.Errorf("%v: Retry-After = %q, want %q", tc.class, got, tc.header)
+		}
+	}
+	// Removing the injector restores service.
+	srv.SetFaults(nil)
+	if resp := rawGet(t, hs, "/api/2.1/unity-catalog/stats"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after clearing injector: %d", resp.StatusCode)
+	}
+}
+
+// TestHealthzExemptFromFaults: operators must be able to observe a node
+// that is rejecting traffic.
+func TestHealthzExemptFromFaults(t *testing.T) {
+	_, srv, hs := faultStack(t)
+	inj := faults.New(1)
+	inj.AddRule(faults.Rule{Class: faults.Unavailable, P: 1})
+	srv.SetFaults(inj)
+	resp := rawGet(t, hs, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during outage: %d", resp.StatusCode)
+	}
+	if resp := rawGet(t, hs, "/api/2.1/unity-catalog/stats"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("api during outage: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestClientRetriesThroughInjectedThrottle: the typed client transparently
+// rides out a brief 429 window injected at the server front end.
+func TestClientRetriesThroughInjectedThrottle(t *testing.T) {
+	_, srv, hs := faultStack(t)
+	inj := faults.New(3)
+	// A front-end brownout: the first 2 requests are throttled, then the
+	// window closes.
+	inj.Schedule(faults.Window{Class: faults.Throttled, From: 0, To: 2, RetryAfter: time.Millisecond})
+	srv.SetFaults(inj)
+	c := client.New(hs.URL, "admin", "ms1")
+	c.Retry = retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Sleep: func(time.Duration) {}}
+	if _, err := c.CreateCatalog("sales", ""); err != nil {
+		t.Fatalf("create through throttle window: %v", err)
+	}
+	if got, err := c.GetAsset("sales"); err != nil || got.FullName != "sales" {
+		t.Fatalf("get after window: %v, %v", got, err)
+	}
+}
+
+// TestHealthzReportsCacheDegradation: a storage outage flips /healthz to
+// "degraded" while the process stays alive (HTTP 200), and recovery flips
+// it back (tentpole: degraded mode surfaced via health endpoint).
+func TestHealthzReportsCacheDegradation(t *testing.T) {
+	db, _, hs := faultStack(t)
+
+	var health struct {
+		Status string                  `json:"status"`
+		Cache  []cache.MetastoreHealth `json:"cache"`
+	}
+	readHealth := func() {
+		t.Helper()
+		resp := rawGet(t, hs, "/healthz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status = %d", resp.StatusCode)
+		}
+		health.Status, health.Cache = "", nil
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	readHealth()
+	if health.Status != "ok" || len(health.Cache) == 0 {
+		t.Fatalf("initial health = %+v", health)
+	}
+
+	// Storage outage: uncached reads now fail with Unavailable.
+	inj := faults.New(11)
+	inj.AddRule(faults.Rule{Class: faults.Unavailable, P: 1, RetryAfter: time.Second})
+	db.SetFaults(inj)
+	resp := rawGet(t, hs, "/api/2.1/unity-catalog/assets/no.such.asset")
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("read of unknown asset during outage should not succeed")
+	}
+	readHealth()
+	if health.Status != "degraded" {
+		t.Fatalf("health during outage = %+v, want degraded", health)
+	}
+	degradedSeen := false
+	for _, mh := range health.Cache {
+		if mh.MetastoreID == "ms1" && mh.Degraded {
+			degradedSeen = true
+		}
+	}
+	if !degradedSeen {
+		t.Fatalf("per-metastore health missing degraded ms1: %+v", health.Cache)
+	}
+
+	// Recovery: the next successful DB read clears the flag.
+	db.SetFaults(nil)
+	resp = rawGet(t, hs, "/api/2.1/unity-catalog/assets/no.such.asset")
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("after recovery, unknown asset = %d, want 404", resp.StatusCode)
+	}
+	readHealth()
+	if health.Status != "ok" {
+		t.Fatalf("health after recovery = %+v, want ok", health)
+	}
+}
+
+// TestWriteErrCredentialExpiry: expired or invalid storage tokens map to
+// 401, distinguishing caller credential problems from server faults.
+func TestWriteErrCredentialExpiry(t *testing.T) {
+	for _, e := range []error{cloudsim.ErrTokenExpired, cloudsim.ErrTokenInvalid} {
+		rec := httptest.NewRecorder()
+		server.WriteErrForTest(rec, e)
+		if rec.Code != http.StatusUnauthorized {
+			t.Errorf("%v: status = %d, want 401", e, rec.Code)
+		}
+	}
+}

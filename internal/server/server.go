@@ -19,15 +19,19 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"unitycatalog/internal/catalog"
 	"unitycatalog/internal/cloudsim"
 	"unitycatalog/internal/erm"
+	"unitycatalog/internal/faults"
 	"unitycatalog/internal/iceberg"
 	"unitycatalog/internal/ids"
 	"unitycatalog/internal/lineage"
 	"unitycatalog/internal/mlregistry"
 	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/retry"
 	"unitycatalog/internal/search"
 	"unitycatalog/internal/sharing"
 )
@@ -43,9 +47,19 @@ type Server struct {
 	mu      sync.RWMutex
 	trusted map[privilege.Principal]bool
 
+	// injector, when set, is consulted before dispatch with the operation
+	// "http.<METHOD>" and the request path, modeling an overloaded or
+	// partitioned front end; injected faults become 429/503/504 responses.
+	injector atomic.Pointer[faults.Injector]
+
 	mux  *http.ServeMux
 	once sync.Once
 }
+
+// SetFaults installs (or, with nil, removes) a fault injector in front of
+// request dispatch. /healthz is exempt so operators can observe a chaos
+// run.
+func (s *Server) SetFaults(inj *faults.Injector) { s.injector.Store(inj) }
 
 // New assembles a Server with all subsystems attached.
 func New(svc *catalog.Service) *Server {
@@ -86,6 +100,12 @@ func (s *Server) ctx(r *http.Request) catalog.Ctx {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.once.Do(s.buildMux)
+	if r.URL.Path != "/healthz" {
+		if err := s.injector.Load().Check("http."+r.Method, r.URL.Path); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -153,9 +173,20 @@ func (s *Server) buildMux() {
 
 	// --- operational ---
 	m.HandleFunc("GET "+apiPrefix+"/stats", s.handleStats)
-	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// handleHealthz reports liveness plus the cache's degradation state. A
+// degraded node still answers 200 — it is alive and serving bounded-stale
+// data — with the detail in the body for monitors to alert on.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Service.CacheDegraded() {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status,
+		"cache":  s.Service.CacheHealth(),
 	})
 }
 
@@ -173,8 +204,32 @@ type errorBody struct {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
+	// Injected infrastructure faults map to the statuses a real overloaded
+	// or partitioned deployment would return, with Retry-After telling
+	// well-behaved clients how long to back off.
+	if c, ok := faults.ClassOf(err); ok {
+		status := http.StatusServiceUnavailable // Transient, Unavailable
+		switch c {
+		case faults.Throttled:
+			status = http.StatusTooManyRequests
+		case faults.Timeout:
+			status = http.StatusGatewayTimeout
+		}
+		after, _ := retry.RetryAfter(err)
+		if after > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int((after+time.Second-1)/time.Second)))
+		} else if status != http.StatusGatewayTimeout {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorBody{Error: err.Error(), Code: status})
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, cloudsim.ErrTokenExpired), errors.Is(err, cloudsim.ErrTokenInvalid):
+		// Credential problems are the caller's to fix by re-authenticating
+		// (or re-vending), not a server fault.
+		status = http.StatusUnauthorized
 	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, sharing.ErrBadToken):
 		status = http.StatusNotFound
 	case errors.Is(err, catalog.ErrPermissionDenied), errors.Is(err, sharing.ErrNoAccess),

@@ -34,6 +34,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"unitycatalog/internal/faults"
 )
 
 // Common errors.
@@ -61,6 +63,12 @@ type Options struct {
 	// MaxVersionsPerRecord bounds retained versions per record beyond what
 	// active snapshots pin. Zero means the default (4).
 	MaxVersionsPerRecord int
+	// Faults, if non-nil, is consulted on every database entry point
+	// (snapshot open, version read, change-log read, commit) and a non-nil
+	// return is injected as that operation's error — modeling a remote DB
+	// that times out, throttles, or goes down. It can also be installed
+	// after Open with SetFaults.
+	Faults *faults.Injector
 }
 
 const (
@@ -129,6 +137,21 @@ type DB struct {
 	// reads counts snapshot point reads and scans served by the database;
 	// the cache layer's tests use it to verify miss coalescing.
 	reads atomic.Int64
+
+	// injector is the active fault injector; swapped atomically so tests
+	// can install or clear schedules while operations are in flight.
+	injector atomic.Pointer[faults.Injector]
+}
+
+// SetFaults installs (or, with nil, removes) the fault injector consulted by
+// every database entry point. Safe to call concurrently with operations.
+func (db *DB) SetFaults(inj *faults.Injector) {
+	db.injector.Store(inj)
+}
+
+// fault asks the active injector whether op on path should fail.
+func (db *DB) fault(op, path string) error {
+	return db.injector.Load().Check(op, path)
 }
 
 // Open creates a DB. If opts.WALPath exists, its contents are replayed.
@@ -140,6 +163,9 @@ func Open(opts Options) (*DB, error) {
 		opts.MaxVersionsPerRecord = defaultMaxVersions
 	}
 	db := &DB{opts: opts, stores: map[string]*metastore{}}
+	if opts.Faults != nil {
+		db.injector.Store(opts.Faults)
+	}
 	if opts.WALPath != "" {
 		if err := db.replayWAL(opts.WALPath); err != nil {
 			return nil, err
@@ -231,6 +257,9 @@ func (db *DB) Metastores() []string {
 
 // Version returns the current committed version of a metastore.
 func (db *DB) Version(msID string) (uint64, error) {
+	if err := db.fault("db.version", msID); err != nil {
+		return 0, err
+	}
 	ms, err := db.metastore(msID)
 	if err != nil {
 		return 0, err
@@ -243,6 +272,9 @@ func (db *DB) Version(msID string) (uint64, error) {
 // Snapshot opens a read-only view of the metastore at its current version.
 // The caller must Close the snapshot to release version pins.
 func (db *DB) Snapshot(msID string) (*Snapshot, error) {
+	if err := db.fault("db.snapshot", msID); err != nil {
+		return nil, err
+	}
 	ms, err := db.metastore(msID)
 	if err != nil {
 		return nil, err
@@ -258,6 +290,9 @@ func (db *DB) Snapshot(msID string) (*Snapshot, error) {
 // SnapshotAt opens a read-only view at an explicit version, which must be at
 // or below the current version. Used by tests and the cache layer.
 func (db *DB) SnapshotAt(msID string, v uint64) (*Snapshot, error) {
+	if err := db.fault("db.snapshot", msID); err != nil {
+		return nil, err
+	}
 	ms, err := db.metastore(msID)
 	if err != nil {
 		return nil, err
@@ -504,6 +539,11 @@ func (db *DB) UpdateCAS(msID string, expected uint64, fn func(tx *Tx) error) (ui
 }
 
 func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint64, error) {
+	// Fault check before any transaction state exists, modeling a failed
+	// connection: a faulted commit never partially applies.
+	if err := db.fault("db.commit", msID); err != nil {
+		return 0, err
+	}
 	ms, err := db.metastore(msID)
 	if err != nil {
 		return 0, err
@@ -610,6 +650,9 @@ func (db *DB) pruneLocked(ms *metastore, r *record) {
 // If the change log no longer covers v, it returns ErrChangeLogTrimmed and
 // the caller must fall back to full reconciliation.
 func (db *DB) ChangesSince(msID string, v uint64) ([]Change, error) {
+	if err := db.fault("db.changes", msID); err != nil {
+		return nil, err
+	}
 	ms, err := db.metastore(msID)
 	if err != nil {
 		return nil, err
