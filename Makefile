@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-parallel
+.PHONY: test race bench bench-parallel bench-store
 
 test:
 	$(GO) build ./...
@@ -37,3 +37,8 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'Parallel' -benchmem .
 	$(GO) test -run xxx -bench 'Parallel' -benchmem ./internal/cache/
+
+# Commit write-path grid (writers × CommitLatency × WAL); emits
+# BENCH_store_commit.json with ops/s, p50/p99, and WAL batch sizes.
+bench-store:
+	$(GO) run ./cmd/storebench -out BENCH_store_commit.json

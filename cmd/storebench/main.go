@@ -1,0 +1,63 @@
+// Command storebench measures the store's commit write path across the
+// writers × CommitLatency × WAL grid and writes the results as JSON for CI
+// tracking (see `make bench-store`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"unitycatalog/internal/bench"
+)
+
+type report struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Cells      []bench.CommitCell `json:"cells"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_store_commit.json", "output JSON path")
+	quick := flag.Bool("quick", false, "smaller per-writer op counts")
+	flag.Parse()
+
+	cells, err := bench.RunCommitGrid(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storebench:", err)
+		os.Exit(1)
+	}
+	r := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Cells:      cells,
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storebench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "storebench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-8s %-10s %-6s %12s %10s %10s %10s %10s\n",
+		"writers", "commit_lat", "wal", "ops/s", "p50(ms)", "p99(ms)", "avg_batch", "max_batch")
+	for _, c := range cells {
+		batch, maxb := "-", "-"
+		if c.WAL {
+			batch = fmt.Sprintf("%.1f", c.AvgBatch)
+			maxb = fmt.Sprintf("%d", c.MaxBatch)
+		}
+		fmt.Printf("%-8d %-10s %-6v %12.0f %10.3f %10.3f %10s %10s\n",
+			c.Writers, fmt.Sprintf("%.0fms", c.CommitLatMS), c.WAL,
+			c.OpsPerSec, c.P50MS, c.P99MS, batch, maxb)
+	}
+	fmt.Println("wrote", *out)
+}

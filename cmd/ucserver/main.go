@@ -24,6 +24,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		wal       = flag.String("wal", "", "write-ahead log path for metadata durability (empty = in-memory)")
+		walSync   = flag.String("wal-sync", "batch", "WAL fsync policy: batch (one fsync per group-commit batch), never, or always")
 		metastore = flag.String("metastore", "ms1", "metastore id to create or open at startup")
 		name      = flag.String("name", "main", "metastore name")
 		region    = flag.String("region", "us-east-1", "metastore home region")
@@ -33,7 +34,11 @@ func main() {
 	)
 	flag.Parse()
 
-	cat, err := uc.Open(uc.Config{WALPath: *wal})
+	syncPolicy, err := uc.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatalf("-wal-sync: %v", err)
+	}
+	cat, err := uc.Open(uc.Config{WALPath: *wal, WALSync: syncPolicy})
 	if err != nil {
 		log.Fatalf("open catalog: %v", err)
 	}

@@ -123,6 +123,7 @@ func All() []Experiment {
 		{"ablate-reconcile", "Ablation: full vs selective cache reconciliation", AblationReconcile},
 		{"ablate-trie", "Ablation: trie vs index-walk path resolution", AblationPathIndex},
 		{"ablate-tokens", "Ablation: credential token cache on/off", AblationTokenCache},
+		{"groupcommit", "Commit throughput: group-commit WAL + pipelined commits", GroupCommitExperiment},
 	}
 }
 

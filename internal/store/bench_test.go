@@ -1,0 +1,60 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkCommitThroughput measures the write path under concurrent
+// committers to a single metastore, across the grid that matters for the
+// group-commit design: writer count × simulated backend round trip
+// (CommitLatency) × WAL on/off. Before group commit, N writers paid N
+// serialized round trips and N WAL flushes; after, they share one batch
+// flush+fsync and overlap their round trips, so the lat=2ms cells are the
+// headline (see EXPERIMENTS.md).
+//
+// GOMAXPROCS note: this container exposes one core, so RunParallel cannot
+// show CPU parallelism — but commit latency is sleep-bound, not CPU-bound,
+// and overlapping sleeps (the thing group commit enables) shows up fine.
+func BenchmarkCommitThroughput(b *testing.B) {
+	for _, writers := range []int{1, 8, 64} {
+		for _, lat := range []time.Duration{0, 2 * time.Millisecond} {
+			for _, wal := range []bool{false, true} {
+				name := fmt.Sprintf("writers=%d/lat=%s/wal=%v", writers, lat, wal)
+				b.Run(name, func(b *testing.B) {
+					opts := Options{CommitLatency: lat}
+					if wal {
+						opts.WALPath = filepath.Join(b.TempDir(), "bench.wal")
+					}
+					db, err := Open(opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer db.Close()
+					if err := db.CreateMetastore("m"); err != nil {
+						b.Fatal(err)
+					}
+					var seq atomic.Int64
+					b.SetParallelism(writers) // goroutines = writers × GOMAXPROCS
+					b.ReportAllocs()
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						for pb.Next() {
+							n := seq.Add(1)
+							key := fmt.Sprintf("k%d", n%512)
+							if _, err := db.Update("m", func(tx *Tx) error {
+								tx.Put("t", key, []byte("v"))
+								return nil
+							}); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package store
+
+import "testing"
+
+func ringVersions(r *changeRing) []uint64 {
+	out := make([]uint64, 0, r.len())
+	for i := 0; i < r.len(); i++ {
+		out = append(out, r.at(i).Version)
+	}
+	return out
+}
+
+func TestChangeRingGrowThenWrap(t *testing.T) {
+	r := newChangeRing(4)
+	if r.len() != 0 {
+		t.Fatalf("empty ring len = %d", r.len())
+	}
+	// Grow phase: appends until capacity.
+	for v := uint64(1); v <= 4; v++ {
+		r.push(Change{Version: v})
+		if got := r.len(); got != int(v) {
+			t.Fatalf("after push %d: len = %d", v, got)
+		}
+	}
+	if got := ringVersions(&r); got[0] != 1 || got[3] != 4 {
+		t.Fatalf("grow phase order = %v", got)
+	}
+	// Wrap phase: each push evicts the oldest, order stays ascending.
+	for v := uint64(5); v <= 11; v++ {
+		r.push(Change{Version: v})
+		if r.len() != 4 {
+			t.Fatalf("after wrap push %d: len = %d, want 4", v, r.len())
+		}
+		got := ringVersions(&r)
+		for i, g := range got {
+			if want := v - 3 + uint64(i); g != want {
+				t.Fatalf("after push %d: ring = %v, want oldest %d ascending", v, got, v-3)
+			}
+		}
+	}
+}
+
+func TestChangeRingMinCapacity(t *testing.T) {
+	r := newChangeRing(0) // clamps to 1
+	r.push(Change{Version: 1})
+	r.push(Change{Version: 2})
+	if r.len() != 1 || r.at(0).Version != 2 {
+		t.Fatalf("capacity-1 ring: len = %d, newest = %+v", r.len(), r.at(0))
+	}
+}

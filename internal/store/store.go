@@ -24,7 +24,6 @@
 package store
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,8 +49,12 @@ var (
 // Options configures a DB.
 type Options struct {
 	// WALPath, if non-empty, enables durability: all commits are appended to
-	// this file and replayed on Open.
+	// this file and replayed on Open. Entries are written by a dedicated
+	// group-commit writer goroutine (see wal.go).
 	WALPath string
+	// Sync selects when the WAL writer fsyncs: SyncBatch (default, one
+	// fsync per group-commit batch), SyncNever, or SyncAlways.
+	Sync SyncPolicy
 	// ReadLatency is artificial latency added to every snapshot Get/Scan,
 	// modeling a remote database round trip.
 	ReadLatency time.Duration
@@ -112,14 +115,44 @@ func (r *record) at(v uint64) ([]byte, bool) {
 	return nil, false
 }
 
+// pendingCommit is a commit that has been sequenced (assigned a version,
+// conflict-checked, enqueued to the WAL) but not yet applied to the
+// in-memory state. Transactions sequencing after it read its writes through
+// the overlay in Tx.Get/Scan; snapshots never see it (durability before
+// visibility).
+type pendingCommit struct {
+	version uint64
+	writes  map[string]map[string]*txWrite
+	ordered []Change
+}
+
 type metastore struct {
-	mu       sync.Mutex // serializes write transactions
+	// mu is the sequencing lock: it serializes conflict detection, the
+	// user's transaction function, version assignment, and WAL enqueue —
+	// but not WAL I/O, simulated commit latency, or state application,
+	// which happen after it is released. That is the commit pipeline: while
+	// commit N awaits its batch ack, commit N+1 can already run its
+	// transaction function (reading N's writes via the pending overlay).
+	mu sync.Mutex
+	// nextV is the sequenced version (>= version); guarded by mu.
+	nextV uint64
+
+	// stateMu guards the applied state below plus the pending overlay.
+	// Lock order: mu before stateMu; applyMu is taken with neither held.
 	stateMu  sync.RWMutex
-	version  uint64
+	version  uint64 // applied (visible) version
 	tables   map[string]map[string]*record
-	changes  []Change // ring-buffered change log
+	changes  changeRing
 	snaps    map[uint64]int
 	minSnapV uint64
+	pending  []*pendingCommit // sequenced but unapplied, ascending version
+
+	// applyMu/applyCond sequence state application: a committer applies
+	// only after version newV-1 has been applied, so the state always
+	// advances in commit order even though batch acks wake whole groups.
+	applyMu   sync.Mutex
+	applyCond *sync.Cond
+	applied   uint64 // mirrors version; guarded by applyMu
 }
 
 // DB is the metadata database.
@@ -130,9 +163,9 @@ type DB struct {
 	stores map[string]*metastore
 	closed bool
 
-	walMu sync.Mutex
-	wal   *os.File
-	walW  *bufio.Writer
+	// wal is the group-commit writer; nil when WALPath is unset, in which
+	// case commits never touch a queue or a shared lock on the way out.
+	wal *walWriter
 
 	// reads counts snapshot point reads and scans served by the database;
 	// the cache layer's tests use it to verify miss coalescing.
@@ -174,26 +207,35 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: open wal: %w", err)
 		}
-		db.wal = f
-		db.walW = bufio.NewWriter(f)
+		db.wal = newWALWriter(f, opts.Sync, opts.CommitLatency)
+	}
+	for _, ms := range db.stores {
+		ms.nextV = ms.version
+		ms.applied = ms.version
 	}
 	return db, nil
 }
 
-// Close flushes the WAL and marks the database closed.
+// Close marks the database closed, then drains and stops the WAL writer;
+// every commit enqueued before Close is flushed (and fsynced per the
+// SyncPolicy) before it returns. Safe to call more than once.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
-	db.walMu.Lock()
-	defer db.walMu.Unlock()
 	if db.wal != nil {
-		if err := db.walW.Flush(); err != nil {
-			return err
-		}
-		return db.wal.Close()
+		return db.wal.close()
 	}
 	return nil
+}
+
+// WALStats reports group-commit batching counters; zero if no WAL is
+// configured.
+func (db *DB) WALStats() WALStats {
+	if db.wal == nil {
+		return WALStats{}
+	}
+	return db.wal.stats()
 }
 
 func (db *DB) metastore(id string) (*metastore, error) {
@@ -212,34 +254,63 @@ func (db *DB) metastore(id string) (*metastore, error) {
 // CreateMetastore registers a new metastore namespace at version 0.
 func (db *DB) CreateMetastore(id string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
 	if _, ok := db.stores[id]; ok {
+		db.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrMetastoreExists, id)
 	}
-	db.stores[id] = newMetastore()
-	db.logWAL(walEntry{Op: "create_metastore", Metastore: id})
+	// Enqueue the WAL entry before releasing db.mu: no commit can observe
+	// the new metastore until db.mu is released, so the lifecycle entry is
+	// guaranteed to precede every commit to it in the log.
+	req, err := db.logMeta(walEntry{Op: "create_metastore", Metastore: id})
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.stores[id] = newMetastore(db.opts.ChangeLogSize)
+	db.mu.Unlock()
+	if req != nil {
+		<-req.done
+		return req.err
+	}
 	return nil
 }
 
-func newMetastore() *metastore {
-	return &metastore{tables: map[string]map[string]*record{}, snaps: map[uint64]int{}}
+func newMetastore(changeLogSize int) *metastore {
+	m := &metastore{
+		tables:  map[string]map[string]*record{},
+		snaps:   map[uint64]int{},
+		changes: newChangeRing(changeLogSize),
+	}
+	m.applyCond = sync.NewCond(&m.applyMu)
+	return m
 }
 
 // DropMetastore removes a metastore and all its data.
 func (db *DB) DropMetastore(id string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
 	if _, ok := db.stores[id]; !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoMetastore, id)
 	}
+	req, err := db.logMeta(walEntry{Op: "drop_metastore", Metastore: id})
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
 	delete(db.stores, id)
-	db.logWAL(walEntry{Op: "drop_metastore", Metastore: id})
+	db.mu.Unlock()
+	if req != nil {
+		<-req.done
+		return req.err
+	}
 	return nil
 }
 
@@ -419,7 +490,11 @@ type txWrite struct {
 	deleted bool
 }
 
-// Get returns the value of (table, key) as seen by the transaction.
+// Get returns the value of (table, key) as seen by the transaction: its own
+// buffered writes, then any sequenced-but-unapplied commit's writes (the
+// pipeline overlay), then the applied state at the transaction's base
+// version. A commit moving from the overlay into the applied state keeps
+// the same visible value, so repeated reads are stable.
 func (tx *Tx) Get(table, key string) ([]byte, bool) {
 	if t, ok := tx.writes[table]; ok {
 		if w, ok := t[key]; ok {
@@ -427,6 +502,22 @@ func (tx *Tx) Get(table, key string) ([]byte, bool) {
 				return nil, false
 			}
 			return w.value, true
+		}
+	}
+	tx.ms.stateMu.RLock()
+	defer tx.ms.stateMu.RUnlock()
+	for i := len(tx.ms.pending) - 1; i >= 0; i-- {
+		pc := tx.ms.pending[i]
+		if pc.version > tx.base {
+			continue
+		}
+		if t, ok := pc.writes[table]; ok {
+			if w, ok := t[key]; ok {
+				if w.deleted {
+					return nil, false
+				}
+				return w.value, true
+			}
 		}
 	}
 	t, ok := tx.ms.tables[table]
@@ -490,10 +581,11 @@ func (tx *Tx) Writes() []Write {
 	return out
 }
 
-// Scan returns live pairs with the key prefix, merging buffered writes over
-// the snapshot.
+// Scan returns live pairs with the key prefix, merging buffered writes and
+// the pipeline overlay over the applied state at the base version.
 func (tx *Tx) Scan(table, prefix string) []KV {
 	merged := map[string][]byte{}
+	tx.ms.stateMu.RLock()
 	if t, ok := tx.ms.tables[table]; ok {
 		for k, r := range t {
 			if !strings.HasPrefix(k, prefix) {
@@ -504,6 +596,26 @@ func (tx *Tx) Scan(table, prefix string) []KV {
 			}
 		}
 	}
+	for _, pc := range tx.ms.pending { // oldest → newest
+		if pc.version > tx.base {
+			continue
+		}
+		t, ok := pc.writes[table]
+		if !ok {
+			continue
+		}
+		for k, w := range t {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			if w.deleted {
+				delete(merged, k)
+			} else {
+				merged[k] = w.value
+			}
+		}
+	}
+	tx.ms.stateMu.RUnlock()
 	if t, ok := tx.writes[table]; ok {
 		for k, w := range t {
 			if !strings.HasPrefix(k, prefix) {
@@ -538,47 +650,104 @@ func (db *DB) UpdateCAS(msID string, expected uint64, fn func(tx *Tx) error) (ui
 	return db.update(msID, &expected, fn)
 }
 
+// update is the group-commit write path. It runs in four stages:
+//
+//  1. Sequence (under ms.mu): conflict-detect against the sequenced version
+//     nextV, run fn, assign newV = nextV+1, install the write set in the
+//     pending overlay, and enqueue the WAL request — O(write set) work with
+//     no I/O, no fsync, and no simulated latency under the lock.
+//  2. Encode + await ack (no locks): JSON-encode the WAL entry, then wait
+//     for the writer goroutine's batch ack. N concurrent commits share one
+//     flush, one fsync, and one simulated CommitLatency round trip. With no
+//     WAL, each commit pays its own round trip, concurrently.
+//  3. Await turn (applyMu): state is applied strictly in sequence order.
+//  4. Apply (stateMu): install the writes, push the change log, bump the
+//     visible version — durability before visibility, as in the seed.
+//
+// A WAL failure fails this commit and poisons the write path (see wal.go);
+// the pending entry is dropped and the visible version never reaches newV.
 func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint64, error) {
 	// Fault check before any transaction state exists, modeling a failed
 	// connection: a faulted commit never partially applies.
 	if err := db.fault("db.commit", msID); err != nil {
 		return 0, err
 	}
+	if db.wal != nil {
+		if err := db.wal.err(); err != nil {
+			return 0, err
+		}
+	}
 	ms, err := db.metastore(msID)
 	if err != nil {
 		return 0, err
 	}
-	ms.mu.Lock() // serialize writers
-	defer ms.mu.Unlock()
 
-	ms.stateMu.RLock()
-	base := ms.version
-	ms.stateMu.RUnlock()
+	// Stage 1: sequence.
+	ms.mu.Lock()
+	base := ms.nextV
 	if expected != nil && base != *expected {
+		ms.mu.Unlock()
 		return base, fmt.Errorf("%w: have %d, expected %d", ErrVersionMismatch, base, *expected)
 	}
-
 	tx := &Tx{db: db, ms: ms, base: base, writes: map[string]map[string]*txWrite{}}
 	if err := fn(tx); err != nil {
+		ms.mu.Unlock()
 		return base, err
 	}
 	if len(tx.ordered) == 0 {
+		ms.mu.Unlock()
 		return base, nil // read-only transaction: no version bump
 	}
-
-	db.simulateCommit()
 	newV := base + 1
-
-	// Durability before visibility.
-	entry := walEntry{Op: "commit", Metastore: msID, Version: newV}
-	for _, c := range tx.ordered {
-		w := tx.writes[c.Table][c.Key]
-		entry.Writes = append(entry.Writes, walWrite{Table: c.Table, Key: c.Key, Value: w.value, Deleted: w.deleted})
-	}
-	db.logWAL(entry)
-
+	ms.nextV = newV
+	pc := &pendingCommit{version: newV, writes: tx.writes, ordered: tx.ordered}
 	ms.stateMu.Lock()
-	defer ms.stateMu.Unlock()
+	ms.pending = append(ms.pending, pc)
+	ms.stateMu.Unlock()
+	var req *walReq
+	if db.wal != nil {
+		req = newWALReq()
+		if err := db.wal.submit(req); err != nil {
+			ms.dropPending(newV)
+			ms.mu.Unlock()
+			return base, err
+		}
+	}
+	ms.mu.Unlock()
+
+	// Stage 2: encode off every lock, then await the batch ack.
+	if req != nil {
+		entry := walEntry{Op: "commit", Metastore: msID, Version: newV}
+		entry.Writes = make([]walWrite, 0, len(tx.ordered))
+		for _, c := range tx.ordered {
+			w := tx.writes[c.Table][c.Key]
+			entry.Writes = append(entry.Writes, walWrite{Table: c.Table, Key: c.Key, Value: w.value, Deleted: w.deleted})
+		}
+		req.enc, req.encErr = json.Marshal(entry)
+		close(req.ready)
+		<-req.done
+		if req.err != nil {
+			ms.dropPending(newV)
+			return base, req.err
+		}
+	} else {
+		db.simulateCommit() // own round trip, overlapping with other commits
+	}
+
+	// Stage 3: await our turn. Acked predecessors always apply (a WAL
+	// failure fails every later commit too, so we only wait on successes).
+	ms.applyMu.Lock()
+	for ms.applied != newV-1 {
+		ms.applyCond.Wait()
+	}
+	ms.applyMu.Unlock()
+
+	// Stage 4: apply under stateMu — durability before visibility.
+	ms.stateMu.Lock()
+	if len(ms.pending) == 0 || ms.pending[0] != pc {
+		ms.stateMu.Unlock()
+		panic("store: commit pipeline applied out of sequence")
+	}
 	for _, c := range tx.ordered {
 		w := tx.writes[c.Table][c.Key]
 		t, ok := ms.tables[c.Table]
@@ -601,14 +770,32 @@ func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint
 				delete(t, c.Key)
 			}
 		}
-		c.Version = newV
-		ms.changes = append(ms.changes, Change{Version: newV, Table: c.Table, Key: c.Key, Deleted: w.deleted})
+		ms.changes.push(Change{Version: newV, Table: c.Table, Key: c.Key, Deleted: w.deleted})
 	}
-	if over := len(ms.changes) - db.opts.ChangeLogSize; over > 0 {
-		ms.changes = append([]Change(nil), ms.changes[over:]...)
-	}
+	ms.pending = ms.pending[1:]
 	ms.version = newV
+	ms.stateMu.Unlock()
+
+	ms.applyMu.Lock()
+	ms.applied = newV
+	ms.applyCond.Broadcast()
+	ms.applyMu.Unlock()
 	return newV, nil
+}
+
+// dropPending removes the sequenced-but-unapplied commit v after its WAL
+// write failed or the database closed under it. Later sequenced commits are
+// guaranteed to fail too (the failure is sticky), so the applied version
+// simply never reaches v and no applier waits on it.
+func (ms *metastore) dropPending(v uint64) {
+	ms.stateMu.Lock()
+	for i, pc := range ms.pending {
+		if pc.version == v {
+			ms.pending = append(ms.pending[:i], ms.pending[i+1:]...)
+			break
+		}
+	}
+	ms.stateMu.Unlock()
 }
 
 func allDeleted(r *record) bool {
@@ -662,27 +849,26 @@ func (db *DB) ChangesSince(msID string, v uint64) ([]Change, error) {
 	if v >= ms.version {
 		return nil, nil
 	}
-	if len(ms.changes) == 0 || ms.changes[0].Version > v+1 {
-		// The log must contain every change in (v, current]; the oldest
-		// retained change being newer than v+1 means some were trimmed.
-		if v+1 < firstVersion(ms.changes) {
-			return nil, ErrChangeLogTrimmed
-		}
+	n := ms.changes.len()
+	// The log must contain every change in (v, current]; the oldest
+	// retained change being newer than v+1 means some were trimmed.
+	first := ^uint64(0)
+	if n > 0 {
+		first = ms.changes.at(0).Version
 	}
-	var out []Change
-	for _, c := range ms.changes {
-		if c.Version > v {
-			out = append(out, c)
-		}
+	if v+1 < first {
+		return nil, ErrChangeLogTrimmed
+	}
+	// Versions ascend through the ring, so binary-search the cut point.
+	i := sort.Search(n, func(i int) bool { return ms.changes.at(i).Version > v })
+	if i == n {
+		return nil, nil
+	}
+	out := make([]Change, 0, n-i)
+	for ; i < n; i++ {
+		out = append(out, ms.changes.at(i))
 	}
 	return out, nil
-}
-
-func firstVersion(cs []Change) uint64 {
-	if len(cs) == 0 {
-		return ^uint64(0)
-	}
-	return cs[0].Version
 }
 
 func (db *DB) simulateRead() {
@@ -701,98 +887,4 @@ func (db *DB) simulateCommit() {
 	if db.opts.CommitLatency > 0 {
 		time.Sleep(db.opts.CommitLatency)
 	}
-}
-
-// --- WAL ---
-
-type walWrite struct {
-	Table   string `json:"t"`
-	Key     string `json:"k"`
-	Value   []byte `json:"v,omitempty"`
-	Deleted bool   `json:"d,omitempty"`
-}
-
-type walEntry struct {
-	Op        string     `json:"op"`
-	Metastore string     `json:"ms"`
-	Version   uint64     `json:"ver,omitempty"`
-	Writes    []walWrite `json:"w,omitempty"`
-}
-
-func (db *DB) logWAL(e walEntry) {
-	if db.wal == nil {
-		return
-	}
-	db.walMu.Lock()
-	defer db.walMu.Unlock()
-	b, err := json.Marshal(e)
-	if err != nil {
-		return
-	}
-	db.walW.Write(b)
-	db.walW.WriteByte('\n')
-	db.walW.Flush()
-}
-
-func (db *DB) replayWAL(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("store: replay wal: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var pending []walEntry
-	for sc.Scan() {
-		var e walEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			// A torn final line is the expected crash artifact: the commit
-			// never became durable, so stop replay here. Corruption
-			// followed by more valid entries is real damage and fatal.
-			if !sc.Scan() {
-				break
-			}
-			return fmt.Errorf("store: corrupt wal entry mid-log: %w", err)
-		}
-		pending = append(pending, e)
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	for _, e := range pending {
-		switch e.Op {
-		case "create_metastore":
-			if _, ok := db.stores[e.Metastore]; !ok {
-				db.stores[e.Metastore] = newMetastore()
-			}
-		case "drop_metastore":
-			delete(db.stores, e.Metastore)
-		case "commit":
-			ms, ok := db.stores[e.Metastore]
-			if !ok {
-				continue
-			}
-			for _, w := range e.Writes {
-				t, ok := ms.tables[w.Table]
-				if !ok {
-					t = map[string]*record{}
-					ms.tables[w.Table] = t
-				}
-				r, ok := t[w.Key]
-				if !ok {
-					r = &record{}
-					t[w.Key] = r
-				}
-				r.versions = append(r.versions, version{commit: e.Version, value: w.Value, deleted: w.Deleted})
-			}
-			ms.version = e.Version
-			for _, w := range e.Writes {
-				ms.changes = append(ms.changes, Change{Version: e.Version, Table: w.Table, Key: w.Key, Deleted: w.Deleted})
-			}
-		}
-	}
-	return nil
 }

@@ -1,0 +1,411 @@
+package store
+
+// Group-commit write-ahead log.
+//
+// The seed serialized every commit through a global walMu, marshaling JSON
+// and flushing the file per entry while the committer also held its
+// metastore's write lock — so N concurrent commits paid N flushes, N fsyncs
+// (well, zero fsyncs: Sync was never called), and N simulated database
+// round trips, strictly one after another. This file replaces that with
+// MySQL-style group commit:
+//
+//   - Committers sequence themselves under their metastore's mu, enqueue a
+//     walReq (FIFO — enqueue order is durability order), release the lock,
+//     and JSON-encode their entry outside every lock.
+//   - A single writer goroutine drains the queue, writes all queued entries
+//     as one batch, flushes once, fsyncs per SyncPolicy, pays the simulated
+//     CommitLatency round trip once for the whole batch, and wakes every
+//     waiting committer together.
+//
+// A WAL I/O error fails every commit in the batch and is sticky: the write
+// path is poisoned (all later commits fail with the same error) because a
+// later commit may have read a failed commit's sequenced-but-unapplied
+// writes, and failing everything after the first error is what keeps the
+// durable log a clean prefix of the sequenced history. Reads are unaffected.
+// As in any real database, a commit that fails at the WAL is ambiguous:
+// bytes already handed to the OS may still survive a crash and be replayed.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when the WAL writer calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) issues one fsync per group-commit batch:
+	// every acked commit is durable, at one fsync amortized over the
+	// whole batch.
+	SyncBatch SyncPolicy = iota
+	// SyncNever leaves flushing to the OS; a crash can lose a suffix of
+	// acked commits (replay still recovers a clean prefix).
+	SyncNever
+	// SyncAlways fsyncs after every entry, even within a batch — the
+	// strictest (and slowest) setting; batching then amortizes only the
+	// queue handoff and the simulated round trip.
+	SyncAlways
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncNever:
+		return "never"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses "batch", "never", or "always".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch", "":
+		return SyncBatch, nil
+	case "never":
+		return SyncNever, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return SyncBatch, fmt.Errorf("store: unknown sync policy %q (want batch, never, or always)", s)
+}
+
+// maxWALBatch bounds how many entries one batch may absorb, so a firehose
+// of committers cannot starve the ack of the entries already gathered.
+const maxWALBatch = 1024
+
+type walWrite struct {
+	Table   string `json:"t"`
+	Key     string `json:"k"`
+	Value   []byte `json:"v,omitempty"`
+	Deleted bool   `json:"d,omitempty"`
+}
+
+type walEntry struct {
+	Op        string     `json:"op"`
+	Metastore string     `json:"ms"`
+	Version   uint64     `json:"ver,omitempty"`
+	Writes    []walWrite `json:"w,omitempty"`
+}
+
+// walReq is one commit's slot in the group-commit queue. The committer
+// enqueues it while still holding the sequencing lock (FIFO order = version
+// order), then fills enc outside all locks and closes ready; the writer
+// goroutine awaits ready, writes the batch, and closes done with err set.
+type walReq struct {
+	enc    []byte
+	encErr error
+	ready  chan struct{}
+	err    error
+	done   chan struct{}
+}
+
+func newWALReq() *walReq {
+	return &walReq{ready: make(chan struct{}), done: make(chan struct{})}
+}
+
+// WALStats reports group-commit batching behavior since Open.
+type WALStats struct {
+	// Batches is the number of group-commit batches written (including
+	// failed ones).
+	Batches int64
+	// Entries is the total number of WAL entries across all batches; the
+	// average batch size is Entries/Batches.
+	Entries int64
+	// Syncs counts fsync calls, per SyncPolicy.
+	Syncs int64
+	// MaxBatch is the largest batch observed — >1 means commits actually
+	// shared a flush.
+	MaxBatch int64
+}
+
+type walFailure struct{ err error }
+
+type walWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	policy  SyncPolicy
+	latency time.Duration // simulated DB round trip, paid once per batch
+
+	ch   chan *walReq
+	quit chan struct{} // closed when the writer goroutine has exited
+
+	mu      sync.RWMutex // guards closing against sends on ch
+	closing bool
+
+	sticky atomic.Pointer[walFailure]
+
+	batches  atomic.Int64
+	entries  atomic.Int64
+	syncs    atomic.Int64
+	maxBatch atomic.Int64
+
+	// testInjectErr, when non-nil, fails the next batch before any byte is
+	// written — the unit tests' stand-in for a disk error.
+	testInjectErr atomic.Pointer[walFailure]
+}
+
+func newWALWriter(f *os.File, policy SyncPolicy, latency time.Duration) *walWriter {
+	w := &walWriter{
+		f:       f,
+		bw:      bufio.NewWriterSize(f, 1<<20),
+		policy:  policy,
+		latency: latency,
+		ch:      make(chan *walReq, 4096),
+		quit:    make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// err returns the sticky failure, if any.
+func (w *walWriter) err() error {
+	if p := w.sticky.Load(); p != nil {
+		return p.err
+	}
+	return nil
+}
+
+func (w *walWriter) fail(err error) {
+	w.sticky.CompareAndSwap(nil, &walFailure{err: fmt.Errorf("store: wal: %w", err)})
+}
+
+// submit enqueues a request. It must be called under the lock that assigned
+// the request's sequence number, so queue order matches version order.
+func (w *walWriter) submit(r *walReq) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.closing {
+		return ErrClosed
+	}
+	w.ch <- r
+	return nil
+}
+
+func (w *walWriter) run() {
+	defer close(w.quit)
+	for {
+		first, ok := <-w.ch
+		if !ok {
+			w.finalize()
+			return
+		}
+		batch := append(make([]*walReq, 0, 16), first)
+	gather:
+		for len(batch) < maxWALBatch {
+			select {
+			case r, ok := <-w.ch:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, r)
+			default:
+				break gather
+			}
+		}
+		w.commitBatch(batch)
+	}
+}
+
+// commitBatch writes one batch: all entries, one flush, fsync per policy,
+// one shared latency round trip, then wakes every committer in the batch.
+func (w *walWriter) commitBatch(batch []*walReq) {
+	err := w.err()
+	if err == nil {
+		if p := w.testInjectErr.Swap(nil); p != nil {
+			err = p.err
+		} else {
+			err = w.writeBatch(batch)
+		}
+		if err != nil {
+			w.fail(err)
+			err = w.err()
+		}
+	}
+	if err == nil && w.latency > 0 {
+		time.Sleep(w.latency)
+	}
+	w.batches.Add(1)
+	w.entries.Add(int64(len(batch)))
+	if n := int64(len(batch)); n > w.maxBatch.Load() {
+		w.maxBatch.Store(n) // single writer goroutine: load/store is safe
+	}
+	for _, r := range batch {
+		r.err = err
+		close(r.done)
+	}
+}
+
+func (w *walWriter) writeBatch(batch []*walReq) error {
+	for _, r := range batch {
+		<-r.ready // committer encodes outside all locks
+		if r.encErr != nil {
+			return r.encErr
+		}
+		if _, err := w.bw.Write(r.enc); err != nil {
+			return err
+		}
+		if err := w.bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		if w.policy == SyncAlways {
+			if err := w.bw.Flush(); err != nil {
+				return err
+			}
+			if err := w.f.Sync(); err != nil {
+				return err
+			}
+			w.syncs.Add(1)
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.policy == SyncBatch {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.syncs.Add(1)
+	}
+	return nil
+}
+
+// finalize runs on the writer goroutine after the queue is closed and
+// drained: final flush+sync, then close the file.
+func (w *walWriter) finalize() {
+	if w.err() == nil {
+		if err := w.bw.Flush(); err != nil {
+			w.fail(err)
+		} else if w.policy != SyncNever {
+			if err := w.f.Sync(); err != nil {
+				w.fail(err)
+			}
+		}
+	}
+	if err := w.f.Close(); err != nil && w.err() == nil {
+		w.fail(err)
+	}
+}
+
+// close drains and stops the writer, returning the sticky error if any I/O
+// ever failed. Safe to call more than once.
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	already := w.closing
+	w.closing = true
+	w.mu.Unlock()
+	if !already {
+		close(w.ch)
+	}
+	<-w.quit
+	return w.err()
+}
+
+// stats snapshots the batching counters.
+func (w *walWriter) stats() WALStats {
+	return WALStats{
+		Batches:  w.batches.Load(),
+		Entries:  w.entries.Load(),
+		Syncs:    w.syncs.Load(),
+		MaxBatch: w.maxBatch.Load(),
+	}
+}
+
+// logMeta appends a metastore-lifecycle entry. The caller must invoke it
+// while holding db.mu so the entry's queue position precedes any commit
+// that could observe the new metastore map; the returned request is awaited
+// by the caller after releasing db.mu.
+func (db *DB) logMeta(e walEntry) (*walReq, error) {
+	if db.wal == nil {
+		return nil, nil
+	}
+	if err := db.wal.err(); err != nil {
+		return nil, err
+	}
+	r := newWALReq()
+	r.enc, r.encErr = json.Marshal(e)
+	close(r.ready)
+	if err := db.wal.submit(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (db *DB) replayWAL(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: replay wal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending []walEntry
+	for sc.Scan() {
+		var e walEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			// A torn final line is the expected crash artifact: the commit
+			// never became durable, so stop replay here. Corruption
+			// followed by more valid entries is real damage and fatal.
+			if !sc.Scan() {
+				break
+			}
+			return fmt.Errorf("store: corrupt wal entry mid-log: %w", err)
+		}
+		pending = append(pending, e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, e := range pending {
+		switch e.Op {
+		case "create_metastore":
+			if _, ok := db.stores[e.Metastore]; !ok {
+				db.stores[e.Metastore] = newMetastore(db.opts.ChangeLogSize)
+			}
+		case "drop_metastore":
+			delete(db.stores, e.Metastore)
+		case "commit":
+			ms, ok := db.stores[e.Metastore]
+			if !ok {
+				continue
+			}
+			// Group commit preserves sequence order in the log (enqueue
+			// happens under the sequencing lock), and a failed batch
+			// poisons all later writes, so versions in a healthy log are
+			// strictly contiguous per metastore. A gap or reordering means
+			// the log was damaged in place.
+			if e.Version != ms.version+1 {
+				return fmt.Errorf("store: wal replay: metastore %s commit version %d after %d (reordered or damaged log)",
+					e.Metastore, e.Version, ms.version)
+			}
+			for _, w := range e.Writes {
+				t, ok := ms.tables[w.Table]
+				if !ok {
+					t = map[string]*record{}
+					ms.tables[w.Table] = t
+				}
+				r, ok := t[w.Key]
+				if !ok {
+					r = &record{}
+					t[w.Key] = r
+				}
+				r.versions = append(r.versions, version{commit: e.Version, value: w.Value, deleted: w.Deleted})
+			}
+			ms.version = e.Version
+			for _, w := range e.Writes {
+				ms.changes.push(Change{Version: e.Version, Table: w.Table, Key: w.Key, Deleted: w.Deleted})
+			}
+		}
+	}
+	return nil
+}

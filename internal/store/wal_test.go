@@ -1,0 +1,350 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWALErrorFailsCommit: a WAL write error must fail the committing
+// transaction (the seed silently dropped it and let the commit become
+// visible without being durable), must leave the state and version
+// untouched, and must poison the write path so no later commit can build on
+// sequenced-but-never-durable writes.
+func TestWALErrorFailsCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateMetastore("m")
+	if _, err := db.Update("m", func(tx *Tx) error { tx.Put("t", "good", []byte("v")); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk gone")
+	db.wal.testInjectErr.Store(&walFailure{err: boom})
+	if _, err := db.Update("m", func(tx *Tx) error { tx.Put("t", "bad", []byte("v")); return nil }); !errors.Is(err, boom) {
+		t.Fatalf("commit after WAL error = %v, want %v", err, boom)
+	}
+
+	// The failed write is invisible and the version did not advance.
+	if v, _ := db.Version("m"); v != 1 {
+		t.Fatalf("version after failed commit = %d, want 1", v)
+	}
+	snap, _ := db.Snapshot("m")
+	if _, ok := snap.Get("t", "bad"); ok {
+		t.Fatal("failed commit must not be visible")
+	}
+	if got, _ := snap.Get("t", "good"); string(got) != "v" {
+		t.Fatalf("durable commit lost: %q", got)
+	}
+	snap.Close()
+
+	// The failure is sticky: the write path is poisoned...
+	if _, err := db.Update("m", func(tx *Tx) error { tx.Put("t", "later", []byte("v")); return nil }); !errors.Is(err, boom) {
+		t.Fatalf("commit after sticky failure = %v, want %v", err, boom)
+	}
+	// ...but reads still work.
+	snap2, _ := db.Snapshot("m")
+	if _, ok := snap2.Get("t", "good"); !ok {
+		t.Fatal("reads must survive a poisoned write path")
+	}
+	snap2.Close()
+
+	// Close surfaces the failure, and replay recovers the durable prefix.
+	if err := db.Close(); !errors.Is(err, boom) {
+		t.Fatalf("close = %v, want %v", err, boom)
+	}
+	db2, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, _ := db2.Version("m"); v != 1 {
+		t.Fatalf("replayed version = %d, want 1", v)
+	}
+}
+
+// TestWALGroupCommitBatches drives concurrent committers through the WAL
+// and requires that they actually shared batches (MaxBatch > 1), that every
+// commit landed in the log, and that replay reproduces the final state.
+func TestWALGroupCommitBatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	// A small commit latency widens the batch window: while one batch pays
+	// its round trip, the other writers queue up behind it.
+	db, err := Open(Options{WALPath: path, CommitLatency: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateMetastore("m")
+
+	const writers, each = 16, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if _, err := db.Update("m", func(tx *Tx) error {
+					tx.Put("t", key, []byte("v"))
+					return nil
+				}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := db.WALStats()
+	if st.MaxBatch <= 1 {
+		t.Errorf("MaxBatch = %d, want > 1 (no group commit happened)", st.MaxBatch)
+	}
+	if want := int64(writers*each + 1); st.Entries != want { // +1 create_metastore
+		t.Errorf("Entries = %d, want %d", st.Entries, want)
+	}
+	if st.Batches >= st.Entries {
+		t.Errorf("Batches = %d >= Entries = %d: nothing was batched", st.Batches, st.Entries)
+	}
+	if st.Syncs == 0 {
+		t.Error("Syncs = 0: default SyncBatch policy never fsynced")
+	}
+	wantV := uint64(writers * each)
+	if v, _ := db.Version("m"); v != wantV {
+		t.Fatalf("version = %d, want %d", v, wantV)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, _ := db2.Version("m"); v != wantV {
+		t.Fatalf("replayed version = %d, want %d", v, wantV)
+	}
+	snap, _ := db2.Snapshot("m")
+	defer snap.Close()
+	if n := snap.Count("t", ""); n != writers*each {
+		t.Fatalf("replayed keys = %d, want %d", n, writers*each)
+	}
+}
+
+// TestSyncPolicies checks the fsync accounting of each policy and the
+// string round trip.
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		policy SyncPolicy
+		name   string
+	}{{SyncBatch, "batch"}, {SyncNever, "never"}, {SyncAlways, "always"}} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.policy.String() != tc.name {
+				t.Fatalf("String() = %q, want %q", tc.policy.String(), tc.name)
+			}
+			if p, err := ParseSyncPolicy(tc.name); err != nil || p != tc.policy {
+				t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.name, p, err)
+			}
+			db, err := Open(Options{WALPath: filepath.Join(t.TempDir(), "wal"), Sync: tc.policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.CreateMetastore("m")
+			const commits = 5
+			for i := 0; i < commits; i++ {
+				if _, err := db.Update("m", func(tx *Tx) error {
+					tx.Put("t", fmt.Sprintf("k%d", i), []byte("v"))
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := db.WALStats()
+			switch tc.policy {
+			case SyncNever:
+				if st.Syncs != 0 {
+					t.Errorf("SyncNever synced %d times", st.Syncs)
+				}
+			case SyncBatch:
+				if st.Syncs == 0 || st.Syncs > st.Batches {
+					t.Errorf("SyncBatch: syncs = %d, batches = %d (want one sync per batch)", st.Syncs, st.Batches)
+				}
+			case SyncAlways:
+				if st.Syncs != st.Entries {
+					t.Errorf("SyncAlways: syncs = %d, entries = %d (want one sync per entry)", st.Syncs, st.Entries)
+				}
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Error("ParseSyncPolicy should reject unknown policies")
+	}
+	if p, err := ParseSyncPolicy(""); err != nil || p != SyncBatch {
+		t.Errorf("empty policy should default to batch, got %v, %v", p, err)
+	}
+}
+
+// TestWALTornBatchReplayEveryByte is the crash-consistency sweep: it builds
+// a WAL of several multi-write commits, then for EVERY byte length L
+// truncates the log to its first L bytes, replays, and asserts the
+// recovered database is exactly the longest clean prefix of commits — no
+// torn commit applied, no commit skipped, no reordering.
+func TestWALTornBatchReplayEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.jsonl")
+	db, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateMetastore("m")
+
+	// A varied commit history: multi-key writes, overwrites, a delete.
+	muts := []func(tx *Tx) error{
+		func(tx *Tx) error { tx.Put("t", "a", []byte("a1")); tx.Put("t", "b", []byte("b1")); return nil },
+		func(tx *Tx) error { tx.Put("t", "c", []byte("c1")); return nil },
+		func(tx *Tx) error { tx.Put("t", "a", []byte("a2")); tx.Delete("t", "b"); return nil },
+		func(tx *Tx) error { tx.Put("u", "x", []byte("x1")); tx.Put("t", "d", []byte("d1")); return nil },
+		func(tx *Tx) error { tx.Delete("t", "c"); tx.Put("t", "e", []byte("e1")); return nil },
+	}
+	// expect[v] is the full (table, key) → value state after commit v.
+	expect := make([]map[string]string, len(muts)+1)
+	expect[0] = map[string]string{}
+	dump := func() map[string]string {
+		out := map[string]string{}
+		snap, err := db.Snapshot("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snap.Close()
+		for _, table := range []string{"t", "u"} {
+			for _, kv := range snap.Scan(table, "") {
+				out[table+"/"+kv.Key] = string(kv.Value)
+			}
+		}
+		return out
+	}
+	for i, fn := range muts {
+		if v, err := db.Update("m", fn); err != nil || v != uint64(i+1) {
+			t.Fatalf("commit %d: v=%d err=%v", i, v, err)
+		}
+		expect[i+1] = dump()
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// lineEnd[i] = byte offset just past line i's JSON (before its '\n');
+	// line 0 is create_metastore, lines 1..5 are the commits.
+	var lineEnds []int
+	for off, rest := 0, string(data); ; {
+		nl := strings.IndexByte(rest, '\n')
+		if nl < 0 {
+			break
+		}
+		lineEnds = append(lineEnds, off+nl)
+		off += nl + 1
+		rest = rest[nl+1:]
+	}
+	if len(lineEnds) != len(muts)+1 {
+		t.Fatalf("wal has %d lines, want %d", len(lineEnds), len(muts)+1)
+	}
+
+	for l := 0; l <= len(data); l++ {
+		trunc := filepath.Join(dir, fmt.Sprintf("trunc-%d.jsonl", l%2)) // reuse two names
+		if err := os.WriteFile(trunc, data[:l], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// How many lines are fully contained in the prefix? A line is
+		// recoverable once all of its JSON is present (the trailing
+		// newline itself is not required).
+		lines := 0
+		for _, e := range lineEnds {
+			if l >= e {
+				lines++
+			}
+		}
+		rdb, err := Open(Options{WALPath: trunc})
+		if err != nil {
+			t.Fatalf("truncate at %d: replay failed: %v", l, err)
+		}
+		if lines == 0 {
+			// Not even create_metastore survived.
+			if got := rdb.Metastores(); len(got) != 0 {
+				t.Fatalf("truncate at %d: metastores = %v, want none", l, got)
+			}
+			rdb.Close()
+			continue
+		}
+		commits := lines - 1
+		v, err := rdb.Version("m")
+		if err != nil {
+			t.Fatalf("truncate at %d: %v", l, err)
+		}
+		if v != uint64(commits) {
+			t.Fatalf("truncate at %d: version = %d, want %d", l, v, commits)
+		}
+		snap, _ := rdb.Snapshot("m")
+		got := map[string]string{}
+		for _, table := range []string{"t", "u"} {
+			for _, kv := range snap.Scan(table, "") {
+				got[table+"/"+kv.Key] = string(kv.Value)
+			}
+		}
+		snap.Close()
+		want := expect[commits]
+		if len(got) != len(want) {
+			t.Fatalf("truncate at %d (prefix of %d commits): state = %v, want %v", l, commits, got, want)
+		}
+		for k, wv := range want {
+			if got[k] != wv {
+				t.Fatalf("truncate at %d: %s = %q, want %q", l, k, got[k], wv)
+			}
+		}
+		rdb.Close()
+	}
+}
+
+// TestWALReplayRejectsReorderedCommits: replay must refuse a log whose
+// per-metastore versions are not contiguous — group commit guarantees
+// enqueue order equals version order, so a reordered log means damage.
+func TestWALReplayRejectsReorderedCommits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	db, _ := Open(Options{WALPath: path})
+	db.CreateMetastore("m")
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k1", []byte("v")); return nil })
+	db.Update("m", func(tx *Tx) error { tx.Put("t", "k2", []byte("v")); return nil })
+	db.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("unexpected wal shape: %q", data)
+	}
+	// Swap the two commit lines.
+	reordered := lines[0] + lines[2] + lines[1]
+	if err := os.WriteFile(path, []byte(reordered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{WALPath: path}); err == nil {
+		t.Fatal("reordered commit versions should fail replay")
+	}
+}

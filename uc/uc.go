@@ -96,10 +96,28 @@ var (
 	ErrTrustedEngineRequired = catalog.ErrTrustedEngineRequired
 )
 
+// WAL fsync policy, re-exported from the store.
+type SyncPolicy = store.SyncPolicy
+
+const (
+	// SyncBatch (the default) fsyncs once per group-commit batch.
+	SyncBatch = store.SyncBatch
+	// SyncNever leaves flushing to the OS.
+	SyncNever = store.SyncNever
+	// SyncAlways fsyncs after every WAL entry.
+	SyncAlways = store.SyncAlways
+)
+
+// ParseSyncPolicy parses "batch", "never", or "always".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return store.ParseSyncPolicy(s) }
+
 // Config assembles a Catalog.
 type Config struct {
 	// WALPath enables metadata durability via a write-ahead log file.
 	WALPath string
+	// WALSync selects when the WAL fsyncs (default SyncBatch: one fsync
+	// amortized over each group-commit batch).
+	WALSync SyncPolicy
 	// DBReadLatency/DBCommitLatency inject artificial backend-database
 	// latency (benchmarking).
 	DBReadLatency   time.Duration
@@ -129,6 +147,7 @@ type Catalog struct {
 func Open(cfg Config) (*Catalog, error) {
 	db, err := store.Open(store.Options{
 		WALPath:       cfg.WALPath,
+		Sync:          cfg.WALSync,
 		ReadLatency:   cfg.DBReadLatency,
 		CommitLatency: cfg.DBCommitLatency,
 	})

@@ -108,6 +108,35 @@ func TestFacadeDurability(t *testing.T) {
 	}
 }
 
+func TestFacadeWALSyncPolicies(t *testing.T) {
+	for _, name := range []string{"batch", "never", "always"} {
+		policy, err := uc.ParseSyncPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal := filepath.Join(t.TempDir(), "uc.wal")
+		cat, err := uc.Open(uc.Config{WALPath: wal, WALSync: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.CreateMetastore("ms1", "main", "r", "admin", "s3://root/ms1")
+		if err := cat.Close(); err != nil {
+			t.Fatalf("policy %s: %v", name, err)
+		}
+		cat2, err := uc.Open(uc.Config{WALPath: wal})
+		if err != nil {
+			t.Fatalf("policy %s: reopen: %v", name, err)
+		}
+		if _, err := cat2.Service.OpenMetastore("ms1"); err != nil {
+			t.Fatalf("policy %s: metadata lost: %v", name, err)
+		}
+		cat2.Close()
+	}
+	if _, err := uc.ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Fatal("ParseSyncPolicy should reject unknown policies")
+	}
+}
+
 func TestFacadeOptimizerAndTxn(t *testing.T) {
 	cat := open(t, uc.Config{})
 	if cat.Optimizer == nil || cat.NewTransactionCoordinator() == nil {
