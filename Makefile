@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-parallel bench-store
+.PHONY: test race bench bench-parallel bench-store bench-authz
 
 test:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ race:
 		./internal/cache/... \
 		./internal/store/... \
 		./internal/catalog/... \
+		./internal/privilege/... \
 		./internal/audit/... \
 		./internal/faults/... \
 		./internal/retry/... \
@@ -42,3 +43,9 @@ bench-parallel:
 # BENCH_store_commit.json with ops/s, p50/p99, and WAL batch sizes.
 bench-store:
 	$(GO) run ./cmd/storebench -out BENCH_store_commit.json
+
+# Authorization decision grid (deep check, schema listing, batch authorize;
+# naive reference engine vs compiled snapshots); emits BENCH_authz.json with
+# ns/op and allocs/op per cell.
+bench-authz:
+	$(GO) run ./cmd/ucbench -exp authz -out BENCH_authz.json

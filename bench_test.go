@@ -17,6 +17,9 @@ import (
 	"unitycatalog/internal/bench"
 	"unitycatalog/internal/catalog"
 	"unitycatalog/internal/cloudsim"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/privilege"
 	"unitycatalog/internal/store"
 	"unitycatalog/internal/workload"
 )
@@ -297,6 +300,149 @@ func BenchmarkCreateTable(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- authorization fast-path benchmarks ---
+
+// authzBench lazily builds one service with a 10k-table schema and a
+// non-owner "reader" principal holding the usage chain plus SELECT at the
+// schema: the shape where list filtering must amortize ancestor checks
+// across siblings instead of re-walking the hierarchy per child.
+var authzBench struct {
+	once   sync.Once
+	svc    *catalog.Service
+	admin  catalog.Ctx
+	reader catalog.Ctx
+	ids    []ids.ID
+	err    error
+}
+
+const authzBenchTables = 10000
+
+func authzBenchService(b *testing.B) (*catalog.Service, catalog.Ctx, catalog.Ctx, []ids.ID) {
+	b.Helper()
+	s := &authzBench
+	s.once.Do(func() {
+		db, err := store.Open(store.Options{})
+		if err != nil {
+			s.err = err
+			return
+		}
+		svc, err := catalog.New(catalog.Config{DB: db})
+		if err != nil {
+			s.err = err
+			return
+		}
+		if _, err := svc.CreateMetastore("authz", "authz", "r", "admin", "s3://root/authz"); err != nil {
+			s.err = err
+			return
+		}
+		s.admin = catalog.Ctx{Principal: "admin", Metastore: "authz", TrustedEngine: true}
+		s.reader = catalog.Ctx{Principal: "reader", Metastore: "authz"}
+		if _, err := svc.CreateCatalog(s.admin, "cat", ""); err != nil {
+			s.err = err
+			return
+		}
+		if _, err := svc.CreateSchema(s.admin, "cat", "big", ""); err != nil {
+			s.err = err
+			return
+		}
+		cols := []catalog.ColumnInfo{{Name: "x", Type: "BIGINT"}}
+		for i := 0; i < authzBenchTables; i++ {
+			e, err := svc.CreateTable(s.admin, "cat.big", fmt.Sprintf("t%05d", i), catalog.TableSpec{Columns: cols}, "")
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.ids = append(s.ids, e.ID)
+		}
+		for _, g := range []struct {
+			full string
+			priv privilege.Privilege
+		}{
+			{"cat", privilege.UseCatalog},
+			{"cat.big", privilege.UseSchema},
+			{"cat.big", privilege.Select},
+		} {
+			if err := svc.Grant(s.admin, g.full, "reader", g.priv); err != nil {
+				s.err = err
+				return
+			}
+		}
+		s.svc = svc
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.svc, s.admin, s.reader, s.ids
+}
+
+// BenchmarkListAssets10kTables measures list filtering over a 10k-table
+// schema for a non-owner principal: per child the catalog must decide
+// visibility, which on the naive path re-walks the ancestor chain several
+// times per table.
+func BenchmarkListAssets10kTables(b *testing.B) {
+	svc, _, reader, _ := authzBenchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := svc.ListAssets(reader, "cat.big", erm.TypeTable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != authzBenchTables {
+			b.Fatalf("visible %d of %d", len(out), authzBenchTables)
+		}
+	}
+}
+
+// BenchmarkListAssets10kTablesParallel is the contended variant.
+func BenchmarkListAssets10kTablesParallel(b *testing.B) {
+	svc, _, reader, _ := authzBenchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.ListAssets(reader, "cat.big", erm.TypeTable); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAuthorizeBatch512 measures the second-tier batch authorization
+// API over 512 tables for the non-owner reader.
+func BenchmarkAuthorizeBatch512(b *testing.B) {
+	svc, _, reader, tblIDs := authzBenchService(b)
+	batch := tblIDs[:512]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		allowed, err := svc.AuthorizeBatch(reader, batch, privilege.Select)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, ok := range allowed {
+			if !ok {
+				b.Fatalf("batch[%d] denied", j)
+			}
+		}
+	}
+}
+
+// BenchmarkAuthorizeBatch512Parallel is the contended variant.
+func BenchmarkAuthorizeBatch512Parallel(b *testing.B) {
+	svc, _, reader, tblIDs := authzBenchService(b)
+	batch := tblIDs[:512]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.AuthorizeBatch(reader, batch, privilege.Select); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func tableNames(b *testing.B, pop *workload.Population) []string {

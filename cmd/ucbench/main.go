@@ -9,17 +9,29 @@
 //	ucbench -quick           # smaller workloads
 //	ucbench -exp fig10b      # one experiment
 //	ucbench -list            # list experiment IDs
+//	ucbench -exp authz -out BENCH_authz.json   # authz grid + JSON report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"unitycatalog/internal/bench"
 )
+
+// authzReport is the BENCH_authz.json layout, matching the
+// BENCH_store_commit.json report shape from cmd/storebench.
+type authzReport struct {
+	Generated  string            `json:"generated"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Cells      []bench.AuthzCell `json:"cells"`
+}
 
 func main() {
 	var (
@@ -29,6 +41,7 @@ func main() {
 		dbLat = flag.Duration("db-latency", 300*time.Microsecond, "injected metastore-DB latency")
 		rtt   = flag.Duration("net-rtt", 500*time.Microsecond, "simulated engine-to-catalog network RTT")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		out   = flag.String("out", "", "write the authz grid as JSON to this file (requires -exp authz)")
 	)
 	flag.Parse()
 
@@ -39,6 +52,34 @@ func main() {
 		return
 	}
 	opts := bench.Options{Seed: *seed, Quick: *quick, DBReadLatency: *dbLat, NetworkRTT: *rtt}
+
+	if *out != "" {
+		if *exp != "authz" {
+			log.Fatalf("-out is only supported with -exp authz")
+		}
+		cells, err := bench.RunAuthzGrid(*quick)
+		if err != nil {
+			log.Fatalf("authz: %v", err)
+		}
+		rep := authzReport{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Cells:      cells,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cells {
+			fmt.Printf("  %-16s %-9s %9.1f ns/op %10.1f allocs/op\n", c.Shape, c.Engine, c.NsPerOp, c.AllocsPerOp)
+		}
+		fmt.Printf("wrote %s (%d cells)\n", *out, len(cells))
+		return
+	}
 
 	run := func(e bench.Experiment) {
 		start := time.Now()

@@ -1,0 +1,240 @@
+package bench
+
+// Authorization fast-path grid: the compiled snapshot engine versus the
+// naive reference engine across the three hot decision shapes (deep-chain
+// Check, schema listing, AuthorizeBatch). Shared by the `authz` experiment
+// (human-readable table) and `make bench-authz`, which emits
+// BENCH_authz.json for CI tracking alongside BENCH_store_commit.json.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/store"
+)
+
+// AuthzCell is one measured cell of the authorization grid.
+type AuthzCell struct {
+	// Shape is the decision workload: check_deep8 (one privilege check on a
+	// depth-8 chain), list_schema (ListAssets over an N-table schema), or
+	// authorize_batch (AuthorizeBatch of 512 tables).
+	Shape string `json:"shape"`
+	// Engine is "naive" (reference) or "compiled" (snapshot fast path).
+	Engine      string  `json:"engine"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchHierarchy and benchGroups give the privilege-level shape a direct
+// in-memory world, mirroring the package's own fixtures.
+type benchHierarchy map[ids.ID]privilege.Securable
+
+func (m benchHierarchy) Securable(id ids.ID) (privilege.Securable, bool) {
+	s, ok := m[id]
+	return s, ok
+}
+
+type benchGroups map[privilege.Principal][]privilege.Principal
+
+func (m benchGroups) GroupsOf(p privilege.Principal) []privilege.Principal { return m[p] }
+
+// measureAuthz times ops sequential iterations of fn and reports
+// per-operation nanoseconds and heap allocations.
+func measureAuthz(ops int, fn func()) (nsPerOp, allocsPerOp float64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(ops),
+		float64(after.Mallocs-before.Mallocs) / float64(ops)
+}
+
+// RunAuthzGrid measures every cell of shape × engine. Quick shrinks the
+// iteration counts and the listed schema.
+func RunAuthzGrid(quick bool) ([]AuthzCell, error) {
+	checkOps, listTables, listOps, batchOps := 200_000, 10_000, 5, 200
+	if quick {
+		checkOps, listTables, listOps, batchOps = 50_000, 1_000, 3, 50
+	}
+
+	var cells []AuthzCell
+
+	// Shape 1: deep-chain Check, straight against the privilege engines.
+	h, g, groups, leaf := deepAuthzChain(8)
+	for _, engine := range []string{"naive", "compiled"} {
+		var check func() privilege.Decision
+		if engine == "naive" {
+			eng := privilege.NewEngine(h, g, groups)
+			check = func() privilege.Decision { return eng.Check("alice", privilege.Select, leaf) }
+		} else {
+			eng := privilege.NewCompiled(h, g, groups, "alice")
+			check = func() privilege.Decision { return eng.Check(privilege.Select, leaf) }
+		}
+		if d := check(); !d.Allowed {
+			return nil, fmt.Errorf("check_deep8 %s: setup check denied: %v", engine, d)
+		}
+		ns, allocs := measureAuthz(checkOps, func() { check() })
+		cells = append(cells, AuthzCell{Shape: "check_deep8", Engine: engine, Ops: checkOps, NsPerOp: ns, AllocsPerOp: allocs})
+	}
+
+	// Shapes 2+3: full catalog service, N-table schema, non-owner reader.
+	for _, engine := range []string{"naive", "compiled"} {
+		svc, reader, tblIDs, err := authzService(engine == "naive", listTables)
+		if err != nil {
+			return nil, fmt.Errorf("authz %s service: %w", engine, err)
+		}
+		list := func() error {
+			out, err := svc.ListAssets(reader, "cat.big", erm.TypeTable)
+			if err == nil && len(out) != listTables {
+				err = fmt.Errorf("listed %d of %d", len(out), listTables)
+			}
+			return err
+		}
+		if err := list(); err != nil {
+			return nil, fmt.Errorf("list_schema %s: %w", engine, err)
+		}
+		ns, allocs := measureAuthz(listOps, func() { list() })
+		cells = append(cells, AuthzCell{Shape: "list_schema", Engine: engine, Ops: listOps, NsPerOp: ns, AllocsPerOp: allocs})
+
+		batch := tblIDs
+		if len(batch) > 512 {
+			batch = batch[:512]
+		}
+		ns, allocs = measureAuthz(batchOps, func() {
+			svc.AuthorizeBatch(reader, batch, privilege.Select)
+		})
+		cells = append(cells, AuthzCell{Shape: "authorize_batch", Engine: engine, Ops: batchOps, NsPerOp: ns, AllocsPerOp: allocs})
+	}
+	return cells, nil
+}
+
+// deepAuthzChain builds a metastore→catalog→schema…→table chain with grants
+// only at the catalog, so every check walks the whole chain.
+func deepAuthzChain(depth int) (benchHierarchy, *privilege.MemStore, benchGroups, ids.ID) {
+	h := benchHierarchy{}
+	g := privilege.NewMemStore()
+	root := ids.New()
+	h[root] = privilege.Securable{ID: root, Type: "METASTORE", Owner: "root"}
+	parent := root
+	var leaf ids.ID
+	for i := 0; i < depth; i++ {
+		id := ids.New()
+		typ := "SCHEMA"
+		switch i {
+		case 0:
+			typ = "CATALOG"
+		case depth - 1:
+			typ = "TABLE"
+		}
+		h[id] = privilege.Securable{ID: id, Type: typ, Parent: parent, Owner: "root"}
+		if i == 0 {
+			for _, p := range []privilege.Privilege{privilege.UseCatalog, privilege.UseSchema, privilege.Select} {
+				g.Add(privilege.Grant{Securable: id, Principal: "team", Privilege: p})
+			}
+		}
+		parent = id
+		leaf = id
+	}
+	return h, g, benchGroups{"alice": {"g0", "g1", "g2", "team"}}, leaf
+}
+
+// authzService builds a catalog with one schema of n tables and a reader
+// granted usage + SELECT at the container level (visible but not owner).
+func authzService(naive bool, n int) (*catalog.Service, catalog.Ctx, []ids.ID, error) {
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		return nil, catalog.Ctx{}, nil, err
+	}
+	svc, err := catalog.New(catalog.Config{DB: db, NaiveAuthz: naive})
+	if err != nil {
+		return nil, catalog.Ctx{}, nil, err
+	}
+	if _, err := svc.CreateMetastore("authz", "authz", "region-1", "admin", "s3://root/authz"); err != nil {
+		return nil, catalog.Ctx{}, nil, err
+	}
+	admin := catalog.Ctx{Principal: "admin", Metastore: "authz", TrustedEngine: true}
+	if _, err := svc.CreateCatalog(admin, "cat", ""); err != nil {
+		return nil, catalog.Ctx{}, nil, err
+	}
+	if _, err := svc.CreateSchema(admin, "cat", "big", ""); err != nil {
+		return nil, catalog.Ctx{}, nil, err
+	}
+	cols := []catalog.ColumnInfo{{Name: "id", Type: "STRING", Nullable: true}}
+	tblIDs := make([]ids.ID, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := svc.CreateTable(admin, "cat.big", fmt.Sprintf("t%05d", i), catalog.TableSpec{Columns: cols}, "")
+		if err != nil {
+			return nil, catalog.Ctx{}, nil, err
+		}
+		tblIDs = append(tblIDs, e.ID)
+	}
+	for _, gr := range []struct {
+		full string
+		priv privilege.Privilege
+	}{
+		{"cat", privilege.UseCatalog},
+		{"cat.big", privilege.UseSchema},
+		{"cat.big", privilege.Select},
+	} {
+		if err := svc.Grant(admin, gr.full, "reader", gr.priv); err != nil {
+			return nil, catalog.Ctx{}, nil, err
+		}
+	}
+	return svc, catalog.Ctx{Principal: "reader", Metastore: "authz"}, tblIDs, nil
+}
+
+// AuthzExperiment renders the grid with a speedup column per shape.
+func AuthzExperiment(o Options) (*Table, error) {
+	cells, err := RunAuthzGrid(o.Quick)
+	if err != nil {
+		return nil, err
+	}
+	naive := map[string]AuthzCell{}
+	for _, c := range cells {
+		if c.Engine == "naive" {
+			naive[c.Shape] = c
+		}
+	}
+	t := &Table{
+		ID:     "authz",
+		Title:  "Authorization fast path: compiled snapshots vs reference engine",
+		Paper:  "§4.4–4.5: authorization on the interactive hot path must stay sub-millisecond; batch APIs amortize checks across assets",
+		Header: []string{"shape", "engine", "ops", "ns/op", "allocs/op", "speedup"},
+	}
+	var findings []string
+	for _, c := range cells {
+		speed := "1.0x"
+		if c.Engine == "compiled" {
+			if n, ok := naive[c.Shape]; ok && c.NsPerOp > 0 {
+				s := n.NsPerOp / c.NsPerOp
+				speed = fmt.Sprintf("%.1fx", s)
+				findings = append(findings, fmt.Sprintf("%s %.1fx", c.Shape, s))
+			}
+		}
+		t.Rows = append(t.Rows, []string{c.Shape, c.Engine, fi(c.Ops), f(c.NsPerOp), f(c.AllocsPerOp), speed})
+	}
+	t.Finding = "compiled vs naive: " + joinStrings(findings, ", ")
+	return t, nil
+}
+
+func joinStrings(ss []string, sep string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += sep
+		}
+		out += s
+	}
+	return out
+}

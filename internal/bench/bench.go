@@ -124,6 +124,7 @@ func All() []Experiment {
 		{"ablate-trie", "Ablation: trie vs index-walk path resolution", AblationPathIndex},
 		{"ablate-tokens", "Ablation: credential token cache on/off", AblationTokenCache},
 		{"groupcommit", "Commit throughput: group-commit WAL + pipelined commits", GroupCommitExperiment},
+		{"authz", "Authorization fast path: compiled snapshots vs reference engine", AuthzExperiment},
 	}
 }
 

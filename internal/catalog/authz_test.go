@@ -1,0 +1,211 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/privilege"
+	"unitycatalog/internal/store"
+)
+
+// TestAuthzSnapshotInvalidation proves the version-keyed snapshot cache
+// never serves stale decisions through the service API: a revoke bumps the
+// metastore version, so the next check compiles a fresh snapshot and denies.
+func TestAuthzSnapshotInvalidation(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	reader := Ctx{Principal: "reader", Metastore: "ms1"}
+
+	for _, g := range []struct {
+		full string
+		priv privilege.Privilege
+	}{
+		{"sales", privilege.UseCatalog},
+		{"sales.raw", privilege.UseSchema},
+		{"sales.raw.orders", privilege.Select},
+	} {
+		if err := svc.Grant(admin, g.full, "reader", g.priv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.GetAsset(reader, "sales.raw.orders"); err != nil {
+		t.Fatalf("granted reader denied: %v", err)
+	}
+	// Repeat reads hit the cached snapshot.
+	before := svc.AuthzMetrics()
+	if _, err := svc.GetAsset(reader, "sales.raw.orders"); err != nil {
+		t.Fatal(err)
+	}
+	if after := svc.AuthzMetrics(); after.Hits <= before.Hits {
+		t.Fatalf("no snapshot-cache hits: before %+v after %+v", before, after)
+	}
+
+	if err := svc.Revoke(admin, "sales.raw.orders", "reader", privilege.Select); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.GetAsset(reader, "sales.raw.orders"); err == nil {
+		t.Fatal("stale snapshot allowed access after revoke")
+	}
+	m := svc.AuthzMetrics()
+	if m.Invalidations == 0 {
+		t.Fatalf("revoke did not invalidate: %+v", m)
+	}
+}
+
+// TestNaiveAuthzAblation exercises the service with the compiled path
+// disabled, so the reference engine also runs the full catalog test shapes.
+func TestNaiveAuthzAblation(t *testing.T) {
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := New(Config{DB: db, NaiveAuthz: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.CreateMetastore("ms1", "main", "us-east-1", "admin", "s3://metastore-root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	admin := Ctx{Principal: "admin", Metastore: "ms1", TrustedEngine: true}
+	seedNamespace(t, svc, admin)
+	reader := Ctx{Principal: "reader", Metastore: "ms1"}
+
+	if _, err := svc.GetAsset(reader, "sales.raw.orders"); err == nil {
+		t.Fatal("ungranted reader allowed")
+	}
+	if err := svc.Grant(admin, "sales", "reader", privilege.UseCatalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Grant(admin, "sales.raw", "reader", privilege.UseSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Grant(admin, "sales.raw", "reader", privilege.Select); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.GetAsset(reader, "sales.raw.orders"); err != nil {
+		t.Fatalf("granted reader denied: %v", err)
+	}
+	if m := svc.AuthzMetrics(); m.Hits+m.Misses != 0 {
+		t.Fatalf("ablation still touched the snapshot cache: %+v", m)
+	}
+}
+
+// TestAuthzListMatchesPerAssetChecks cross-checks the batched list filter
+// against per-asset service checks for a mixed-visibility schema.
+func TestAuthzListMatchesPerAssetChecks(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	for i := 0; i < 8; i++ {
+		if _, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("t%d", i), TableSpec{Columns: cols("id")}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Grant(admin, "sales", "reader", privilege.UseCatalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Grant(admin, "sales.raw", "reader", privilege.UseSchema); err != nil {
+		t.Fatal(err)
+	}
+	// Visibility on a strict subset of tables.
+	for _, name := range []string{"t1", "t4", "t6"} {
+		if err := svc.Grant(admin, "sales.raw."+name, "reader", privilege.Select); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reader := Ctx{Principal: "reader", Metastore: "ms1"}
+	listed, err := svc.ListAssets(reader, "sales.raw", erm.TypeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	var idsList []ids.ID
+	for _, e := range listed {
+		got[e.Name] = true
+		idsList = append(idsList, e.ID)
+	}
+	want := map[string]bool{"t1": true, "t4": true, "t6": true}
+	if len(got) != len(want) {
+		t.Fatalf("listed %v, want %v", got, want)
+	}
+	for name := range want {
+		if !got[name] {
+			t.Fatalf("listed %v, want %v", got, want)
+		}
+	}
+	// AuthorizeBatch agrees with the listing.
+	oks, err := svc.AuthorizeBatch(reader, idsList, privilege.Select)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range oks {
+		if !ok {
+			t.Fatalf("AuthorizeBatch denied listed asset %s", listed[i].FullName)
+		}
+	}
+}
+
+// TestAuthzConcurrentStress runs concurrent reads (list, get, batch) across
+// several principals interleaved with grant/revoke writes that bump the
+// metastore version. Run under -race via the Makefile race gate, it checks
+// the snapshot cache and compiled engines for data races and ensures
+// decisions keep flowing during invalidation churn.
+func TestAuthzConcurrentStress(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	for i := 0; i < 16; i++ {
+		if _, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("t%d", i), TableSpec{Columns: cols("id")}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []privilege.Principal{"r0", "r1", "r2"} {
+		if err := svc.Grant(admin, "sales", p, privilege.UseCatalog); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Grant(admin, "sales.raw", p, privilege.UseSchema); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := Ctx{Principal: privilege.Principal(fmt.Sprintf("r%d", w%3)), Metastore: "ms1"}
+			for i := 0; i < 60; i++ {
+				if _, err := svc.ListAssets(ctx, "sales.raw", erm.TypeTable); err != nil {
+					t.Error(err)
+					return
+				}
+				svc.GetAsset(ctx, "sales.raw.t3")
+				svc.EffectivePrivileges(ctx, "sales.raw.t3")
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			tbl := fmt.Sprintf("sales.raw.t%d", i%16)
+			p := privilege.Principal(fmt.Sprintf("r%d", i%3))
+			if err := svc.Grant(admin, tbl, p, privilege.Select); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := svc.Revoke(admin, tbl, p, privilege.Select); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	m := svc.AuthzMetrics()
+	if m.Misses == 0 || m.Invalidations == 0 {
+		t.Fatalf("stress produced no invalidation churn: %+v", m)
+	}
+}

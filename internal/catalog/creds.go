@@ -171,18 +171,20 @@ func (s *Service) AuthorizeBatch(ctx Ctx, assetIDs []ids.ID, priv privilege.Priv
 		return nil, err
 	}
 	defer v.Close()
-	eng := s.engine(v)
+	auth := s.authorizer(ctx, v)
 	out := make([]bool, len(assetIDs))
-	for i, id := range assetIDs {
-		if priv == "" {
-			// Visibility check: any privilege or ownership.
+	if priv == "" {
+		// Visibility check: any privilege or ownership. The shared
+		// authorizer memoizes ancestor state across the whole batch.
+		for i, id := range assetIDs {
 			if e, ok := erm.GetEntity(v, id); ok {
-				out[i] = s.visible(ctx, eng, v, e)
+				out[i] = s.visible(ctx, auth, v, e)
 			}
-			continue
 		}
-		d := eng.Check(ctx.Principal, priv, id)
-		out[i] = d.Allowed || s.abacGrants(ctx, v, priv, id)
+		return out, nil
+	}
+	for i, d := range auth.CheckMany(priv, assetIDs) {
+		out[i] = d.Allowed || s.abacGrants(ctx, v, priv, assetIDs[i])
 	}
 	return out, nil
 }

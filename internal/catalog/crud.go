@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"unitycatalog/internal/delta"
 	"unitycatalog/internal/erm"
@@ -235,6 +236,13 @@ func (s *Service) GetAsset(ctx Ctx, full string) (e *erm.Entity, err error) {
 // authorizeRead checks the manifest read privilege for e, treating container
 // types without gating (their own privilege is the gate).
 func (s *Service) authorizeRead(ctx Ctx, r erm.Reader, e *erm.Entity) error {
+	return s.authorizeReadWith(ctx, s.authorizer(ctx, r), r, e)
+}
+
+// authorizeReadWith is authorizeRead against an already-built authorizer, so
+// batched callers (Resolve's dependency closure) reuse one compiled snapshot
+// across the whole request.
+func (s *Service) authorizeReadWith(ctx Ctx, auth privilege.Authorizer, r erm.Reader, e *erm.Entity) error {
 	man, ok := s.reg.Manifest(e.Type)
 	if !ok || man.ReadPrivilege == "" {
 		return nil
@@ -243,8 +251,7 @@ func (s *Service) authorizeRead(ctx Ctx, r erm.Reader, e *erm.Entity) error {
 		if err := s.checkWorkspaceBinding(ctx, r, e.ID); err != nil {
 			return err
 		}
-		eng := s.engine(r)
-		if d := eng.CheckNoGate(ctx.Principal, man.ReadPrivilege, e.ID); !d.Allowed {
+		if d := auth.CheckNoGate(man.ReadPrivilege, e.ID); !d.Allowed {
 			return fmt.Errorf("%w: %s", ErrPermissionDenied, d.Reason)
 		}
 		return nil
@@ -283,14 +290,14 @@ func (s *Service) ListAssets(ctx Ctx, parentFull string, t erm.SecurableType) (o
 			return nil, err
 		}
 	}
-	eng := s.engine(v)
+	auth := s.authorizer(ctx, v)
 	children := erm.ListChildren(v, parent.ID, t)
 	out = make([]*erm.Entity, 0, len(children))
 	for _, c := range children {
 		if c.State == erm.StateSoftDeleted {
 			continue
 		}
-		if s.visible(ctx, eng, v, c) {
+		if s.visible(ctx, auth, v, c) {
 			out = append(out, c)
 		}
 	}
@@ -298,25 +305,41 @@ func (s *Service) ListAssets(ctx Ctx, parentFull string, t erm.SecurableType) (o
 	return out, nil
 }
 
+// visMasks caches each type's visibility mask — the read privilege plus
+// every grantable privilege compiled to a bitset — keyed by manifest
+// pointer (manifests are registered once and never mutated).
+var visMasks sync.Map // *erm.TypeManifest -> privilege.PrivSet
+
+func visMask(man *erm.TypeManifest) privilege.PrivSet {
+	if m, ok := visMasks.Load(man); ok {
+		return m.(privilege.PrivSet)
+	}
+	privs := make([]privilege.Privilege, 0, len(man.GrantablePrivileges)+1)
+	if man.ReadPrivilege != "" {
+		privs = append(privs, man.ReadPrivilege)
+	}
+	privs = append(privs, man.GrantablePrivileges...)
+	m := privilege.PrivSetOf(privs...)
+	visMasks.Store(man, m)
+	return m
+}
+
 // visible reports whether the principal may know the asset exists: owners,
-// admins, and holders of any grantable privilege on it (direct or inherited).
-func (s *Service) visible(ctx Ctx, eng *privilege.Engine, r erm.Reader, e *erm.Entity) bool {
-	if eng.IsOwner(ctx.Principal, e.ID) {
+// admins, and holders of any grantable privilege on it (direct or
+// inherited). One effective-set lookup and one bitset intersection replace
+// the per-privilege ancestor walks; siblings in a listing share the
+// authorizer's memoized ancestor state.
+func (s *Service) visible(ctx Ctx, auth privilege.Authorizer, r erm.Reader, e *erm.Entity) bool {
+	set, ok := auth.EffectiveSet(e.ID)
+	if ok && set.HasAdmin() {
 		return true
 	}
-	man, ok := s.reg.Manifest(e.Type)
-	if !ok {
+	man, found := s.reg.Manifest(e.Type)
+	if !found {
 		return false
 	}
-	if man.ReadPrivilege != "" {
-		if d := eng.CheckNoGate(ctx.Principal, man.ReadPrivilege, e.ID); d.Allowed {
-			return true
-		}
-	}
-	for _, p := range man.GrantablePrivileges {
-		if d := eng.CheckNoGate(ctx.Principal, p, e.ID); d.Allowed {
-			return true
-		}
+	if ok && set.Intersects(visMask(man)) {
+		return true
 	}
 	return s.abacGrants(ctx, r, man.ReadPrivilege, e.ID)
 }

@@ -59,19 +59,19 @@ func coveringExternalLocation(r erm.Reader, path string) (*erm.Entity, bool) {
 // path: a covering external location's CREATE TABLE (or ownership), or —
 // for ungoverned prefixes — metastore ownership.
 func (s *Service) authorizeExternalPath(ctx Ctx, r erm.Reader, msEntity ids.ID, path string) error {
+	auth := s.authorizer(ctx, r)
 	if loc, ok := coveringExternalLocation(r, path); ok {
-		eng := s.engine(r)
-		if eng.IsOwner(ctx.Principal, loc.ID) {
+		if auth.IsOwner(loc.ID) {
 			return nil
 		}
-		if d := eng.CheckNoGate(ctx.Principal, privilege.CreateTable, loc.ID); d.Allowed {
+		if d := auth.CheckNoGate(privilege.CreateTable, loc.ID); d.Allowed {
 			return nil
 		}
 		return fmt.Errorf("%w: need CREATE TABLE on external location %s", ErrPermissionDenied, loc.FullName)
 	}
 	// Ungoverned prefix: only the metastore admin may register paths the
 	// catalog has no configured location for.
-	if s.engine(r).IsOwner(ctx.Principal, msEntity) {
+	if auth.IsOwner(msEntity) {
 		return nil
 	}
 	return fmt.Errorf("%w: no external location covers %s", ErrPermissionDenied, path)

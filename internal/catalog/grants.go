@@ -147,7 +147,7 @@ func (s *Service) EffectivePrivileges(ctx Ctx, full string) ([]privilege.Privile
 	if err != nil {
 		return nil, err
 	}
-	return s.engine(v).EffectivePrivileges(ctx.Principal, e.ID), nil
+	return s.authorizer(ctx, v).EffectivePrivileges(e.ID), nil
 }
 
 // --- tags ---

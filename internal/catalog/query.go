@@ -35,7 +35,7 @@ func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) 
 		return nil, err
 	}
 	defer v.Close()
-	eng := s.engine(v)
+	auth := s.authorizer(ctx, v)
 
 	// Push catalog/schema filters down to the child index when possible
 	// instead of scanning every entity.
@@ -113,7 +113,7 @@ func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) 
 				continue
 			}
 		}
-		if !s.visible(ctx, eng, v, e) {
+		if !s.visible(ctx, auth, v, e) {
 			continue
 		}
 		out = append(out, e)

@@ -69,8 +69,11 @@ func (s *Service) Resolve(ctx Ctx, req ResolveRequest) (resp *ResolveResponse, e
 	defer v.Close()
 
 	resp = &ResolveResponse{Assets: map[string]*ResolvedAsset{}, MetastoreVersion: v.Version()}
+	// One compiled authorizer covers the whole dependency closure: every
+	// asset in the batch shares the memoized ancestor evaluations.
+	auth := s.authorizer(ctx, v)
 	for _, name := range req.Names {
-		if err := s.resolveOne(ctx, v, ms, req, resp, name, false, 0); err != nil {
+		if err := s.resolveOne(ctx, auth, v, ms, req, resp, name, false, 0); err != nil {
 			return nil, err
 		}
 	}
@@ -80,7 +83,7 @@ func (s *Service) Resolve(ctx Ctx, req ResolveRequest) (resp *ResolveResponse, e
 // maxViewDepth bounds nested-view recursion.
 const maxViewDepth = 32
 
-func (s *Service) resolveOne(ctx Ctx, v erm.Reader, ms *metaState, req ResolveRequest, resp *ResolveResponse, full string, viaView bool, depth int) error {
+func (s *Service) resolveOne(ctx Ctx, auth privilege.Authorizer, v erm.Reader, ms *metaState, req ResolveRequest, resp *ResolveResponse, full string, viaView bool, depth int) error {
 	if depth > maxViewDepth {
 		return fmt.Errorf("%w: view nesting deeper than %d", ErrInvalidArgument, maxViewDepth)
 	}
@@ -96,7 +99,7 @@ func (s *Service) resolveOne(ctx Ctx, v erm.Reader, ms *metaState, req ResolveRe
 	man, _ := s.reg.Manifest(e.Type)
 	if !viaView {
 		// Directly referenced: the principal needs the read privilege.
-		if err := s.authorizeRead(ctx, v, e); err != nil {
+		if err := s.authorizeReadWith(ctx, auth, v, e); err != nil {
 			return err
 		}
 	}
@@ -138,11 +141,11 @@ func (s *Service) resolveOne(ctx Ctx, v erm.Reader, ms *metaState, req ResolveRe
 				if !ctx.TrustedEngine {
 					// Reading a clone without base privileges requires a
 					// trusted engine unless the user can read the base.
-					if err := s.authorizeRead(ctx, v, base); err != nil {
+					if err := s.authorizeReadWith(ctx, auth, v, base); err != nil {
 						return fmt.Errorf("%w: shallow clone %s", ErrTrustedEngineRequired, full)
 					}
 				}
-				if err := s.resolveOne(ctx, v, ms, req, resp, base.FullName, true, depth+1); err != nil {
+				if err := s.resolveOne(ctx, auth, v, ms, req, resp, base.FullName, true, depth+1); err != nil {
 					return err
 				}
 			}
@@ -161,11 +164,11 @@ func (s *Service) resolveOne(ctx Ctx, v erm.Reader, ms *metaState, req ResolveRe
 			if derr != nil {
 				return fmt.Errorf("view %s: %w", full, derr)
 			}
-			userCanRead := s.authorizeRead(ctx, v, depEntity) == nil
+			userCanRead := s.authorizeReadWith(ctx, auth, v, depEntity) == nil
 			if !userCanRead && !ctx.TrustedEngine {
 				return fmt.Errorf("%w: view %s over %s", ErrTrustedEngineRequired, full, dep)
 			}
-			if err := s.resolveOne(ctx, v, ms, req, resp, dep, !userCanRead, depth+1); err != nil {
+			if err := s.resolveOne(ctx, auth, v, ms, req, resp, dep, !userCanRead, depth+1); err != nil {
 				return err
 			}
 		}
@@ -182,11 +185,11 @@ func (s *Service) resolveOne(ctx Ctx, v erm.Reader, ms *metaState, req ResolveRe
 			if derr != nil {
 				return fmt.Errorf("function %s: %w", full, derr)
 			}
-			userCanRead := s.authorizeRead(ctx, v, depEntity) == nil
+			userCanRead := s.authorizeReadWith(ctx, auth, v, depEntity) == nil
 			if !userCanRead && !ctx.TrustedEngine {
 				return fmt.Errorf("%w: function %s over %s", ErrTrustedEngineRequired, full, dep)
 			}
-			if err := s.resolveOne(ctx, v, ms, req, resp, dep, !userCanRead, depth+1); err != nil {
+			if err := s.resolveOne(ctx, auth, v, ms, req, resp, dep, !userCanRead, depth+1); err != nil {
 				return err
 			}
 		}

@@ -40,6 +40,17 @@ type Config struct {
 	STSRetry retry.Policy
 	// DisableTokenCache turns off credential reuse (ablation).
 	DisableTokenCache bool
+	// NaiveAuthz disables the compiled authorization fast path, routing
+	// every decision through the reference privilege engine (ablation).
+	NaiveAuthz bool
+	// AuthzCacheSize caps cached per-principal authorization snapshots
+	// across all metastores (default 4096).
+	AuthzCacheSize int
+	// AuthzSnapshotTTL bounds how long a cached snapshot's compiled group
+	// closure may be reused; grant and hierarchy changes invalidate
+	// snapshots immediately via the metastore version, but group changes
+	// do not bump it (default 30s, matching the directory's group cache).
+	AuthzSnapshotTTL time.Duration
 	// SoftDeleteRetention is how long soft-deleted entities are kept before
 	// garbage collection (default 7 days).
 	SoftDeleteRetention time.Duration
@@ -55,6 +66,7 @@ type Service struct {
 	bus    *events.Bus
 	reg    *erm.Registry
 	groups privilege.GroupResolver
+	authz  *privilege.SnapshotCache // nil under the NaiveAuthz ablation
 
 	credTTL     time.Duration
 	stsRetry    retry.Policy
@@ -121,6 +133,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	if !cfg.DisableTokenCache {
 		s.tokenCache = newTokenCache(cfg.Clock)
+	}
+	if !cfg.NaiveAuthz {
+		s.authz = privilege.NewSnapshotCache(privilege.SnapshotCacheOptions{
+			MaxEntries: cfg.AuthzCacheSize,
+			MaxAge:     cfg.AuthzSnapshotTTL,
+		})
 	}
 	return s, nil
 }
@@ -312,9 +330,38 @@ func (v viewGrants) GrantsOn(id ids.ID) []privilege.Grant {
 	return out
 }
 
-// engine builds a privilege engine over a read view.
+// engine builds a reference privilege engine over a read view.
 func (s *Service) engine(r erm.Reader) *privilege.Engine {
 	return privilege.NewEngine(viewResolver{r}, viewGrants{r}, s.groups)
+}
+
+// versionedReader is implemented by cache views; the snapshot cache keys
+// compiled authorization state by this version.
+type versionedReader interface{ Version() uint64 }
+
+// authorizer returns the per-principal decision engine for a request: a
+// compiled snapshot from the cross-request cache bound to the request's
+// view when possible, else the reference engine (NaiveAuthz ablation, or
+// readers that carry no version to key the cache by). Grant and hierarchy
+// writes bump the metastore version, so stale snapshots miss and rebuild —
+// version-keyed invalidation with no invalidation traffic.
+func (s *Service) authorizer(ctx Ctx, r erm.Reader) privilege.Authorizer {
+	if s.authz != nil {
+		if vr, ok := r.(versionedReader); ok {
+			snap := s.authz.Snapshot(ctx.Metastore, ctx.Principal, vr.Version(), s.groups)
+			return snap.Bind(viewResolver{r}, viewGrants{r})
+		}
+	}
+	return s.engine(r).For(ctx.Principal)
+}
+
+// AuthzMetrics returns the authorization snapshot-cache counters (zeros
+// under the NaiveAuthz ablation).
+func (s *Service) AuthzMetrics() privilege.SnapshotCacheMetrics {
+	if s.authz == nil {
+		return privilege.SnapshotCacheMetrics{}
+	}
+	return s.authz.Metrics()
 }
 
 // view opens a cached read view for a metastore.
@@ -359,8 +406,7 @@ func (s *Service) check(ctx Ctx, r erm.Reader, priv privilege.Privilege, id ids.
 		})
 		return err
 	}
-	eng := s.engine(r)
-	d := eng.Check(ctx.Principal, priv, id)
+	d := s.authorizer(ctx, r).Check(priv, id)
 	if !d.Allowed {
 		if s.abacGrants(ctx, r, priv, id) {
 			d.Allowed = true
@@ -379,8 +425,7 @@ func (s *Service) check(ctx Ctx, r erm.Reader, priv privilege.Privilege, id ids.
 
 // checkOwner requires administrative rights over id.
 func (s *Service) checkOwner(ctx Ctx, r erm.Reader, id ids.ID, op string) error {
-	eng := s.engine(r)
-	ok := eng.IsOwner(ctx.Principal, id)
+	ok := s.authorizer(ctx, r).IsOwner(id)
 	s.audit.Append(audit.Record{
 		Kind: audit.KindAuthz, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
 		Operation: op, Securable: id, Allowed: ok, ReadOnly: true, Detail: "ownership",

@@ -1,0 +1,85 @@
+package privilege
+
+import (
+	"fmt"
+	"testing"
+
+	"unitycatalog/internal/ids"
+)
+
+// deepFixture builds a metastore → catalog → schema → ... chain of the given
+// depth with grants only near the top, so a check on the leaf must walk the
+// whole chain for the privilege and again for every container gate. The
+// principal belongs to a handful of groups, one of which holds the grants.
+func deepFixture(depth int) (memHierarchy, *MemStore, memGroups, ids.ID) {
+	h := memHierarchy{}
+	g := NewMemStore()
+	root := ids.New()
+	h[root] = Securable{ID: root, Type: "METASTORE", Owner: "root"}
+	parent := root
+	var leaf ids.ID
+	for i := 0; i < depth; i++ {
+		id := ids.New()
+		typ := "SCHEMA"
+		switch i {
+		case 0:
+			typ = "CATALOG"
+		case depth - 1:
+			typ = "TABLE"
+		}
+		h[id] = Securable{ID: id, Type: typ, Parent: parent, Owner: "root"}
+		if i == 0 {
+			g.Add(Grant{Securable: id, Principal: "team", Privilege: UseCatalog})
+			g.Add(Grant{Securable: id, Principal: "team", Privilege: UseSchema})
+			g.Add(Grant{Securable: id, Principal: "team", Privilege: Select})
+		}
+		parent = id
+		leaf = id
+	}
+	groups := memGroups{"alice": {"g0", "g1", "g2", "team"}}
+	return h, g, groups, leaf
+}
+
+// BenchmarkCheckDeepCompiled measures the compiled fast path on the same
+// chain as BenchmarkCheckDeepNaive: after the first walk compiles the
+// memos, a check is a map lookup plus a bitset AND.
+func BenchmarkCheckDeepCompiled(b *testing.B) {
+	for _, depth := range []int{4, 8} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			h, g, groups, leaf := deepFixture(depth)
+			eng := NewCompiled(h, g, groups, "alice")
+			if d := eng.Check(Select, leaf); !d.Allowed {
+				b.Fatalf("setup: %v", d)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if d := eng.Check(Select, leaf); !d.Allowed {
+					b.Fatal(d)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckDeepNaive measures the reference engine on a deep chain:
+// one Check re-walks the ancestors once for the privilege and once per
+// usage gate, scanning grants and re-expanding groups at every step.
+func BenchmarkCheckDeepNaive(b *testing.B) {
+	for _, depth := range []int{4, 8} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			h, g, groups, leaf := deepFixture(depth)
+			eng := NewEngine(h, g, groups)
+			if d := eng.Check("alice", Select, leaf); !d.Allowed {
+				b.Fatalf("setup: %v", d)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if d := eng.Check("alice", Select, leaf); !d.Allowed {
+					b.Fatal(d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package privilege
+
+import (
+	"testing"
+
+	"unitycatalog/internal/ids"
+)
+
+// TestMemStoreGrantsOnStableAcrossRemove is the regression test for the
+// slice-aliasing bug: GrantsOn used to return the live internal slice and
+// Remove compacted it in place, so a caller iterating a previously returned
+// slice observed shifted/duplicated grants.
+func TestMemStoreGrantsOnStableAcrossRemove(t *testing.T) {
+	sec := ids.New()
+	m := NewMemStore()
+	m.Add(Grant{Securable: sec, Principal: "a", Privilege: Select})
+	m.Add(Grant{Securable: sec, Principal: "b", Privilege: Modify})
+	m.Add(Grant{Securable: sec, Principal: "c", Privilege: Execute})
+
+	before := m.GrantsOn(sec)
+	if !m.Remove(sec, "a", Select) {
+		t.Fatal("remove reported grant missing")
+	}
+
+	want := []struct {
+		p    Principal
+		priv Privilege
+	}{{"a", Select}, {"b", Modify}, {"c", Execute}}
+	if len(before) != len(want) {
+		t.Fatalf("snapshot length changed: %d", len(before))
+	}
+	for i, w := range want {
+		if before[i].Principal != w.p || before[i].Privilege != w.priv {
+			t.Fatalf("snapshot[%d] mutated by Remove: got %s %s, want %s %s",
+				i, before[i].Principal, before[i].Privilege, w.p, w.priv)
+		}
+	}
+
+	after := m.GrantsOn(sec)
+	if len(after) != 2 || after[0].Principal != "b" || after[1].Principal != "c" {
+		t.Fatalf("unexpected grants after remove: %v", after)
+	}
+
+	// Removing the last grants drops the key entirely.
+	m.Remove(sec, "b", Modify)
+	m.Remove(sec, "c", Execute)
+	if gs := m.GrantsOn(sec); len(gs) != 0 {
+		t.Fatalf("grants remain after removing all: %v", gs)
+	}
+	if _, ok := m.grants[sec]; ok {
+		t.Fatal("empty grant slice retained in map")
+	}
+}
+
+// TestEffectivePrivilegesManageExpansion pins the holdsDirect consistency
+// fix: a MANAGE holder passes any Check, so the effective-privilege listing
+// must include ALL PRIVILEGES alongside the literal MANAGE grant.
+func TestEffectivePrivilegesManageExpansion(t *testing.T) {
+	ms, tbl := ids.New(), ids.New()
+	h := memHierarchy{
+		ms:  {ID: ms, Type: "METASTORE", Owner: "root"},
+		tbl: {ID: tbl, Type: "TABLE", Parent: ms, Owner: "root"},
+	}
+	g := NewMemStore()
+	g.Add(Grant{Securable: ms, Principal: "ops", Privilege: Manage})
+	eng := NewEngine(h, g, nil)
+
+	got := eng.EffectivePrivileges("ops", tbl)
+	want := []Privilege{AllPrivileges, Manage}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("EffectivePrivileges = %v, want %v", got, want)
+	}
+	// And the listing now agrees with what Check allows.
+	if d := eng.Check("ops", Select, tbl); !d.Allowed {
+		t.Fatalf("MANAGE holder denied SELECT: %v", d)
+	}
+}

@@ -108,12 +108,21 @@ func (m *MemStore) Add(g Grant) {
 	m.grants[g.Securable] = append(m.grants[g.Securable], g)
 }
 
-// Remove deletes a grant; it reports whether the grant existed.
+// Remove deletes a grant; it reports whether the grant existed. The
+// surviving grants are copied into a fresh slice rather than compacted in
+// place, so slices previously handed out by GrantsOn keep their contents.
 func (m *MemStore) Remove(sec ids.ID, p Principal, priv Privilege) bool {
 	gs := m.grants[sec]
 	for i, g := range gs {
 		if g.Principal == p && g.Privilege == priv {
-			m.grants[sec] = append(gs[:i], gs[i+1:]...)
+			rest := make([]Grant, 0, len(gs)-1)
+			rest = append(rest, gs[:i]...)
+			rest = append(rest, gs[i+1:]...)
+			if len(rest) == 0 {
+				delete(m.grants, sec)
+			} else {
+				m.grants[sec] = rest
+			}
 			return true
 		}
 	}
@@ -301,7 +310,9 @@ func (e *Engine) IsOwner(p Principal, id ids.ID) bool {
 }
 
 // EffectivePrivileges lists the privileges p holds on the securable,
-// including inherited ones, sorted for stable output.
+// including inherited ones, sorted for stable output. Ownership and MANAGE
+// both pass every privilege check (holdsDirect), so each also reports
+// ALL PRIVILEGES here — the listing and the checks agree on what p can do.
 func (e *Engine) EffectivePrivileges(p Principal, id ids.ID) []Privilege {
 	sec, ok := e.Hierarchy.Securable(id)
 	if !ok {
@@ -320,6 +331,9 @@ func (e *Engine) EffectivePrivileges(p Principal, id ids.ID) []Privilege {
 			for _, w := range who {
 				if g.Principal == w {
 					set[g.Privilege] = true
+					if g.Privilege == Manage {
+						set[AllPrivileges] = true
+					}
 				}
 			}
 		}

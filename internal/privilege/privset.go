@@ -1,0 +1,175 @@
+package privilege
+
+import "sort"
+
+// PrivSet is a compiled bitset of privileges. Each named privilege maps to
+// one bit; bit 31 is an admin pseudo-bit recording ownership-or-MANAGE
+// administrative rights (the IsOwner relation), which is distinct from
+// holding every privilege: an ALL PRIVILEGES grant confers every privilege
+// but not administration.
+//
+// ALL PRIVILEGES, MANAGE, and ownership expand to full masks at compile
+// time (see grantSets), so a check is a single AND instead of re-deriving
+// the implication rules per decision.
+type PrivSet uint32
+
+// Bit positions for the named privileges. The order is arbitrary but
+// fixed; new privileges must be appended (19 of 31 usable bits are taken).
+const (
+	bitSelect PrivSet = 1 << iota
+	bitModify
+	bitReadVolume
+	bitWriteVolume
+	bitExecute
+	bitUseCatalog
+	bitUseSchema
+	bitUseConnection
+	bitCreateCatalog
+	bitCreateSchema
+	bitCreateTable
+	bitCreateVolume
+	bitCreateFunction
+	bitCreateModel
+	bitCreateShare
+	bitReadFiles
+	bitWriteFiles
+	bitManage
+	bitAllPrivileges
+
+	// adminBit marks ownership or a literal MANAGE grant somewhere on the
+	// ancestor chain — the IsOwner relation, kept separate because an ALL
+	// PRIVILEGES grant passes every Check but does not confer admin rights.
+	adminBit PrivSet = 1 << 31
+)
+
+// allPrivsMask has every named privilege bit set (not the admin bit).
+const allPrivsMask = bitAllPrivileges<<1 - 1
+
+// privBitNames pairs each bit with its privilege, in bit order, for decode.
+var privBitNames = [...]struct {
+	bit  PrivSet
+	priv Privilege
+}{
+	{bitSelect, Select}, {bitModify, Modify}, {bitReadVolume, ReadVolume},
+	{bitWriteVolume, WriteVolume}, {bitExecute, Execute}, {bitUseCatalog, UseCatalog},
+	{bitUseSchema, UseSchema}, {bitUseConnection, UseConnection},
+	{bitCreateCatalog, CreateCatalog}, {bitCreateSchema, CreateSchema},
+	{bitCreateTable, CreateTable}, {bitCreateVolume, CreateVolume},
+	{bitCreateFunction, CreateFunction}, {bitCreateModel, CreateModel},
+	{bitCreateShare, CreateShare}, {bitReadFiles, ReadFiles},
+	{bitWriteFiles, WriteFiles}, {bitManage, Manage}, {bitAllPrivileges, AllPrivileges},
+}
+
+// bitOf returns the bit for a privilege, or 0 for unknown privilege names.
+func bitOf(p Privilege) PrivSet {
+	switch p {
+	case Select:
+		return bitSelect
+	case Modify:
+		return bitModify
+	case ReadVolume:
+		return bitReadVolume
+	case WriteVolume:
+		return bitWriteVolume
+	case Execute:
+		return bitExecute
+	case UseCatalog:
+		return bitUseCatalog
+	case UseSchema:
+		return bitUseSchema
+	case UseConnection:
+		return bitUseConnection
+	case CreateCatalog:
+		return bitCreateCatalog
+	case CreateSchema:
+		return bitCreateSchema
+	case CreateTable:
+		return bitCreateTable
+	case CreateVolume:
+		return bitCreateVolume
+	case CreateFunction:
+		return bitCreateFunction
+	case CreateModel:
+		return bitCreateModel
+	case CreateShare:
+		return bitCreateShare
+	case ReadFiles:
+		return bitReadFiles
+	case WriteFiles:
+		return bitWriteFiles
+	case Manage:
+		return bitManage
+	case AllPrivileges:
+		return bitAllPrivileges
+	}
+	return 0
+}
+
+// grantSets returns the (check, report) contribution of one granted
+// privilege. The check set expands the implication rules — ALL PRIVILEGES
+// and MANAGE each pass any privilege check, and MANAGE additionally confers
+// administration — while the report set stays literal except that MANAGE
+// also reports ALL PRIVILEGES (a MANAGE holder passes every check, so the
+// effective-privilege listing reflects the full set; see
+// Engine.EffectivePrivileges).
+func grantSets(p Privilege) (check, report PrivSet) {
+	switch p {
+	case AllPrivileges:
+		return allPrivsMask, bitAllPrivileges
+	case Manage:
+		return allPrivsMask | adminBit, bitManage | bitAllPrivileges
+	}
+	b := bitOf(p)
+	return b, b
+}
+
+// ownerSets is the (check, report) contribution of ownership: every
+// privilege plus administration, reported as ALL PRIVILEGES.
+func ownerSets() (check, report PrivSet) {
+	return allPrivsMask | adminBit, bitAllPrivileges
+}
+
+// PrivSetOf builds a literal bitset from privileges (no implication
+// expansion; unknown privileges are ignored).
+func PrivSetOf(privs ...Privilege) PrivSet {
+	var s PrivSet
+	for _, p := range privs {
+		s |= bitOf(p)
+	}
+	return s
+}
+
+// Has reports whether the set passes a check for p, applying the same
+// fallback as the reference engine for unknown privilege names: only a
+// wildcard (ownership, ALL PRIVILEGES, or MANAGE, all of which set the
+// ALL PRIVILEGES bit) passes them.
+func (s PrivSet) Has(p Privilege) bool {
+	b := bitOf(p)
+	if b == 0 {
+		b = bitAllPrivileges
+	}
+	return s&b != 0
+}
+
+// HasAdmin reports ownership-or-MANAGE administrative rights.
+func (s PrivSet) HasAdmin() bool { return s&adminBit != 0 }
+
+// Intersects reports whether the sets share any privilege bit.
+func (s PrivSet) Intersects(o PrivSet) bool { return s&o&allPrivsMask != 0 }
+
+// Privileges decodes the set into a sorted privilege list (admin bit
+// excluded), matching the reference engine's EffectivePrivileges output
+// order.
+func (s PrivSet) Privileges() []Privilege {
+	if s&allPrivsMask == 0 {
+		return nil
+	}
+	out := make([]Privilege, 0, 4)
+	for _, e := range privBitNames {
+		if s&e.bit != 0 {
+			out = append(out, e.priv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,209 @@
+package privilege
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SnapshotCache keeps compiled Snapshots across requests, keyed by
+// (scope, principal) and version-stamped. A lookup hits only when the
+// caller's current metadata version matches the cached entry's, so bumping
+// the version on any grant/hierarchy write invalidates every snapshot in
+// that scope for free — there is no invalidation traffic, just misses that
+// rebuild against the new version.
+//
+// Group membership is compiled into a snapshot but group changes do not
+// bump metadata versions, so entries additionally expire after MaxAge —
+// the same bounded-staleness contract the directory's group cache already
+// provides (its TTL bounds how stale a membership read can be; this TTL
+// bounds how long a snapshot can keep using one).
+//
+// The cache is lock-striped into 32 shards by key hash with per-shard LRU
+// eviction, and counts hits/misses/builds/invalidations/evictions on
+// atomics so concurrent checks never serialize on metrics (PR 1's cache
+// discipline).
+
+const snapShardCount = 32
+
+// SnapshotCacheMetrics is a point-in-time copy of the cache counters.
+type SnapshotCacheMetrics struct {
+	Hits   int64
+	Misses int64
+	// Builds counts snapshot compilations, including transient ones that
+	// were never stored (stale-view requests racing a newer cached entry).
+	Builds int64
+	// Invalidations counts misses where a snapshot for the key existed but
+	// was compiled against a different version (version-keyed invalidation).
+	Invalidations int64
+	// Expirations counts misses where the entry's version matched but the
+	// snapshot had outlived MaxAge (group-closure staleness bound).
+	Expirations int64
+	Evictions   int64
+	Entries     int64
+}
+
+// SnapshotCacheOptions tunes the cache; zero values select the defaults.
+type SnapshotCacheOptions struct {
+	// MaxEntries caps the number of cached snapshots across all shards
+	// (approximately — eviction is per shard). Default 4096.
+	MaxEntries int
+	// MaxAge bounds how long a snapshot's compiled group closure may be
+	// reused. Default 30s, matching the directory's group-cache TTL.
+	MaxAge time.Duration
+}
+
+type snapKey struct {
+	scope     string
+	principal Principal
+}
+
+type snapEntry struct {
+	version  uint64
+	snap     *Snapshot
+	built    time.Time
+	lastUsed int64 // unix nanoseconds, guarded by the shard lock
+}
+
+type snapShard struct {
+	mu      sync.Mutex
+	entries map[snapKey]*snapEntry
+}
+
+// SnapshotCache is safe for concurrent use.
+type SnapshotCache struct {
+	opts   SnapshotCacheOptions
+	seed   maphash.Seed
+	shards [snapShardCount]snapShard
+	now    func() time.Time // test hook
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	builds        atomic.Int64
+	invalidations atomic.Int64
+	expirations   atomic.Int64
+	evictions     atomic.Int64
+	entries       atomic.Int64
+}
+
+// NewSnapshotCache builds an empty cache.
+func NewSnapshotCache(opts SnapshotCacheOptions) *SnapshotCache {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 4096
+	}
+	if opts.MaxAge <= 0 {
+		opts.MaxAge = 30 * time.Second
+	}
+	c := &SnapshotCache{opts: opts, seed: maphash.MakeSeed(), now: time.Now}
+	for i := range c.shards {
+		c.shards[i].entries = map[snapKey]*snapEntry{}
+	}
+	return c
+}
+
+func (c *SnapshotCache) shardFor(k snapKey) *snapShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(k.scope)
+	h.WriteByte(0)
+	h.WriteString(string(k.principal))
+	return &c.shards[h.Sum64()%snapShardCount]
+}
+
+// Snapshot returns the compiled snapshot for (scope, principal) at version,
+// building it via groups on a miss. Scope names the metadata domain the
+// version belongs to (for the catalog service, the metastore ID).
+//
+// If the cache holds a *newer* version than requested — a request pinned to
+// a stale view racing writers — the entry is left in place and a transient
+// snapshot is compiled for the caller without being stored, so slow readers
+// can never roll the cache backwards.
+func (c *SnapshotCache) Snapshot(scope string, p Principal, version uint64, groups GroupResolver) *Snapshot {
+	key := snapKey{scope: scope, principal: p}
+	sh := c.shardFor(key)
+	now := c.now()
+
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok && e.version == version && now.Sub(e.built) < c.opts.MaxAge {
+		e.lastUsed = now.UnixNano()
+		snap := e.snap
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return snap
+	}
+	stale := ok && e.version > version
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	switch {
+	case ok && e.version != version:
+		c.invalidations.Add(1)
+	case ok:
+		c.expirations.Add(1)
+	}
+
+	// Compile outside the shard lock: group resolution may be slow, and
+	// holding the lock would serialize unrelated principals on this shard.
+	snap := NewSnapshot(p, groups)
+	c.builds.Add(1)
+	if stale {
+		return snap
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, exists := sh.entries[key]; exists {
+		if cur.version > version {
+			return snap // a newer snapshot landed while we compiled
+		}
+		if cur.version == version && now.Sub(cur.built) < c.opts.MaxAge {
+			cur.lastUsed = now.UnixNano()
+			return cur.snap // a concurrent miss beat us; share its memos
+		}
+	} else {
+		c.entries.Add(1)
+	}
+	sh.entries[key] = &snapEntry{version: version, snap: snap, built: now, lastUsed: now.UnixNano()}
+	c.evictLocked(sh, key)
+	return snap
+}
+
+// evictLocked drops the least-recently-used entry in sh (sparing keep) when
+// the global count exceeds the cap. Per-shard eviction with a global
+// counter is approximate but never deadlocks or takes two shard locks.
+func (c *SnapshotCache) evictLocked(sh *snapShard, keep snapKey) {
+	if int(c.entries.Load()) <= c.opts.MaxEntries {
+		return
+	}
+	var victim snapKey
+	var oldest int64
+	found := false
+	for k, e := range sh.entries {
+		if k == keep {
+			continue
+		}
+		if !found || e.lastUsed < oldest {
+			victim, oldest, found = k, e.lastUsed, true
+		}
+	}
+	if found {
+		delete(sh.entries, victim)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+}
+
+// Metrics returns a copy of the counters.
+func (c *SnapshotCache) Metrics() SnapshotCacheMetrics {
+	return SnapshotCacheMetrics{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Builds:        c.builds.Load(),
+		Invalidations: c.invalidations.Load(),
+		Expirations:   c.expirations.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       c.entries.Load(),
+	}
+}

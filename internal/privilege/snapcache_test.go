@@ -1,0 +1,136 @@
+package privilege
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/ids"
+)
+
+func TestSnapshotCacheVersionKeying(t *testing.T) {
+	c := NewSnapshotCache(SnapshotCacheOptions{})
+	groups := memGroups{"alice": {"team"}}
+
+	s1 := c.Snapshot("ms", "alice", 1, groups)
+	if s1.Principal() != "alice" {
+		t.Fatalf("principal = %s", s1.Principal())
+	}
+	if s2 := c.Snapshot("ms", "alice", 1, groups); s2 != s1 {
+		t.Fatal("same version did not hit")
+	}
+	// Version bump invalidates: new snapshot, invalidation counted.
+	s3 := c.Snapshot("ms", "alice", 2, groups)
+	if s3 == s1 {
+		t.Fatal("version bump returned stale snapshot")
+	}
+	// A stale-view request must not roll the cache back to version 1.
+	s4 := c.Snapshot("ms", "alice", 1, groups)
+	if s4 == s1 || s4 == s3 {
+		t.Fatal("stale request returned cached snapshot")
+	}
+	if s5 := c.Snapshot("ms", "alice", 2, groups); s5 != s3 {
+		t.Fatal("stale request evicted the newer snapshot")
+	}
+	// Different principals and scopes are distinct keys.
+	if sb := c.Snapshot("ms", "bob", 2, groups); sb == s3 {
+		t.Fatal("principal collision")
+	}
+	if so := c.Snapshot("other", "alice", 2, groups); so == s3 {
+		t.Fatal("scope collision")
+	}
+
+	m := c.Metrics()
+	// Invalidations: the version bump (1→2) and the stale-view request
+	// (2→1) are both version mismatches.
+	if m.Hits != 2 || m.Misses != 5 || m.Builds != 5 || m.Invalidations != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Entries != 3 {
+		t.Fatalf("entries = %d", m.Entries)
+	}
+}
+
+func TestSnapshotCacheMaxAge(t *testing.T) {
+	c := NewSnapshotCache(SnapshotCacheOptions{MaxAge: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	s1 := c.Snapshot("ms", "alice", 7, nil)
+	now = now.Add(59 * time.Second)
+	if s2 := c.Snapshot("ms", "alice", 7, nil); s2 != s1 {
+		t.Fatal("unexpired entry missed")
+	}
+	now = now.Add(2 * time.Second)
+	s3 := c.Snapshot("ms", "alice", 7, nil)
+	if s3 == s1 {
+		t.Fatal("expired snapshot reused past MaxAge")
+	}
+	m := c.Metrics()
+	if m.Expirations != 1 {
+		t.Fatalf("expirations = %d", m.Expirations)
+	}
+	// The rebuilt entry replaced the expired one under the same key.
+	if m.Entries != 1 {
+		t.Fatalf("entries = %d", m.Entries)
+	}
+}
+
+func TestSnapshotCacheEviction(t *testing.T) {
+	c := NewSnapshotCache(SnapshotCacheOptions{MaxEntries: 8})
+	for i := 0; i < 64; i++ {
+		c.Snapshot("ms", Principal(fmt.Sprintf("p%d", i)), 1, nil)
+	}
+	m := c.Metrics()
+	if m.Evictions == 0 {
+		t.Fatal("no evictions at 8x over cap")
+	}
+	// Per-shard eviction is approximate; allow slack of one entry per shard.
+	if m.Entries > int64(8+snapShardCount) {
+		t.Fatalf("entries = %d, cap 8", m.Entries)
+	}
+}
+
+// TestSnapshotCacheStress hammers the cache under -race: concurrent checks
+// across principals and scopes interleaved with version bumps (grant
+// mutations) and membership-affecting rebuilds. Snapshots obtained from the
+// cache are used for real decisions while other goroutines rebuild them.
+func TestSnapshotCacheStress(t *testing.T) {
+	h, g, groups, leaf := deepFixture(4)
+	c := NewSnapshotCache(SnapshotCacheOptions{MaxEntries: 16})
+	var version atomic.Uint64
+	version.Store(1)
+
+	principals := []Principal{"alice", "root", "nobody", "team"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scope := fmt.Sprintf("ms%d", w%2)
+			for i := 0; i < 400; i++ {
+				p := principals[(w+i)%len(principals)]
+				snap := c.Snapshot(scope, p, version.Load(), groups)
+				eng := snap.Bind(h, g)
+				eng.Check(Select, leaf)
+				eng.CheckMany(UseSchema, []ids.ID{leaf})
+				eng.IsOwner(leaf)
+				eng.EffectiveSet(leaf)
+				if i%17 == 0 {
+					version.Add(1) // a write bumped the metadata version
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := c.Metrics()
+	if m.Hits+m.Misses != 8*400 {
+		t.Fatalf("lookups = %d, want %d (metrics %+v)", m.Hits+m.Misses, 8*400, m)
+	}
+	if m.Builds != m.Misses {
+		t.Fatalf("builds %d != misses %d", m.Builds, m.Misses)
+	}
+}

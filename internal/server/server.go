@@ -187,6 +187,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": status,
 		"cache":  s.Service.CacheHealth(),
+		"authz":  s.Service.AuthzMetrics(),
 	})
 }
 
