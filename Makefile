@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-parallel bench-store bench-authz
+.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs
 
 test:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ test:
 race:
 	$(GO) test -race -count=1 \
 		./internal/cache/... \
+		./internal/obs/... \
 		./internal/store/... \
 		./internal/catalog/... \
 		./internal/privilege/... \
@@ -49,3 +50,9 @@ bench-store:
 # ns/op and allocs/op per cell.
 bench-authz:
 	$(GO) run ./cmd/ucbench -exp authz -out BENCH_authz.json
+
+# Instrumentation-overhead grid (deep-Check and WAL-commit paths, tracing
+# off vs enabled-but-unsampled); emits BENCH_obs.json with ns/op and
+# allocs/op per cell.
+bench-obs:
+	$(GO) run ./cmd/ucbench -exp obs -out BENCH_obs.json

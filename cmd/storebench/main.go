@@ -47,17 +47,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%-8s %-10s %-6s %12s %10s %10s %10s %10s\n",
-		"writers", "commit_lat", "wal", "ops/s", "p50(ms)", "p99(ms)", "avg_batch", "max_batch")
-	for _, c := range cells {
-		batch, maxb := "-", "-"
-		if c.WAL {
-			batch = fmt.Sprintf("%.1f", c.AvgBatch)
-			maxb = fmt.Sprintf("%d", c.MaxBatch)
-		}
-		fmt.Printf("%-8d %-10s %-6v %12.0f %10.3f %10.3f %10s %10s\n",
-			c.Writers, fmt.Sprintf("%.0fms", c.CommitLatMS), c.WAL,
-			c.OpsPerSec, c.P50MS, c.P99MS, batch, maxb)
-	}
+	header, rows := bench.CommitCellRows(cells)
+	bench.WriteAligned(os.Stdout, header, rows)
 	fmt.Println("wrote", *out)
 }

@@ -24,13 +24,14 @@ import (
 	"unitycatalog/internal/bench"
 )
 
-// authzReport is the BENCH_authz.json layout, matching the
-// BENCH_store_commit.json report shape from cmd/storebench.
-type authzReport struct {
-	Generated  string            `json:"generated"`
-	GoVersion  string            `json:"go_version"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Cells      []bench.AuthzCell `json:"cells"`
+// report is the BENCH_<exp>.json layout, matching the
+// BENCH_store_commit.json report shape from cmd/storebench. Cells is the
+// experiment's grid ([]bench.AuthzCell or []bench.ObsCell).
+type report struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Cells      any    `json:"cells"`
 }
 
 func main() {
@@ -54,14 +55,31 @@ func main() {
 	opts := bench.Options{Seed: *seed, Quick: *quick, DBReadLatency: *dbLat, NetworkRTT: *rtt}
 
 	if *out != "" {
-		if *exp != "authz" {
-			log.Fatalf("-out is only supported with -exp authz")
+		var (
+			cells  any
+			header []string
+			rows   [][]string
+			n      int
+		)
+		switch *exp {
+		case "authz":
+			grid, err := bench.RunAuthzGrid(*quick)
+			if err != nil {
+				log.Fatalf("authz: %v", err)
+			}
+			header, rows = bench.AuthzCellRows(grid)
+			cells, n = grid, len(grid)
+		case "obs":
+			grid, err := bench.RunObsGrid(*quick)
+			if err != nil {
+				log.Fatalf("obs: %v", err)
+			}
+			header, rows = bench.ObsCellRows(grid)
+			cells, n = grid, len(grid)
+		default:
+			log.Fatalf("-out is only supported with -exp authz or -exp obs")
 		}
-		cells, err := bench.RunAuthzGrid(*quick)
-		if err != nil {
-			log.Fatalf("authz: %v", err)
-		}
-		rep := authzReport{
+		rep := report{
 			Generated:  time.Now().UTC().Format(time.RFC3339),
 			GoVersion:  runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -74,10 +92,8 @@ func main() {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		for _, c := range cells {
-			fmt.Printf("  %-16s %-9s %9.1f ns/op %10.1f allocs/op\n", c.Shape, c.Engine, c.NsPerOp, c.AllocsPerOp)
-		}
-		fmt.Printf("wrote %s (%d cells)\n", *out, len(cells))
+		bench.WriteAligned(os.Stdout, header, rows)
+		fmt.Printf("wrote %s (%d cells)\n", *out, n)
 		return
 	}
 

@@ -16,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"unitycatalog/uc"
 )
@@ -31,6 +32,10 @@ func main() {
 		owner     = flag.String("owner", "admin", "metastore owner principal")
 		root      = flag.String("root", "", "managed-storage root path (default s3://uc-managed/<metastore>)")
 		trusted   = flag.String("trusted-engines", "", "comma-separated machine identities treated as trusted engines")
+		accessLog = flag.Bool("access-log", false, "log one structured line per API request to stderr")
+		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		sampleN   = flag.Int("trace-sample", 0, "retain every Nth trace for /debug/traces (0 = default 64, negative disables)")
+		slowMs    = flag.Int("trace-slow-ms", 0, "always retain traces at least this slow (0 = default 100ms, negative disables)")
 	)
 	flag.Parse()
 
@@ -38,7 +43,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("-wal-sync: %v", err)
 	}
-	cat, err := uc.Open(uc.Config{WALPath: *wal, WALSync: syncPolicy})
+	cat, err := uc.Open(uc.Config{
+		WALPath:            *wal,
+		WALSync:            syncPolicy,
+		AccessLog:          *accessLog,
+		Pprof:              *pprofFlag,
+		TraceSampleEvery:   *sampleN,
+		TraceSlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+	})
 	if err != nil {
 		log.Fatalf("open catalog: %v", err)
 	}
@@ -68,5 +80,10 @@ func main() {
 	fmt.Printf("  REST API:      http://localhost%s/api/2.1/unity-catalog/\n", *addr)
 	fmt.Printf("  Delta Sharing: http://localhost%s/delta-sharing/\n", *addr)
 	fmt.Printf("  Iceberg REST:  http://localhost%s/iceberg/%s/v1/\n", *addr, *metastore)
+	fmt.Printf("  Metrics:       http://localhost%s/metrics\n", *addr)
+	fmt.Printf("  Traces:        http://localhost%s/debug/traces\n", *addr)
+	if *pprofFlag {
+		fmt.Printf("  pprof:         http://localhost%s/debug/pprof/\n", *addr)
+	}
 	log.Fatal(http.ListenAndServe(*addr, cat.Handler()))
 }

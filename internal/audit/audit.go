@@ -26,6 +26,7 @@ import (
 
 	"unitycatalog/internal/clock"
 	"unitycatalog/internal/ids"
+	"unitycatalog/internal/obs"
 )
 
 // Kind classifies an audit record.
@@ -51,6 +52,9 @@ type Record struct {
 	ReadOnly  bool              `json:"read_only"`
 	Detail    string            `json:"detail,omitempty"`
 	Extra     map[string]string `json:"extra,omitempty"`
+	// TraceID correlates this record with the HTTP request that produced it
+	// (the X-UC-Trace-Id response header and /debug/traces entries).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // logEntry is a retained record stamped with its global sequence number,
@@ -168,6 +172,14 @@ func (l *Log) Append(r Record) {
 			box.mu.Unlock()
 		}
 	}
+}
+
+// RegisterMetrics exposes the aggregate audit counters on r.
+func (l *Log) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounterFunc("uc_audit_records_total", "Audit records appended.", l.total.Load)
+	r.RegisterCounterFunc("uc_audit_reads_total", "Read-only audit records.", l.reads.Load)
+	r.RegisterCounterFunc("uc_audit_writes_total", "Mutating audit records.", l.writes.Load)
+	r.RegisterCounterFunc("uc_audit_denied_total", "Denied-access audit records.", l.denied.Load)
 }
 
 // collect snapshots all retained entries ordered by sequence number

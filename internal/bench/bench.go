@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"time"
 
 	"unitycatalog/internal/catalog"
@@ -29,35 +28,12 @@ type Table struct {
 	Finding string
 }
 
-// Print renders the table.
+// Print renders the table through the shared aligned writer (tabular.go).
 func (t *Table) Print(w io.Writer) {
 	fmt.Fprintf(w, "\n== %s — %s\n", t.ID, t.Title)
 	fmt.Fprintf(w, "   paper:    %s\n", t.Paper)
 	fmt.Fprintf(w, "   measured: %s\n", t.Finding)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		var sb strings.Builder
-		for i, c := range cells {
-			if i < len(widths) {
-				sb.WriteString(fmt.Sprintf("  %-*s", widths[i], c))
-			}
-		}
-		fmt.Fprintln(w, sb.String())
-	}
-	line(t.Header)
-	for _, r := range t.Rows {
-		line(r)
-	}
+	WriteAligned(w, t.Header, t.Rows)
 }
 
 // Options tunes all experiments for runtime vs fidelity.
@@ -125,6 +101,7 @@ func All() []Experiment {
 		{"ablate-tokens", "Ablation: credential token cache on/off", AblationTokenCache},
 		{"groupcommit", "Commit throughput: group-commit WAL + pipelined commits", GroupCommitExperiment},
 		{"authz", "Authorization fast path: compiled snapshots vs reference engine", AuthzExperiment},
+		{"obs", "Instrumentation overhead: request tracing on vs off", ObsExperiment},
 	}
 }
 

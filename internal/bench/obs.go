@@ -1,0 +1,140 @@
+package bench
+
+// Instrumentation-overhead grid: the telemetry acceptance budget says an
+// enabled-but-unsampled trace must cost at most 5% on the hot paths. Each
+// path runs twice — "off" (zero SpanContext, tracing disabled) and
+// "traced" (a live tracer that starts a trace per operation, records every
+// span, and discards the trace at Finish: the steady-state production
+// configuration between retained samples). Shared by the `obs` experiment
+// (human-readable table) and `make bench-obs`, which emits BENCH_obs.json.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/obs"
+	"unitycatalog/internal/store"
+)
+
+// ObsCell is one measured cell of the instrumentation-overhead grid.
+type ObsCell struct {
+	// Path is the hot path: deep_check (authorized GetAsset on a
+	// catalog.schema.table chain, cache hit) or commit_wal (single-key
+	// store commit through the group-commit WAL).
+	Path string `json:"path"`
+	// Mode is "off" (zero SpanContext) or "traced" (enabled, unsampled).
+	Mode        string  `json:"mode"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// RunObsGrid measures both hot paths with tracing off and on.
+func RunObsGrid(quick bool) ([]ObsCell, error) {
+	checkOps, commitOps := 100_000, 2_000
+	if quick {
+		checkOps, commitOps = 20_000, 500
+	}
+
+	var cells []ObsCell
+
+	// A tracer that retains nothing: every request pays the full span
+	// bookkeeping but Finish recycles the trace (no sampling, no slow
+	// threshold), matching steady state between retained samples.
+	tracer := obs.NewTracer(0, 0)
+
+	// Path 1: authorized read through the service (authz snapshot + cache).
+	svc, reader, _, err := authzService(false, 64)
+	if err != nil {
+		return nil, fmt.Errorf("obs deep_check service: %w", err)
+	}
+	get := func(ctx catalog.Ctx) error {
+		_, err := svc.GetAsset(ctx, "cat.big.t00001")
+		return err
+	}
+	if err := get(reader); err != nil {
+		return nil, fmt.Errorf("obs deep_check: %w", err)
+	}
+	for _, mode := range []string{"off", "traced"} {
+		fn := func() { get(reader) }
+		if mode == "traced" {
+			fn = func() {
+				t := tracer.StartTrace()
+				ctx := reader
+				ctx.Trace = tracer.Root(t)
+				get(ctx)
+				tracer.Finish(t, "bench.deep_check")
+			}
+		}
+		ns, allocs := measureAuthz(checkOps, fn)
+		cells = append(cells, ObsCell{Path: "deep_check", Mode: mode, Ops: checkOps, NsPerOp: ns, AllocsPerOp: allocs})
+	}
+
+	// Path 2: WAL-backed commit, same shape as the commit grid's cells.
+	dir, err := os.MkdirTemp("", "obsbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := store.Open(store.Options{WALPath: filepath.Join(dir, "bench.wal")})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := db.CreateMetastore("m"); err != nil {
+		return nil, err
+	}
+	put := func(tx *store.Tx) error {
+		tx.Put("t", "k", []byte("v"))
+		return nil
+	}
+	for _, mode := range []string{"off", "traced"} {
+		fn := func() { db.Update("m", put) }
+		if mode == "traced" {
+			fn = func() {
+				t := tracer.StartTrace()
+				db.UpdateT(tracer.Root(t), "m", put)
+				tracer.Finish(t, "bench.commit_wal")
+			}
+		}
+		ns, allocs := measureAuthz(commitOps, fn)
+		cells = append(cells, ObsCell{Path: "commit_wal", Mode: mode, Ops: commitOps, NsPerOp: ns, AllocsPerOp: allocs})
+	}
+	return cells, nil
+}
+
+// ObsExperiment renders the grid with per-path overhead percentages.
+func ObsExperiment(o Options) (*Table, error) {
+	cells, err := RunObsGrid(o.Quick)
+	if err != nil {
+		return nil, err
+	}
+	off := map[string]ObsCell{}
+	for _, c := range cells {
+		if c.Mode == "off" {
+			off[c.Path] = c
+		}
+	}
+	t := &Table{
+		ID:     "obs",
+		Title:  "Instrumentation overhead: request tracing on vs off",
+		Paper:  "telemetry must not tax the hot paths: enabled-but-unsampled tracing budgeted at <=5% on deep-Check and group-commit",
+		Header: []string{"path", "mode", "ops", "ns/op", "allocs/op", "overhead"},
+	}
+	var findings []string
+	for _, c := range cells {
+		over := "-"
+		if c.Mode == "traced" {
+			if base, ok := off[c.Path]; ok && base.NsPerOp > 0 {
+				pct := (c.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+				over = fmt.Sprintf("%+.1f%%", pct)
+				findings = append(findings, fmt.Sprintf("%s %+.1f%%", c.Path, pct))
+			}
+		}
+		t.Rows = append(t.Rows, []string{c.Path, c.Mode, fi(c.Ops), f(c.NsPerOp), f(c.AllocsPerOp), over})
+	}
+	t.Finding = "traced vs off: " + joinStrings(findings, ", ")
+	return t, nil
+}

@@ -85,6 +85,7 @@ import (
 
 	"unitycatalog/internal/clock"
 	"unitycatalog/internal/faults"
+	"unitycatalog/internal/obs"
 	"unitycatalog/internal/store"
 )
 
@@ -166,20 +167,22 @@ type Metrics struct {
 	Recoveries int64
 }
 
-// counters holds the live atomic counters behind Metrics.
+// counters holds the live counters behind Metrics. obs.Counter is an atomic
+// add, so the hit path's cost is unchanged; the same values also feed the
+// /metrics registry via RegisterMetrics.
 type counters struct {
-	hits, misses         atomic.Int64
-	scanHits, scanMisses atomic.Int64
-	coalescedMisses      atomic.Int64
-	fullReconciles       atomic.Int64
-	selectiveReconciles  atomic.Int64
-	evictions            atomic.Int64
-	writeConflicts       atomic.Int64
-	degradedReads        atomic.Int64
-	degradedMisses       atomic.Int64
-	degradedDenied       atomic.Int64
-	outages              atomic.Int64
-	recoveries           atomic.Int64
+	hits, misses         obs.Counter
+	scanHits, scanMisses obs.Counter
+	coalescedMisses      obs.Counter
+	fullReconciles       obs.Counter
+	selectiveReconciles  obs.Counter
+	evictions            obs.Counter
+	writeConflicts       obs.Counter
+	degradedReads        obs.Counter
+	degradedMisses       obs.Counter
+	degradedDenied       obs.Counter
+	outages              obs.Counter
+	recoveries           obs.Counter
 }
 
 type cachedVersion struct {
@@ -402,6 +405,31 @@ func (c *Cache) Metrics() Metrics {
 	}
 }
 
+// RegisterMetrics exposes the cache counters on r. Call once per registry
+// per cache node.
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("uc_cache_hits_total", "Record reads served from cache.", &c.metrics.hits)
+	r.RegisterCounter("uc_cache_misses_total", "Record reads that fell through to the database.", &c.metrics.misses)
+	r.RegisterCounter("uc_cache_scan_hits_total", "Scans served from cache.", &c.metrics.scanHits)
+	r.RegisterCounter("uc_cache_scan_misses_total", "Scans that fell through to the database.", &c.metrics.scanMisses)
+	r.RegisterCounter("uc_cache_coalesced_misses_total", "Misses that piggybacked on an in-flight database read.", &c.metrics.coalescedMisses)
+	r.RegisterCounter("uc_cache_full_reconciles_total", "Full (evict-everything) reconciliations.", &c.metrics.fullReconciles)
+	r.RegisterCounter("uc_cache_selective_reconciles_total", "Change-log-driven selective reconciliations.", &c.metrics.selectiveReconciles)
+	r.RegisterCounter("uc_cache_evictions_total", "Records evicted by the cache policy.", &c.metrics.evictions)
+	r.RegisterCounter("uc_cache_write_conflicts_total", "Optimistic writes retried after a version conflict.", &c.metrics.writeConflicts)
+	r.RegisterCounter("uc_cache_degraded_reads_total", "Reads served from stale cache during a database outage.", &c.metrics.degradedReads)
+	r.RegisterCounter("uc_cache_degraded_misses_total", "Degraded reads that found nothing cached.", &c.metrics.degradedMisses)
+	r.RegisterCounter("uc_cache_degraded_denied_total", "Degraded reads refused past the staleness bound.", &c.metrics.degradedDenied)
+	r.RegisterCounter("uc_cache_outages_total", "Transitions into degraded mode.", &c.metrics.outages)
+	r.RegisterCounter("uc_cache_recoveries_total", "Transitions back to healthy.", &c.metrics.recoveries)
+	r.RegisterGaugeFunc("uc_cache_degraded", "1 when any owned metastore is serving degraded.", func() float64 {
+		if c.Degraded() {
+			return 1
+		}
+		return 0
+	})
+}
+
 // MetastoreHealth describes one owned metastore's cache state for health
 // endpoints.
 type MetastoreHealth struct {
@@ -564,6 +592,9 @@ type View struct {
 	state atomic.Uint64
 	pinMu sync.Mutex      // serializes pinOnMiss reconciliation
 	snap  *store.Snapshot // cache-disabled mode reads straight from this
+	// sc scopes this view's database-fallback work (misses, reconciles) to
+	// the request's trace. Hits record no spans.
+	sc obs.SpanContext
 	// verr records the last backend error a read on this view absorbed, so
 	// callers can distinguish "not found" from "backend unavailable".
 	verr atomic.Pointer[viewErr]
@@ -588,12 +619,18 @@ func (v *View) Err() error {
 // NewView opens a read view of the metastore. When the cache is disabled,
 // views read straight from a DB snapshot.
 func (c *Cache) NewView(msID string) (*View, error) {
+	return c.NewViewT(obs.SpanContext{}, msID)
+}
+
+// NewViewT is NewView with a trace context: the view's cache misses and
+// reconciliations record spans under sc.
+func (c *Cache) NewViewT(sc obs.SpanContext, msID string) (*View, error) {
 	if c.opts.Disabled {
 		snap, err := c.db.Snapshot(msID)
 		if err != nil {
 			return nil, err
 		}
-		v := &View{c: c, msID: msID, snap: snap}
+		v := &View{c: c, msID: msID, snap: snap, sc: sc}
 		v.state.Store(snap.Version | pinnedBit)
 		return v, nil
 	}
@@ -601,7 +638,7 @@ func (c *Cache) NewView(msID string) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &View{c: c, msID: msID, m: m}
+	v := &View{c: c, msID: msID, m: m, sc: sc}
 	v.state.Store(m.knownVersion.Load())
 	return v, nil
 }
@@ -621,6 +658,8 @@ func (v *View) pinOnMiss() {
 	if st&pinnedBit != 0 {
 		return
 	}
+	_, span := v.sc.StartDetail("cache.reconcile", v.msID)
+	defer span.End()
 	v.m.lockAll()
 	target := st &^ pinnedBit
 	if err := v.c.reconcileAllLocked(v.msID, v.m); err == nil {
@@ -696,6 +735,8 @@ func (v *View) Get(table, key string) ([]byte, bool) {
 	// leader installs the result before the flight closes, so latecomers
 	// either join the flight or hit the cache — never re-read the DB.
 	ver := v.Version()
+	_, missSpan := v.sc.StartDetail("cache.getmiss", table)
+	defer missSpan.End()
 	f, leader := v.m.doFlight(flightKey('g', ver, rk), func(f *flight) {
 		snap, err := v.c.db.SnapshotAt(v.msID, ver)
 		if err != nil {
@@ -788,6 +829,8 @@ func (v *View) Scan(table, prefix string) []store.KV {
 		}
 	}
 	ver := v.Version()
+	_, missSpan := v.sc.StartDetail("cache.scanmiss", table)
+	defer missSpan.End()
 	f, leader := v.m.doFlight(flightKey('s', ver, sk), func(f *flight) {
 		snap, err := v.c.db.SnapshotAt(v.msID, ver)
 		if err != nil {
@@ -1003,8 +1046,14 @@ const maxWriteRetries = 16
 // Update runs fn in a serializable write transaction with write-through
 // caching. It retries on version conflicts caused by other cache nodes.
 func (c *Cache) Update(msID string, fn func(tx *store.Tx) error) (uint64, error) {
+	return c.UpdateT(obs.SpanContext{}, msID, fn)
+}
+
+// UpdateT is Update with a trace context, propagated into the store so the
+// commit's sequence/wal/apply phases appear in the request's trace.
+func (c *Cache) UpdateT(sc obs.SpanContext, msID string, fn func(tx *store.Tx) error) (uint64, error) {
 	if c.opts.Disabled {
-		return c.db.Update(msID, fn)
+		return c.db.UpdateT(sc, msID, fn)
 	}
 	m, err := c.owner(msID)
 	if err != nil {
@@ -1014,7 +1063,7 @@ func (c *Cache) Update(msID string, fn func(tx *store.Tx) error) (uint64, error)
 		known := m.knownVersion.Load()
 
 		var captured []store.Write
-		newV, err := c.db.UpdateCAS(msID, known, func(tx *store.Tx) error {
+		newV, err := c.db.UpdateCAST(sc, msID, known, func(tx *store.Tx) error {
 			if err := fn(tx); err != nil {
 				return err
 			}

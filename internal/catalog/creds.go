@@ -32,7 +32,7 @@ func (s *Service) TempCredentialForAsset(ctx Ctx, full string, level cloudsim.Ac
 	if err != nil {
 		return tc, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return tc, err
 	}
@@ -53,7 +53,7 @@ func (s *Service) TempCredentialForPath(ctx Ctx, path string, level cloudsim.Acc
 	if err != nil {
 		return tc, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return tc, err
 	}
@@ -118,11 +118,11 @@ func (s *Service) vend(ctx Ctx, r erm.Reader, e *erm.Entity, level cloudsim.Acce
 		if cred, ok := s.tokenCache.get(key, s.credTTL/2); ok {
 			s.audit.Append(audit.Record{Kind: audit.KindCredential, Metastore: ctx.Metastore,
 				Principal: string(ctx.Principal), Operation: "TempCredential", Securable: e.ID,
-				Allowed: true, ReadOnly: true, Detail: "cached"})
+				Allowed: true, ReadOnly: true, Detail: "cached", TraceID: ctx.Trace.TraceID()})
 			return TempCredential{Asset: e.ID, AssetName: e.FullName, Credential: cred, Level: level}, nil
 		}
 	}
-	cred, err := s.mint(e.StoragePath, level)
+	cred, err := s.mint(ctx.Trace, e.StoragePath, level)
 	if err != nil {
 		return tc, err
 	}
@@ -131,7 +131,7 @@ func (s *Service) vend(ctx Ctx, r erm.Reader, e *erm.Entity, level cloudsim.Acce
 	}
 	s.audit.Append(audit.Record{Kind: audit.KindCredential, Metastore: ctx.Metastore,
 		Principal: string(ctx.Principal), Operation: "TempCredential", Securable: e.ID,
-		Allowed: true, ReadOnly: true, Detail: "minted"})
+		Allowed: true, ReadOnly: true, Detail: "minted", TraceID: ctx.Trace.TraceID()})
 	return TempCredential{Asset: e.ID, AssetName: e.FullName, Credential: cred, Level: level}, nil
 }
 
@@ -142,13 +142,13 @@ func (s *Service) vendUnchecked(ctx Ctx, e *erm.Entity, level cloudsim.AccessLev
 	if e.StoragePath == "" {
 		return TempCredential{}, fmt.Errorf("%w: %s has no storage", ErrInvalidArgument, e.FullName)
 	}
-	cred, err := s.mint(e.StoragePath, level)
+	cred, err := s.mint(ctx.Trace, e.StoragePath, level)
 	if err != nil {
 		return TempCredential{}, err
 	}
 	s.audit.Append(audit.Record{Kind: audit.KindCredential, Metastore: ctx.Metastore,
 		Principal: string(ctx.Principal), Operation: "TempCredential", Securable: e.ID,
-		Allowed: true, ReadOnly: true, Detail: "via-view"})
+		Allowed: true, ReadOnly: true, Detail: "via-view", TraceID: ctx.Trace.TraceID()})
 	return TempCredential{Asset: e.ID, AssetName: e.FullName, Credential: cred, Level: level}, nil
 }
 
@@ -166,7 +166,7 @@ func (s *Service) OverlappingPaths(ctx Ctx, path string) ([]string, error) {
 // discovery services (paper §4.4): it answers, for a list of securables,
 // whether the principal may see each one, in a single call over one view.
 func (s *Service) AuthorizeBatch(ctx Ctx, assetIDs []ids.ID, priv privilege.Privilege) ([]bool, error) {
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}

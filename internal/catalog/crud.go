@@ -53,7 +53,7 @@ func (s *Service) CreateAsset(ctx Ctx, req CreateRequest) (e *erm.Entity, err er
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
 
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +129,7 @@ func (s *Service) CreateAsset(ctx Ctx, req CreateRequest) (e *erm.Entity, err er
 	}
 
 	group := groupFor(s.reg, req.Type)
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		// Name uniqueness within the group.
 		if _, exists := tx.Get(erm.TableName, erm.NameKey(group, parent.ID, req.Name)); exists {
 			return fmt.Errorf("%w: %s %q in %s", ErrAlreadyExists, req.Type, req.Name, parentLabel(parent))
@@ -218,7 +218,7 @@ func (s *Service) GetAsset(ctx Ctx, full string) (e *erm.Entity, err error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +268,7 @@ func (s *Service) ListAssets(ctx Ctx, parentFull string, t erm.SecurableType) (o
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +365,7 @@ func (s *Service) UpdateAsset(ctx Ctx, full string, req UpdateRequest) (e *erm.E
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
 
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -430,7 +430,7 @@ func (s *Service) UpdateAsset(ctx Ctx, full string, req UpdateRequest) (e *erm.E
 	}
 	updated.UpdatedAt = s.clk.Now()
 
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		if _, ok := erm.GetEntity(tx, e.ID); !ok {
 			return fmt.Errorf("%w: %s", ErrNotFound, full)
 		}
@@ -524,7 +524,7 @@ func (s *Service) RenameAsset(ctx Ctx, full, newName string) (e *erm.Entity, err
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -559,7 +559,7 @@ func (s *Service) RenameAsset(ctx Ctx, full, newName string) (e *erm.Entity, err
 	}
 	renamed.UpdatedAt = s.clk.Now()
 
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		if _, taken := tx.Get(erm.TableName, erm.NameKey(group, cur.ParentID, newName)); taken {
 			return fmt.Errorf("%w: %s %q", ErrAlreadyExists, cur.Type, newName)
 		}
@@ -594,7 +594,7 @@ func (s *Service) CloneTable(ctx Ctx, srcFull, dstSchemaFull, dstName string) (e
 		return nil, fmt.Errorf("%w: %s has no storage to clone", ErrInvalidArgument, srcFull)
 	}
 	// Data-read authority over the source is required to mint a clone.
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -635,7 +635,7 @@ func (s *Service) SetWorkspaceBindings(ctx Ctx, catalogName string, workspaces [
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return err
 	}
@@ -660,7 +660,7 @@ func (s *Service) SetWorkspaceBindings(ctx Ctx, catalogName string, workspaces [
 		return err
 	}
 	upd.UpdatedAt = s.clk.Now()
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		return erm.UpdateEntity(tx, upd)
 	})
 	if err != nil {

@@ -111,7 +111,7 @@ func (s *Service) extLocPathCredential(ctx Ctx, r erm.Reader, path string, level
 		return tc, err
 	}
 	// Down-scope to the requested path, not the whole location.
-	cred, err := s.mint(path, level)
+	cred, err := s.mint(ctx.Trace, path, level)
 	if err != nil {
 		return tc, err
 	}

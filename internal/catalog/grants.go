@@ -25,7 +25,7 @@ func (s *Service) Grant(ctx Ctx, full string, p privilege.Principal, priv privil
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return err
 	}
@@ -55,7 +55,7 @@ func (s *Service) Grant(ctx Ctx, full string, p privilege.Principal, priv privil
 	if err != nil {
 		return err
 	}
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Put(erm.TableGrant, erm.GrantKey(e.ID, p, priv), b)
 		return nil
 	})
@@ -78,7 +78,7 @@ func (s *Service) Revoke(ctx Ctx, full string, p privilege.Principal, priv privi
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return err
 	}
@@ -91,7 +91,7 @@ func (s *Service) Revoke(ctx Ctx, full string, p privilege.Principal, priv privi
 	if err := s.checkOwner(ctx, v, e.ID, "Revoke"); err != nil {
 		return err
 	}
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		key := erm.GrantKey(e.ID, p, priv)
 		if _, ok := tx.Get(erm.TableGrant, key); !ok {
 			return fmt.Errorf("%w: no such grant", ErrNotFound)
@@ -116,7 +116,7 @@ func (s *Service) GrantsOn(ctx Ctx, full string) (gs []privilege.Grant, err erro
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +138,7 @@ func (s *Service) EffectivePrivileges(ctx Ctx, full string) ([]privilege.Privile
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +164,7 @@ func (s *Service) SetTag(ctx Ctx, full, column, key, value string) (err error) {
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return err
 	}
@@ -180,7 +180,7 @@ func (s *Service) SetTag(ctx Ctx, full, column, key, value string) (err error) {
 	if column != "" {
 		tagKey = erm.ColumnTagKey(e.ID, column, key)
 	}
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Put(erm.TableTag, tagKey, []byte(value))
 		return nil
 	})
@@ -200,7 +200,7 @@ func (s *Service) UnsetTag(ctx Ctx, full, column, key string) (err error) {
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return err
 	}
@@ -216,7 +216,7 @@ func (s *Service) UnsetTag(ctx Ctx, full, column, key string) (err error) {
 	if column != "" {
 		tagKey = erm.ColumnTagKey(e.ID, column, key)
 	}
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		if _, ok := tx.Get(erm.TableTag, tagKey); !ok {
 			return fmt.Errorf("%w: tag %s", ErrNotFound, key)
 		}
@@ -236,7 +236,7 @@ func (s *Service) Tags(ctx Ctx, full string) (map[string]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +305,7 @@ func (s *Service) CreateABACRule(ctx Ctx, scopeFull string, rule privilege.ABACR
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return rule, err
 	}
@@ -327,7 +327,7 @@ func (s *Service) CreateABACRule(ctx Ctx, scopeFull string, rule privilege.ABACR
 	if err != nil {
 		return rule, err
 	}
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Put(erm.TableABAC, string(rule.ID), b)
 		return nil
 	})
@@ -347,7 +347,7 @@ func (s *Service) DeleteABACRule(ctx Ctx, ruleID ids.ID) (err error) {
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return err
 	}
@@ -363,7 +363,7 @@ func (s *Service) DeleteABACRule(ctx Ctx, ruleID ids.ID) (err error) {
 	if err := s.checkOwner(ctx, v, rule.Scope, "DeleteABACRule"); err != nil {
 		return err
 	}
-	_, err = s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Delete(erm.TableABAC, string(ruleID))
 		return nil
 	})
@@ -372,7 +372,7 @@ func (s *Service) DeleteABACRule(ctx Ctx, ruleID ids.ID) (err error) {
 
 // ABACRules lists all rules in the metastore.
 func (s *Service) ABACRules(ctx Ctx) ([]privilege.ABACRule, error) {
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}

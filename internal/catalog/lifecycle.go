@@ -26,7 +26,7 @@ func (s *Service) DeleteAsset(ctx Ctx, full string, force bool) (err error) {
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return err
 	}
@@ -42,7 +42,7 @@ func (s *Service) DeleteAsset(ctx Ctx, full string, force bool) (err error) {
 
 	now := s.clk.Now()
 	var deleted []*erm.Entity
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		deleted = deleted[:0]
 		return s.softDeleteTree(tx, e.ID, force, now, &deleted)
 	})
@@ -135,7 +135,7 @@ func (s *Service) RunGC(msID string) (GCResult, error) {
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
 
-	v, err := s.view(msID)
+	v, err := s.viewMS(msID)
 	if err != nil {
 		return res, err
 	}
@@ -203,7 +203,7 @@ func (s *Service) Undelete(ctx Ctx, id ids.ID) (e *erm.Entity, err error) {
 	}
 	ms.writeMu.Lock()
 	defer ms.writeMu.Unlock()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +215,7 @@ func (s *Service) Undelete(ctx Ctx, id ids.ID) (e *erm.Entity, err error) {
 	if cur.State != erm.StateSoftDeleted {
 		return nil, fmt.Errorf("%w: entity %s is not deleted", ErrInvalidArgument, id.Short())
 	}
-	vv, err := s.view(ctx.Metastore)
+	vv, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +230,7 @@ func (s *Service) Undelete(ctx Ctx, id ids.ID) (e *erm.Entity, err error) {
 	restored.State = erm.StateActive
 	restored.DeletedAt = nil
 	restored.UpdatedAt = s.clk.Now()
-	newV, err := s.cache.Update(ctx.Metastore, func(tx *store.Tx) error {
+	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		parent, ok := erm.GetEntity(tx, cur.ParentID)
 		if !ok || parent.State == erm.StateSoftDeleted {
 			return fmt.Errorf("%w: parent of %s is gone", ErrNotFound, cur.FullName)

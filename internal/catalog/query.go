@@ -30,7 +30,7 @@ type Filter struct {
 // principal may see.
 func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) {
 	defer func() { s.apiAudit(ctx, "QueryAssets", ids.Nil, true, err) }()
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +129,7 @@ func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) 
 // filtering. It exists for trusted second-tier services (search indexing,
 // discovery exports) that enforce access at query time via AuthorizeBatch.
 func (s *Service) AllEntities(msID string) []*erm.Entity {
-	v, err := s.view(msID)
+	v, err := s.viewMS(msID)
 	if err != nil {
 		return nil
 	}
@@ -152,7 +152,7 @@ func (s *Service) AllEntities(msID string) []*erm.Entity {
 // TagsByID returns entity- and column-level tags for an asset without
 // authorization (trusted second-tier use; callers filter results).
 func (s *Service) TagsByID(msID string, id ids.ID) (map[string]string, map[string]map[string]string) {
-	v, err := s.view(msID)
+	v, err := s.viewMS(msID)
 	if err != nil {
 		return nil, nil
 	}
@@ -163,7 +163,7 @@ func (s *Service) TagsByID(msID string, id ids.ID) (map[string]string, map[strin
 // TypeCounts tallies live entities per securable type across a metastore.
 // Used by the usage-statistics experiments.
 func (s *Service) TypeCounts(msID string) (map[erm.SecurableType]int, error) {
-	v, err := s.view(msID)
+	v, err := s.viewMS(msID)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +185,7 @@ func (s *Service) TypeCounts(msID string) (map[erm.SecurableType]int, error) {
 // WorkingSetBytes measures the serialized size of all metadata records of a
 // metastore — the per-metastore "working set" of Figure 4.
 func (s *Service) WorkingSetBytes(msID string) (int64, error) {
-	v, err := s.view(msID)
+	v, err := s.viewMS(msID)
 	if err != nil {
 		return 0, err
 	}

@@ -62,7 +62,7 @@ func (s *Service) Resolve(ctx Ctx, req ResolveRequest) (resp *ResolveResponse, e
 	if req.Access == "" {
 		req.Access = cloudsim.AccessRead
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"unitycatalog/internal/erm"
 	"unitycatalog/internal/events"
 	"unitycatalog/internal/ids"
+	"unitycatalog/internal/obs"
 	"unitycatalog/internal/pathtrie"
 	"unitycatalog/internal/privilege"
 	"unitycatalog/internal/retry"
@@ -168,11 +169,27 @@ func (s *Service) CacheDegraded() bool { return s.cache.Degraded() }
 
 // mint issues a down-scoped credential through the STS retry policy.
 // Throttled and transient mint failures are replayed with backoff; minting
-// is idempotent, so every fault class is safe to retry.
-func (s *Service) mint(scope string, level cloudsim.AccessLevel) (cloudsim.Credential, error) {
+// is idempotent, so every fault class is safe to retry. The request's trace
+// records the full retry-wrapped call as one "sts.mint" span.
+func (s *Service) mint(sc obs.SpanContext, scope string, level cloudsim.AccessLevel) (cloudsim.Credential, error) {
+	_, span := sc.StartDetail("sts.mint", scope)
+	defer span.End()
 	return retry.DoValue(s.stsRetry, retry.Retryable, func() (cloudsim.Credential, error) {
 		return s.cloud.Mint(scope, level, s.credTTL)
 	})
+}
+
+// RegisterMetrics registers every layer's metric families on r: store
+// commits and WAL, metadata cache, compiled-authz snapshots, audit
+// aggregates, and cloud-storage operations. Call once per registry.
+func (s *Service) RegisterMetrics(r *obs.Registry) {
+	s.db.RegisterMetrics(r)
+	s.cache.RegisterMetrics(r)
+	if s.authz != nil {
+		s.authz.RegisterMetrics(r)
+	}
+	s.audit.RegisterMetrics(r)
+	s.cloud.RegisterMetrics(r)
 }
 
 // DB exposes the backing metadata store for trusted collaborators (the
@@ -348,7 +365,7 @@ type versionedReader interface{ Version() uint64 }
 func (s *Service) authorizer(ctx Ctx, r erm.Reader) privilege.Authorizer {
 	if s.authz != nil {
 		if vr, ok := r.(versionedReader); ok {
-			snap := s.authz.Snapshot(ctx.Metastore, ctx.Principal, vr.Version(), s.groups)
+			snap := s.authz.SnapshotT(ctx.Trace, ctx.Metastore, ctx.Principal, vr.Version(), s.groups)
 			return snap.Bind(viewResolver{r}, viewGrants{r})
 		}
 	}
@@ -364,8 +381,15 @@ func (s *Service) AuthzMetrics() privilege.SnapshotCacheMetrics {
 	return s.authz.Metrics()
 }
 
-// view opens a cached read view for a metastore.
-func (s *Service) view(msID string) (*cache.View, error) {
+// view opens a cached read view for the request's metastore, scoped to its
+// trace: the view's cache misses and reconciliations appear as spans.
+func (s *Service) view(ctx Ctx) (*cache.View, error) {
+	return s.cache.NewViewT(ctx.Trace, ctx.Metastore)
+}
+
+// viewMS opens an untraced read view by metastore ID, for internal callers
+// that have no request context (background sweeps, trusted lookups).
+func (s *Service) viewMS(msID string) (*cache.View, error) {
 	return s.cache.NewView(msID)
 }
 
@@ -403,6 +427,7 @@ func (s *Service) check(ctx Ctx, r erm.Reader, priv privilege.Privilege, id ids.
 		s.audit.Append(audit.Record{
 			Kind: audit.KindAuthz, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
 			Operation: op, Securable: id, Allowed: false, ReadOnly: true, Detail: "workspace binding",
+			TraceID: ctx.Trace.TraceID(),
 		})
 		return err
 	}
@@ -416,6 +441,7 @@ func (s *Service) check(ctx Ctx, r erm.Reader, priv privilege.Privilege, id ids.
 	s.audit.Append(audit.Record{
 		Kind: audit.KindAuthz, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
 		Operation: op, Securable: id, Allowed: d.Allowed, ReadOnly: true, Detail: d.Reason,
+		TraceID: ctx.Trace.TraceID(),
 	})
 	if !d.Allowed {
 		return fmt.Errorf("%w: %s", ErrPermissionDenied, d.Reason)
@@ -429,6 +455,7 @@ func (s *Service) checkOwner(ctx Ctx, r erm.Reader, id ids.ID, op string) error 
 	s.audit.Append(audit.Record{
 		Kind: audit.KindAuthz, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
 		Operation: op, Securable: id, Allowed: ok, ReadOnly: true, Detail: "ownership",
+		TraceID: ctx.Trace.TraceID(),
 	})
 	if !ok {
 		return fmt.Errorf("%w: requires ownership or MANAGE", ErrPermissionDenied)
@@ -441,7 +468,7 @@ func (s *Service) apiAudit(ctx Ctx, op string, sec ids.ID, readOnly bool, err er
 	s.audit.Append(audit.Record{
 		Kind: audit.KindAPIRequest, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
 		Operation: op, Securable: sec, Allowed: err == nil, ReadOnly: readOnly,
-		Detail: errDetail(err),
+		Detail: errDetail(err), TraceID: ctx.Trace.TraceID(),
 	})
 }
 
@@ -535,7 +562,7 @@ func (s *Service) resolveEntity(r erm.Reader, ms *metaState, full string) (*erm.
 // GetEntityByID returns an entity by ID (no authorization; internal use and
 // trusted second-tier services).
 func (s *Service) GetEntityByID(msID string, id ids.ID) (*erm.Entity, error) {
-	v, err := s.view(msID)
+	v, err := s.viewMS(msID)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 
 	"unitycatalog/internal/erm"
 	"unitycatalog/internal/ids"
+	"unitycatalog/internal/obs"
 	"unitycatalog/internal/privilege"
 )
 
@@ -39,6 +40,9 @@ type Ctx struct {
 	// bindings (paper §3.2) are only accessible from bound workspaces.
 	// Empty means an unbound client, which cannot reach bound catalogs.
 	Workspace string
+	// Trace scopes this request's telemetry spans; the zero value records
+	// nothing. The HTTP server populates it from the request's trace.
+	Trace obs.SpanContext
 }
 
 // ErrWorkspaceBinding is returned when a catalog's workspace bindings

@@ -27,7 +27,7 @@ func (s *Service) volumeCred(ctx Ctx, volumeFull string, level cloudsim.AccessLe
 	if err != nil {
 		return TempCredential{}, nil, err
 	}
-	v, err := s.view(ctx.Metastore)
+	v, err := s.view(ctx)
 	if err != nil {
 		return TempCredential{}, nil, err
 	}

@@ -33,6 +33,7 @@ import (
 
 	"unitycatalog/internal/clock"
 	"unitycatalog/internal/faults"
+	"unitycatalog/internal/obs"
 )
 
 // Common errors.
@@ -435,6 +436,14 @@ func (s *Store) ServiceDeletePrefix(prefix string) int {
 // Stats reports operation counters (gets, puts, lists, deletes).
 func (s *Store) Stats() (gets, puts, lists, deletes int64) {
 	return s.gets.Load(), s.puts.Load(), s.lists.Load(), s.deletes.Load()
+}
+
+// RegisterMetrics exposes the object-store operation counters on r.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounterFunc("uc_cloud_gets_total", "Object-store get operations.", s.gets.Load)
+	r.RegisterCounterFunc("uc_cloud_puts_total", "Object-store put operations.", s.puts.Load)
+	r.RegisterCounterFunc("uc_cloud_lists_total", "Object-store list operations.", s.lists.Load)
+	r.RegisterCounterFunc("uc_cloud_deletes_total", "Object-store delete operations.", s.deletes.Load)
 }
 
 // TotalBytes returns the total stored bytes under prefix ("" for all).

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpans bounds the per-trace span buffer. Requests deeper than this keep
+// working; extra spans are counted in Dropped instead of recorded. 64 covers
+// the deepest real path in the stack (HTTP → catalog → authz → cache →
+// store → cloudsim) with a wide margin for fan-out.
+const maxSpans = 64
+
+// spanRec is one recorded span. Offsets are monotonic nanoseconds since the
+// trace began, so span math never touches the wall clock after Start.
+type spanRec struct {
+	name    string
+	detail  string
+	parent  int32 // index of parent span, -1 for root children
+	startNs int64
+	endNs   int64 // 0 while open
+}
+
+// Trace is one request's span collection. It is created by a Tracer, carried
+// through the stack as a SpanContext, and either retained (sampled or slow)
+// or recycled at Finish. All methods are safe for concurrent use by the
+// goroutines of one request.
+type Trace struct {
+	tracer *Tracer
+	begun  time.Time
+
+	// Lazy ID: a random 64-bit prefix fixed at Tracer construction plus a
+	// per-trace sequence number, formatted only when something actually
+	// needs the string (response header, audit record, retention).
+	seq    uint64
+	id     atomic.Pointer[string]
+	n      atomic.Int32 // spans used (may exceed maxSpans; clamp on read)
+	spans  [maxSpans]spanRec
+	capped atomic.Int64 // spans dropped past maxSpans
+}
+
+// ID formats and caches the trace ID (16 hex chars, stable per trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.id.Load(); p != nil {
+		return *p
+	}
+	s := fmt.Sprintf("%016x", t.tracer.idPrefix^t.seq)
+	t.id.CompareAndSwap(nil, &s)
+	return *t.id.Load()
+}
+
+// start reserves a span slot and returns its index, or -1 if the buffer is
+// full. One atomic add, no locks.
+func (t *Trace) start(name, detail string, parent int32) int32 {
+	i := t.n.Add(1) - 1
+	if i >= maxSpans {
+		t.capped.Add(1)
+		return -1
+	}
+	t.spans[i] = spanRec{name: name, detail: detail, parent: parent, startNs: int64(time.Since(t.begun))}
+	return i
+}
+
+func (t *Trace) end(i int32) {
+	if i >= 0 && i < maxSpans {
+		t.spans[i].endNs = int64(time.Since(t.begun))
+	}
+}
+
+// SpanContext is the value threaded through the stack: which trace (if any)
+// and which span is the current parent. The zero value is a no-op — every
+// instrumentation site works unconditionally, costing one nil check when
+// tracing is off.
+type SpanContext struct {
+	tr     *Trace
+	parent int32
+}
+
+// Active reports whether a trace is attached.
+func (sc SpanContext) Active() bool { return sc.tr != nil }
+
+// TraceID returns the trace's ID, or "" when no trace is attached.
+func (sc SpanContext) TraceID() string { return sc.tr.ID() }
+
+// Span is an open span handle; call End when the operation completes.
+type Span struct {
+	tr *Trace
+	i  int32
+}
+
+// Start opens a child span. The returned SpanContext parents subsequent
+// spans under the new one; the Span must be End()ed.
+func (sc SpanContext) Start(name string) (SpanContext, Span) {
+	return sc.StartDetail(name, "")
+}
+
+// StartDetail opens a child span with a free-form detail (a table name, a
+// batch size). detail must already be a string — build it only when
+// sc.Active() to keep the disabled path allocation-free.
+func (sc SpanContext) StartDetail(name, detail string) (SpanContext, Span) {
+	if sc.tr == nil {
+		return sc, Span{}
+	}
+	i := sc.tr.start(name, detail, sc.parent)
+	if i < 0 {
+		return sc, Span{}
+	}
+	return SpanContext{tr: sc.tr, parent: i}, Span{tr: sc.tr, i: i}
+}
+
+// End closes the span. Safe on the zero Span.
+func (s Span) End() {
+	if s.tr != nil {
+		s.tr.end(s.i)
+	}
+}
+
+// SetDetail replaces the span's detail after the fact (e.g. a batch size
+// known only at completion). Safe on the zero Span.
+func (s Span) SetDetail(detail string) {
+	if s.tr != nil && s.i >= 0 && s.i < maxSpans {
+		s.tr.spans[s.i].detail = detail
+	}
+}
+
+// Tracer creates, samples, and retains traces. Retention policy: a trace is
+// kept if it was probabilistically selected (1 in SampleEvery) OR its total
+// duration reached SlowThreshold. Spans are recorded for every started
+// trace — retention is decided at Finish — so a slow outlier always has its
+// full span tree. The cost of that choice ("enabled but unsampled") is the
+// overhead number bench/obs.go measures.
+type Tracer struct {
+	// SampleEvery retains roughly 1 in N finished traces. 0 disables
+	// probabilistic retention.
+	SampleEvery int
+	// SlowThreshold retains any trace at least this slow. 0 disables.
+	SlowThreshold time.Duration
+	// Keep bounds the retained-trace ring buffer (default 32).
+	Keep int
+
+	idPrefix uint64
+	seq      atomic.Uint64
+	pool     sync.Pool
+
+	mu     sync.Mutex
+	recent []*TraceSummary // ring, newest at highest index mod Keep
+	total  uint64          // traces finished (for ring ordering)
+}
+
+// NewTracer builds a tracer with the given retention policy.
+func NewTracer(sampleEvery int, slowThreshold time.Duration) *Tracer {
+	t := &Tracer{SampleEvery: sampleEvery, SlowThreshold: slowThreshold, Keep: 32}
+	t.idPrefix = rand.Uint64() | 1 // non-zero so IDs are never all zeros
+	t.pool.New = func() any { return &Trace{} }
+	return t
+}
+
+// StartTrace begins a new trace rooted at now.
+func (tr *Tracer) StartTrace() *Trace {
+	t := tr.pool.Get().(*Trace)
+	t.tracer = tr
+	t.begun = time.Now()
+	t.seq = tr.seq.Add(1)
+	t.id.Store(nil)
+	t.n.Store(0)
+	t.capped.Store(0)
+	return t
+}
+
+// Root returns the SpanContext parenting top-level spans of t.
+func (tr *Tracer) Root(t *Trace) SpanContext { return SpanContext{tr: t, parent: -1} }
+
+// SpanView is the JSON shape of one span in a retained trace.
+type SpanView struct {
+	Name     string     `json:"name"`
+	Detail   string     `json:"detail,omitempty"`
+	StartUs  float64    `json:"start_us"`
+	Duration float64    `json:"duration_us"`
+	Children []SpanView `json:"children,omitempty"`
+}
+
+// TraceSummary is one retained trace, ready for /debug/traces.
+type TraceSummary struct {
+	ID       string     `json:"trace_id"`
+	Began    time.Time  `json:"began"`
+	Duration float64    `json:"duration_ms"`
+	Slow     bool       `json:"slow"`
+	Dropped  int64      `json:"dropped_spans,omitempty"`
+	Op       string     `json:"op,omitempty"`
+	Spans    []SpanView `json:"spans"`
+}
+
+// Finish closes the trace, decides retention, and recycles the Trace when it
+// is not retained. The *Trace must not be used after Finish. op labels the
+// retained summary (e.g. "GET /api/.../tables").
+func (tr *Tracer) Finish(t *Trace, op string) {
+	took := time.Since(t.begun)
+	slow := tr.SlowThreshold > 0 && took >= tr.SlowThreshold
+	sampled := tr.SampleEvery > 0 && t.seq%uint64(tr.SampleEvery) == 0
+	if !slow && !sampled {
+		tr.pool.Put(t)
+		return
+	}
+	sum := &TraceSummary{
+		ID:       t.ID(),
+		Began:    t.begun,
+		Duration: float64(took) / 1e6,
+		Slow:     slow,
+		Dropped:  t.capped.Load(),
+		Op:       op,
+		Spans:    t.tree(),
+	}
+	tr.mu.Lock()
+	keep := tr.Keep
+	if keep <= 0 {
+		keep = 32
+	}
+	if len(tr.recent) < keep {
+		tr.recent = append(tr.recent, sum)
+	} else {
+		tr.recent[tr.total%uint64(keep)] = sum
+	}
+	tr.total++
+	tr.mu.Unlock()
+	// Retained traces are not pooled: their span strings are referenced by
+	// the summary-building loop above only by copy, but recycling here would
+	// save little and risks racing a late Span.End from a leaked goroutine.
+}
+
+// tree assembles the parent-indexed span array into nested SpanViews.
+func (t *Trace) tree() []SpanView {
+	n := int(t.n.Load())
+	if n > maxSpans {
+		n = maxSpans
+	}
+	views := make([]SpanView, n)
+	for i := 0; i < n; i++ {
+		s := &t.spans[i]
+		end := s.endNs
+		if end == 0 {
+			end = s.startNs
+		}
+		views[i] = SpanView{
+			Name:     s.name,
+			Detail:   s.detail,
+			StartUs:  float64(s.startNs) / 1e3,
+			Duration: float64(end-s.startNs) / 1e3,
+		}
+	}
+	var roots []SpanView
+	// Children appear after parents (slot order is start order), so walking
+	// backwards attaches grandchildren before their parent is lifted.
+	for i := n - 1; i >= 0; i-- {
+		p := t.spans[i].parent
+		if p >= 0 && int(p) < n {
+			views[p].Children = append([]SpanView{views[i]}, views[p].Children...)
+		} else {
+			roots = append([]SpanView{views[i]}, roots...)
+		}
+	}
+	return roots
+}
+
+// Recent returns retained traces, newest first.
+func (tr *Tracer) Recent() []*TraceSummary {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*TraceSummary, 0, len(tr.recent))
+	keep := tr.Keep
+	if keep <= 0 {
+		keep = 32
+	}
+	for i := 0; i < len(tr.recent); i++ {
+		idx := (tr.total - 1 - uint64(i)) % uint64(keep)
+		if int(idx) < len(tr.recent) && tr.recent[idx] != nil {
+			out = append(out, tr.recent[idx])
+		}
+	}
+	return out
+}
+
+// WriteRecentJSON writes the retained traces as a JSON array.
+func (tr *Tracer) WriteRecentJSON(w interface{ Write([]byte) (int, error) }) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr.Recent())
+}
+
+// --- context.Context plumbing for the HTTP layer ---
+
+type ctxKey struct{}
+
+// ContextWithSpan attaches sc to ctx.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext extracts the SpanContext (zero value when absent).
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

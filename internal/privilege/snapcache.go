@@ -3,8 +3,9 @@ package privilege
 import (
 	"hash/maphash"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"unitycatalog/internal/obs"
 )
 
 // SnapshotCache keeps compiled Snapshots across requests, keyed by
@@ -78,13 +79,13 @@ type SnapshotCache struct {
 	shards [snapShardCount]snapShard
 	now    func() time.Time // test hook
 
-	hits          atomic.Int64
-	misses        atomic.Int64
-	builds        atomic.Int64
-	invalidations atomic.Int64
-	expirations   atomic.Int64
-	evictions     atomic.Int64
-	entries       atomic.Int64
+	hits          obs.Counter
+	misses        obs.Counter
+	builds        obs.Counter
+	invalidations obs.Counter
+	expirations   obs.Counter
+	evictions     obs.Counter
+	entries       obs.Gauge
 }
 
 // NewSnapshotCache builds an empty cache.
@@ -120,6 +121,13 @@ func (c *SnapshotCache) shardFor(k snapKey) *snapShard {
 // snapshot is compiled for the caller without being stored, so slow readers
 // can never roll the cache backwards.
 func (c *SnapshotCache) Snapshot(scope string, p Principal, version uint64, groups GroupResolver) *Snapshot {
+	return c.SnapshotT(obs.SpanContext{}, scope, p, version, groups)
+}
+
+// SnapshotT is Snapshot with a trace context: a cache miss records an
+// "authz.build" span covering the snapshot compilation (group-closure
+// expansion). Hits record nothing — they are the per-decision hot path.
+func (c *SnapshotCache) SnapshotT(sc obs.SpanContext, scope string, p Principal, version uint64, groups GroupResolver) *Snapshot {
 	key := snapKey{scope: scope, principal: p}
 	sh := c.shardFor(key)
 	now := c.now()
@@ -146,7 +154,9 @@ func (c *SnapshotCache) Snapshot(scope string, p Principal, version uint64, grou
 
 	// Compile outside the shard lock: group resolution may be slow, and
 	// holding the lock would serialize unrelated principals on this shard.
+	_, buildSpan := sc.StartDetail("authz.build", string(p))
 	snap := NewSnapshot(p, groups)
+	buildSpan.End()
 	c.builds.Add(1)
 	if stale {
 		return snap
@@ -193,6 +203,18 @@ func (c *SnapshotCache) evictLocked(sh *snapShard, keep snapKey) {
 		c.entries.Add(-1)
 		c.evictions.Add(1)
 	}
+}
+
+// RegisterMetrics exposes the snapshot-cache counters on r. Call once per
+// registry per cache.
+func (c *SnapshotCache) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("uc_authz_snapshot_hits_total", "Compiled-snapshot cache hits.", &c.hits)
+	r.RegisterCounter("uc_authz_snapshot_misses_total", "Compiled-snapshot cache misses.", &c.misses)
+	r.RegisterCounter("uc_authz_snapshot_builds_total", "Snapshot compilations (incl. transient).", &c.builds)
+	r.RegisterCounter("uc_authz_snapshot_invalidations_total", "Misses caused by version-keyed invalidation.", &c.invalidations)
+	r.RegisterCounter("uc_authz_snapshot_expirations_total", "Misses caused by the group-closure TTL.", &c.expirations)
+	r.RegisterCounter("uc_authz_snapshot_evictions_total", "Snapshots evicted by the LRU cap.", &c.evictions)
+	r.RegisterGauge("uc_authz_snapshot_entries", "Cached compiled snapshots.", &c.entries)
 }
 
 // Metrics returns a copy of the counters.

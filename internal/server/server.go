@@ -30,6 +30,7 @@ import (
 	"unitycatalog/internal/ids"
 	"unitycatalog/internal/lineage"
 	"unitycatalog/internal/mlregistry"
+	"unitycatalog/internal/obs"
 	"unitycatalog/internal/privilege"
 	"unitycatalog/internal/retry"
 	"unitycatalog/internal/search"
@@ -52,6 +53,15 @@ type Server struct {
 	// partitioned front end; injected faults become 429/503/504 responses.
 	injector atomic.Pointer[faults.Injector]
 
+	// Telemetry (see telemetry.go): each server owns a tracer, a metrics
+	// registry covering every layer beneath it, and per-route HTTP families.
+	cfg         Config
+	tracer      *obs.Tracer
+	metrics     *obs.Registry
+	httpReqs    *obs.CounterVec
+	httpSeconds *obs.HistogramVec
+	logMu       sync.Mutex
+
 	mux  *http.ServeMux
 	once sync.Once
 }
@@ -61,9 +71,13 @@ type Server struct {
 // run.
 func (s *Server) SetFaults(inj *faults.Injector) { s.injector.Store(inj) }
 
-// New assembles a Server with all subsystems attached.
-func New(svc *catalog.Service) *Server {
-	return &Server{
+// New assembles a Server with all subsystems attached and default
+// telemetry settings.
+func New(svc *catalog.Service) *Server { return NewWithConfig(svc, Config{}) }
+
+// NewWithConfig assembles a Server with explicit telemetry settings.
+func NewWithConfig(svc *catalog.Service, cfg Config) *Server {
+	s := &Server{
 		Service:  svc,
 		Sharing:  sharing.NewServer(svc),
 		Lineage:  lineage.New(svc),
@@ -71,6 +85,8 @@ func New(svc *catalog.Service) *Server {
 		Registry: mlregistry.New(svc),
 		trusted:  map[privilege.Principal]bool{},
 	}
+	s.initTelemetry(cfg)
+	return s
 }
 
 // TrustEngine registers a machine identity as a trusted engine.
@@ -86,7 +102,7 @@ func (s *Server) isTrusted(p privilege.Principal) bool {
 	return s.trusted[p]
 }
 
-// ctx extracts the request identity.
+// ctx extracts the request identity and the request's trace context.
 func (s *Server) ctx(r *http.Request) catalog.Ctx {
 	p := privilege.Principal(strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer "))
 	return catalog.Ctx{
@@ -94,19 +110,20 @@ func (s *Server) ctx(r *http.Request) catalog.Ctx {
 		Metastore:     r.Header.Get("X-UC-Metastore"),
 		Workspace:     r.Header.Get("X-UC-Workspace"),
 		TrustedEngine: s.isTrusted(p),
+		Trace:         obs.SpanFromContext(r.Context()),
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Operational endpoints (/healthz,
+// /metrics, /debug/*) bypass fault injection and telemetry; everything
+// else is traced and measured (telemetry.go).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.once.Do(s.buildMux)
-	if r.URL.Path != "/healthz" {
-		if err := s.injector.Load().Check("http."+r.Method, r.URL.Path); err != nil {
-			writeErr(w, err)
-			return
-		}
+	if opsPath(r.URL.Path) {
+		s.mux.ServeHTTP(w, r)
+		return
 	}
-	s.mux.ServeHTTP(w, r)
+	s.serveTraced(w, r)
 }
 
 const apiPrefix = "/api/2.1/unity-catalog"
@@ -174,20 +191,29 @@ func (s *Server) buildMux() {
 	// --- operational ---
 	m.HandleFunc("GET "+apiPrefix+"/stats", s.handleStats)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mountOps(m)
 }
 
-// handleHealthz reports liveness plus the cache's degradation state. A
-// degraded node still answers 200 — it is alive and serving bounded-stale
-// data — with the detail in the body for monitors to alert on.
+// handleHealthz reports liveness plus per-subsystem degradation. A degraded
+// node still answers 200 — it is alive and serving bounded-stale data —
+// with the detail in the body for monitors to alert on. The shape is
+// stable: status, degraded.{cache,wal}, and wal/cache/authz sections.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	walErr := s.Service.DB().WALErr()
+	cacheDegraded := s.Service.CacheDegraded()
 	status := "ok"
-	if s.Service.CacheDegraded() {
+	if cacheDegraded || walErr != nil {
 		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": status,
-		"cache":  s.Service.CacheHealth(),
-		"authz":  s.Service.AuthzMetrics(),
+		"degraded": map[string]bool{
+			"cache": cacheDegraded,
+			"wal":   walErr != nil,
+		},
+		"wal":   s.Service.DB().WALStats(),
+		"cache": s.Service.CacheHealth(),
+		"authz": s.Service.AuthzMetrics(),
 	})
 }
 
@@ -205,6 +231,11 @@ type errorBody struct {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
+	// Hand the underlying error to the access log (telemetry.go) so 5xx
+	// lines can say what actually failed, not just the status code.
+	if sw, ok := w.(*statusWriter); ok {
+		sw.err = err
+	}
 	// Injected infrastructure faults map to the statuses a real overloaded
 	// or partitioned deployment would return, with Retry-After telling
 	// well-behaved clients how long to back off.

@@ -1,0 +1,169 @@
+// Telemetry front end: per-request tracing, the unified metrics registry,
+// and the operational HTTP surface (/metrics, /debug/traces, /debug/pprof).
+//
+// Every API request runs inside a trace. The server stamps the trace ID
+// into the X-UC-Trace-Id response header and into the request context, so
+// the catalog layers underneath record their spans (store commit phases,
+// cache misses, authz snapshot builds, STS mints) against the same trace,
+// and audit records carry the same ID. Traces are retained by sampling
+// (every Nth) plus an always-on slow threshold, so /debug/traces shows
+// where a slow request actually spent its time without paying for span
+// retention on the fast path.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"unitycatalog/internal/obs"
+)
+
+// Config tunes the server's telemetry. The zero value selects production
+// defaults; New uses it.
+type Config struct {
+	// SampleEvery retains every Nth trace for /debug/traces (default 64;
+	// negative disables sampling, leaving only slow-trace retention).
+	SampleEvery int
+	// SlowThreshold always retains traces at least this slow (default
+	// 100ms; negative disables).
+	SlowThreshold time.Duration
+	// AccessLog emits one structured line per API request (method, path,
+	// status, duration, principal, trace ID, and the underlying error on
+	// 5xx responses) to AccessLogWriter.
+	AccessLog bool
+	// AccessLogWriter receives access-log lines (default os.Stderr).
+	AccessLogWriter io.Writer
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// initTelemetry assembles the registry, tracer, and HTTP metric families.
+// Called from NewWithConfig, before any request is served.
+func (s *Server) initTelemetry(cfg Config) {
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 64
+	} else if cfg.SampleEvery < 0 {
+		cfg.SampleEvery = 0
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = 100 * time.Millisecond
+	} else if cfg.SlowThreshold < 0 {
+		cfg.SlowThreshold = 0
+	}
+	if cfg.AccessLogWriter == nil {
+		cfg.AccessLogWriter = os.Stderr
+	}
+	s.cfg = cfg
+	s.tracer = obs.NewTracer(cfg.SampleEvery, cfg.SlowThreshold)
+	s.metrics = obs.NewRegistry()
+	s.Service.RegisterMetrics(s.metrics)
+	s.httpReqs = obs.NewCounterVec("route", "code")
+	s.httpSeconds = obs.NewHistogramVec(obs.LatencyBuckets(), 1e-9, "route")
+	s.metrics.RegisterCounterVec("uc_http_requests_total", "API requests by route and status code.", s.httpReqs)
+	s.metrics.RegisterHistogramVec("uc_http_request_seconds", "API request latency by route.", s.httpSeconds)
+}
+
+// Metrics exposes the server's registry (for embedding hosts and tests).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer exposes the server's tracer (for embedding hosts and tests).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// opsPath reports whether p is an operational endpoint that bypasses
+// tracing, metrics, and fault injection: /healthz stays reachable during a
+// chaos run, and the telemetry surface must not observe itself.
+func opsPath(p string) bool {
+	return p == "/healthz" || p == "/metrics" || strings.HasPrefix(p, "/debug/")
+}
+
+// statusWriter captures the response status and, via writeErr, the
+// underlying error, so the access log can report what a 5xx actually was.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	err    error
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// serveTraced is the request path for API endpoints: start a trace, expose
+// its ID, dispatch (or fail with an injected fault), then record metrics,
+// the access log line, and trace retention.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
+	t := s.tracer.StartTrace()
+	sc := s.tracer.Root(t)
+	w.Header().Set("X-UC-Trace-Id", t.ID())
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	r = r.WithContext(obs.ContextWithSpan(r.Context(), sc))
+
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+
+	start := time.Now()
+	if err := s.injector.Load().Check("http."+r.Method, r.URL.Path); err != nil {
+		writeErr(sw, err)
+	} else {
+		s.mux.ServeHTTP(sw, r)
+	}
+	took := time.Since(start)
+
+	s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
+	s.httpSeconds.With(route).ObserveDuration(took)
+	if s.cfg.AccessLog {
+		s.writeAccessLog(r, sw, took, t.ID())
+	}
+	s.tracer.Finish(t, r.Method+" "+r.URL.Path)
+}
+
+// writeAccessLog emits one structured logfmt line for the request.
+func (s *Server) writeAccessLog(r *http.Request, sw *statusWriter, took time.Duration, traceID string) {
+	principal := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	var b strings.Builder
+	fmt.Fprintf(&b, "time=%s method=%s path=%s status=%d duration=%s principal=%q trace=%s",
+		time.Now().UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path,
+		sw.status, took, principal, traceID)
+	if sw.status >= 500 && sw.err != nil {
+		fmt.Fprintf(&b, " error=%q", sw.err.Error())
+	}
+	b.WriteByte('\n')
+	s.logMu.Lock()
+	s.cfg.AccessLogWriter.Write([]byte(b.String()))
+	s.logMu.Unlock()
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// handleDebugTraces serves recently retained traces (sampled or slow) as a
+// JSON array, newest first, each with its span tree.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.tracer.WriteRecentJSON(w)
+}
+
+// mountOps registers the operational endpoints on m.
+func (s *Server) mountOps(m *http.ServeMux) {
+	m.HandleFunc("GET /metrics", s.handleMetrics)
+	m.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	if s.cfg.Pprof {
+		m.HandleFunc("/debug/pprof/", pprof.Index)
+		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"unitycatalog/internal/faults"
+	"unitycatalog/internal/obs"
 )
 
 // Common errors.
@@ -171,6 +172,13 @@ type DB struct {
 	// the cache layer's tests use it to verify miss coalescing.
 	reads atomic.Int64
 
+	// commits/conflicts count Update outcomes; commitNs distributes
+	// end-to-end commit latency (sequence through apply). Exposed on
+	// /metrics via RegisterMetrics.
+	commits   obs.Counter
+	conflicts obs.Counter
+	commitNs  *obs.Histogram
+
 	// injector is the active fault injector; swapped atomically so tests
 	// can install or clear schedules while operations are in flight.
 	injector atomic.Pointer[faults.Injector]
@@ -195,7 +203,7 @@ func Open(opts Options) (*DB, error) {
 	if opts.MaxVersionsPerRecord == 0 {
 		opts.MaxVersionsPerRecord = defaultMaxVersions
 	}
-	db := &DB{opts: opts, stores: map[string]*metastore{}}
+	db := &DB{opts: opts, stores: map[string]*metastore{}, commitNs: obs.NewLatencyHistogram()}
 	if opts.Faults != nil {
 		db.injector.Store(opts.Faults)
 	}
@@ -236,6 +244,55 @@ func (db *DB) WALStats() WALStats {
 		return WALStats{}
 	}
 	return db.wal.stats()
+}
+
+// WALErr returns the WAL's sticky failure, if the write path has been
+// poisoned by an I/O error; nil when healthy or when no WAL is configured.
+func (db *DB) WALErr() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.err()
+}
+
+// CommitStats is a point-in-time readout of the commit path.
+type CommitStats struct {
+	Commits   int64                 `json:"commits"`
+	Conflicts int64                 `json:"conflicts"`
+	LatencyNs obs.HistogramSnapshot `json:"latency_ns"`
+}
+
+// CommitStats snapshots commit counters and latency quantiles.
+func (db *DB) CommitStats() CommitStats {
+	return CommitStats{
+		Commits:   db.commits.Load(),
+		Conflicts: db.conflicts.Load(),
+		LatencyNs: db.commitNs.Snapshot(),
+	}
+}
+
+// RegisterMetrics exposes the store's counters and histograms on r. Call
+// once per registry per DB.
+func (db *DB) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("uc_store_commits_total", "Committed write transactions.", &db.commits)
+	r.RegisterCounter("uc_store_commit_conflicts_total", "Commits rejected by version CAS.", &db.conflicts)
+	r.RegisterHistogram("uc_store_commit_seconds", "End-to-end commit latency (sequence through apply).", db.commitNs)
+	r.RegisterCounterFunc("uc_store_reads_total", "Snapshot point reads and scans served.", db.ReadCount)
+	if db.wal == nil {
+		return
+	}
+	r.RegisterCounter("uc_store_wal_batches_total", "Group-commit batches written.", &db.wal.batches)
+	r.RegisterCounter("uc_store_wal_entries_total", "WAL entries across all batches.", &db.wal.entries)
+	r.RegisterCounter("uc_store_wal_syncs_total", "fsync calls issued by the WAL writer.", &db.wal.syncs)
+	r.RegisterGauge("uc_store_wal_max_batch", "Largest group-commit batch observed.", &db.wal.maxBatch)
+	r.RegisterHistogram("uc_store_wal_batch_size", "Entries per group-commit batch.", db.wal.batchSizes)
+	r.RegisterHistogram("uc_store_wal_fsync_seconds", "Latency of WAL fsync calls.", db.wal.fsyncNs)
+	r.RegisterGaugeFunc("uc_store_wal_failed", "1 when the WAL write path is poisoned by an I/O error.", func() float64 {
+		if db.wal.err() != nil {
+			return 1
+		}
+		return 0
+	})
 }
 
 func (db *DB) metastore(id string) (*metastore, error) {
@@ -640,14 +697,25 @@ func (tx *Tx) Scan(table, prefix string) []KV {
 // On success it returns the new metastore version. If fn returns an error,
 // nothing is applied.
 func (db *DB) Update(msID string, fn func(tx *Tx) error) (uint64, error) {
-	return db.update(msID, nil, fn)
+	return db.update(obs.SpanContext{}, msID, nil, fn)
+}
+
+// UpdateT is Update with a trace context: the commit records a
+// "store.commit" span with sequence/wal/apply phase children.
+func (db *DB) UpdateT(sc obs.SpanContext, msID string, fn func(tx *Tx) error) (uint64, error) {
+	return db.update(sc, msID, nil, fn)
 }
 
 // UpdateCAS is Update conditioned on the metastore version still being
 // expected at commit time; otherwise it returns ErrVersionMismatch without
 // running fn. This implements the optimistic write protocol the cache uses.
 func (db *DB) UpdateCAS(msID string, expected uint64, fn func(tx *Tx) error) (uint64, error) {
-	return db.update(msID, &expected, fn)
+	return db.update(obs.SpanContext{}, msID, &expected, fn)
+}
+
+// UpdateCAST is UpdateCAS with a trace context.
+func (db *DB) UpdateCAST(sc obs.SpanContext, msID string, expected uint64, fn func(tx *Tx) error) (uint64, error) {
+	return db.update(sc, msID, &expected, fn)
 }
 
 // update is the group-commit write path. It runs in four stages:
@@ -666,7 +734,7 @@ func (db *DB) UpdateCAS(msID string, expected uint64, fn func(tx *Tx) error) (ui
 //
 // A WAL failure fails this commit and poisons the write path (see wal.go);
 // the pending entry is dropped and the visible version never reaches newV.
-func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint64, error) {
+func (db *DB) update(sc obs.SpanContext, msID string, expected *uint64, fn func(tx *Tx) error) (uint64, error) {
 	// Fault check before any transaction state exists, modeling a failed
 	// connection: a faulted commit never partially applies.
 	if err := db.fault("db.commit", msID); err != nil {
@@ -682,20 +750,29 @@ func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint
 		return 0, err
 	}
 
+	t0 := time.Now()
+	sc, commitSpan := sc.StartDetail("store.commit", msID)
+	defer commitSpan.End()
+
 	// Stage 1: sequence.
+	_, seqSpan := sc.Start("store.sequence")
 	ms.mu.Lock()
 	base := ms.nextV
 	if expected != nil && base != *expected {
 		ms.mu.Unlock()
+		seqSpan.End()
+		db.conflicts.Inc()
 		return base, fmt.Errorf("%w: have %d, expected %d", ErrVersionMismatch, base, *expected)
 	}
 	tx := &Tx{db: db, ms: ms, base: base, writes: map[string]map[string]*txWrite{}}
 	if err := fn(tx); err != nil {
 		ms.mu.Unlock()
+		seqSpan.End()
 		return base, err
 	}
 	if len(tx.ordered) == 0 {
 		ms.mu.Unlock()
+		seqSpan.End()
 		return base, nil // read-only transaction: no version bump
 	}
 	newV := base + 1
@@ -710,13 +787,18 @@ func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint
 		if err := db.wal.submit(req); err != nil {
 			ms.dropPending(newV)
 			ms.mu.Unlock()
+			seqSpan.End()
 			return base, err
 		}
 	}
 	ms.mu.Unlock()
+	seqSpan.End()
 
-	// Stage 2: encode off every lock, then await the batch ack.
+	// Stage 2: encode off every lock, then await the batch ack. The
+	// "store.wal" span covers enqueue→fsync: it opened when the request
+	// entered the queue (sequencing) and closes at the batch ack.
 	if req != nil {
+		_, walSpan := sc.Start("store.wal")
 		entry := walEntry{Op: "commit", Metastore: msID, Version: newV}
 		entry.Writes = make([]walWrite, 0, len(tx.ordered))
 		for _, c := range tx.ordered {
@@ -726,6 +808,7 @@ func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint
 		req.enc, req.encErr = json.Marshal(entry)
 		close(req.ready)
 		<-req.done
+		walSpan.End()
 		if req.err != nil {
 			ms.dropPending(newV)
 			return base, req.err
@@ -733,6 +816,11 @@ func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint
 	} else {
 		db.simulateCommit() // own round trip, overlapping with other commits
 	}
+
+	// Stages 3+4 share one "store.apply" span: waiting for our turn in the
+	// apply turnstile plus installing the writes.
+	_, applySpan := sc.Start("store.apply")
+	defer applySpan.End()
 
 	// Stage 3: await our turn. Acked predecessors always apply (a WAL
 	// failure fails every later commit too, so we only wait on successes).
@@ -780,6 +868,8 @@ func (db *DB) update(msID string, expected *uint64, fn func(tx *Tx) error) (uint
 	ms.applied = newV
 	ms.applyCond.Broadcast()
 	ms.applyMu.Unlock()
+	db.commits.Inc()
+	db.commitNs.ObserveDuration(time.Since(t0))
 	return newV, nil
 }
 

@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"unitycatalog/internal/obs"
 )
 
 // SyncPolicy selects when the WAL writer calls fsync.
@@ -142,10 +144,14 @@ type walWriter struct {
 
 	sticky atomic.Pointer[walFailure]
 
-	batches  atomic.Int64
-	entries  atomic.Int64
-	syncs    atomic.Int64
-	maxBatch atomic.Int64
+	batches  obs.Counter
+	entries  obs.Counter
+	syncs    obs.Counter
+	maxBatch obs.Gauge
+	// batchSizes distributes entries-per-batch; fsyncNs distributes the
+	// latency of each fsync call. Both feed /metrics via RegisterMetrics.
+	batchSizes *obs.Histogram
+	fsyncNs    *obs.Histogram
 
 	// testInjectErr, when non-nil, fails the next batch before any byte is
 	// written — the unit tests' stand-in for a disk error.
@@ -154,12 +160,14 @@ type walWriter struct {
 
 func newWALWriter(f *os.File, policy SyncPolicy, latency time.Duration) *walWriter {
 	w := &walWriter{
-		f:       f,
-		bw:      bufio.NewWriterSize(f, 1<<20),
-		policy:  policy,
-		latency: latency,
-		ch:      make(chan *walReq, 4096),
-		quit:    make(chan struct{}),
+		f:          f,
+		bw:         bufio.NewWriterSize(f, 1<<20),
+		policy:     policy,
+		latency:    latency,
+		ch:         make(chan *walReq, 4096),
+		quit:       make(chan struct{}),
+		batchSizes: obs.NewHistogram(obs.SizeBuckets(), 1),
+		fsyncNs:    obs.NewLatencyHistogram(),
 	}
 	go w.run()
 	return w
@@ -232,11 +240,10 @@ func (w *walWriter) commitBatch(batch []*walReq) {
 	if err == nil && w.latency > 0 {
 		time.Sleep(w.latency)
 	}
-	w.batches.Add(1)
+	w.batches.Inc()
 	w.entries.Add(int64(len(batch)))
-	if n := int64(len(batch)); n > w.maxBatch.Load() {
-		w.maxBatch.Store(n) // single writer goroutine: load/store is safe
-	}
+	w.batchSizes.Observe(int64(len(batch)))
+	w.maxBatch.SetMax(int64(len(batch)))
 	for _, r := range batch {
 		r.err = err
 		close(r.done)
@@ -259,21 +266,31 @@ func (w *walWriter) writeBatch(batch []*walReq) error {
 			if err := w.bw.Flush(); err != nil {
 				return err
 			}
-			if err := w.f.Sync(); err != nil {
+			if err := w.sync(); err != nil {
 				return err
 			}
-			w.syncs.Add(1)
 		}
 	}
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
 	if w.policy == SyncBatch {
-		if err := w.f.Sync(); err != nil {
+		if err := w.sync(); err != nil {
 			return err
 		}
-		w.syncs.Add(1)
 	}
+	return nil
+}
+
+// sync fsyncs the WAL file, timing the call into the fsync histogram.
+func (w *walWriter) sync() error {
+	t0 := time.Now()
+	err := w.f.Sync()
+	w.fsyncNs.ObserveDuration(time.Since(t0))
+	if err != nil {
+		return err
+	}
+	w.syncs.Inc()
 	return nil
 }
 

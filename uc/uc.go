@@ -22,6 +22,7 @@ package uc
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -126,6 +127,22 @@ type Config struct {
 	DisableCache bool
 	// CredentialTTL bounds vended temporary credentials (default 15m).
 	CredentialTTL time.Duration
+
+	// --- telemetry (see internal/server.Config) ---
+
+	// AccessLog emits one structured line per API request to
+	// AccessLogWriter (default os.Stderr); 5xx lines include the error.
+	AccessLog bool
+	// AccessLogWriter receives access-log lines.
+	AccessLogWriter io.Writer
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// TraceSampleEvery retains every Nth trace for /debug/traces
+	// (default 64; negative disables sampling).
+	TraceSampleEvery int
+	// TraceSlowThreshold always retains traces at least this slow
+	// (default 100ms; negative disables).
+	TraceSlowThreshold time.Duration
 }
 
 // Catalog is the assembled Unity Catalog stack.
@@ -168,7 +185,13 @@ func Open(cfg Config) (*Catalog, error) {
 		Cloud:   svc.Cloud(),
 		db:      db,
 	}
-	c.srv = server.New(svc)
+	c.srv = server.NewWithConfig(svc, server.Config{
+		SampleEvery:     cfg.TraceSampleEvery,
+		SlowThreshold:   cfg.TraceSlowThreshold,
+		AccessLog:       cfg.AccessLog,
+		AccessLogWriter: cfg.AccessLogWriter,
+		Pprof:           cfg.Pprof,
+	})
 	c.Search = c.srv.Search
 	c.Lineage = c.srv.Lineage
 	c.Sharing = c.srv.Sharing
