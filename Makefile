@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs
+.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs bench-scale
 
 test:
 	$(GO) build ./...
@@ -56,3 +56,9 @@ bench-authz:
 # allocs/op per cell.
 bench-obs:
 	$(GO) run ./cmd/ucbench -exp obs -out BENCH_obs.json
+
+# Catalog-cardinality grid (100k/1M/10M assets, ordered-index vs full-scan
+# ablation; populate throughput, heap per asset, list/page/tag p50/p99);
+# emits BENCH_scale.json. Full scale populates 10M assets — expect minutes.
+bench-scale:
+	$(GO) run ./cmd/ucbench -exp scale -out BENCH_scale.json

@@ -76,8 +76,15 @@ func main() {
 			}
 			header, rows = bench.ObsCellRows(grid)
 			cells, n = grid, len(grid)
+		case "scale":
+			grid, err := bench.RunScaleGrid(*quick)
+			if err != nil {
+				log.Fatalf("scale: %v", err)
+			}
+			header, rows = bench.ScaleCellRows(grid)
+			cells, n = grid, len(grid)
 		default:
-			log.Fatalf("-out is only supported with -exp authz or -exp obs")
+			log.Fatalf("-out is only supported with -exp authz, obs, or scale")
 		}
 		rep := report{
 			Generated:  time.Now().UTC().Format(time.RFC3339),

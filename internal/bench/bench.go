@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"groupcommit", "Commit throughput: group-commit WAL + pipelined commits", GroupCommitExperiment},
 		{"authz", "Authorization fast path: compiled snapshots vs reference engine", AuthzExperiment},
 		{"obs", "Instrumentation overhead: request tracing on vs off", ObsExperiment},
+		{"scale", "Catalog cardinality: ordered indexes + keyset pagination at scale", ScaleExperiment},
 	}
 }
 

@@ -1,0 +1,327 @@
+package bench
+
+// Catalog-cardinality grid: populate a metastore to N assets (100k / 1M /
+// 10M full scale) through batched direct store commits, then measure the
+// read paths the ordered secondary indexes are supposed to keep O(result
+// size): listing a small (100-child) schema, fetching one keyset page out
+// of a large schema, and querying by tag through the inverted index. Each
+// scale runs twice — "indexed" (the default B+tree-backed store) and
+// "fullscan" (store.Options.NoOrderedIndex, the pre-index ablation whose
+// every range scan walks the whole table map). The fullscan arm is skipped
+// at 10M where a single full-scan listing would take longer than the whole
+// indexed grid. Shared by the `scale` experiment (human-readable table)
+// and `make bench-scale`, which emits BENCH_scale.json.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/store"
+)
+
+// ScaleCell is one measured cell of the cardinality grid.
+type ScaleCell struct {
+	// Assets is the total asset count populated into the metastore.
+	Assets int `json:"assets"`
+	// Mode is "indexed" (ordered B+tree indexes) or "fullscan"
+	// (NoOrderedIndex ablation: range scans walk the full table map).
+	Mode string `json:"mode"`
+	// Populate throughput via batched direct store commits.
+	PopulateSecs float64 `json:"populate_secs"`
+	AssetsPerSec float64 `json:"assets_per_sec"`
+	// HeapMB is live heap after populate + GC; BytesPerAsset divides it.
+	HeapMB        float64 `json:"heap_mb"`
+	BytesPerAsset float64 `json:"bytes_per_asset"`
+	// List: full paged walk of a 100-child schema.
+	ListOps   int     `json:"list_ops"`
+	ListP50us float64 `json:"list_p50_us"`
+	ListP99us float64 `json:"list_p99_us"`
+	// Page: one 100-row keyset continuation page out of a large schema
+	// (re-opens the pinned snapshot from the cursor each op).
+	PageP50us float64 `json:"page_p50_us"`
+	PageP99us float64 `json:"page_p99_us"`
+	// Tag: first page of a query-by-tag over the inverted tag index
+	// (1000 tagged assets regardless of scale).
+	TagP50us float64 `json:"tag_p50_us"`
+	TagP99us float64 `json:"tag_p99_us"`
+}
+
+// scaleTagged is how many assets carry the benchmark tag, independent of
+// scale: tag-query cost must track result size, not catalog size.
+const scaleTagged = 1000
+
+// scaleLayout fixes the namespace shape for a given total asset count.
+type scaleLayout struct {
+	total     int // total assets (tables) to populate
+	hotSize   int // children of the "hot" schema (the listing target)
+	bigSize   int // children of the "big" schema (the paging target)
+	chunkSize int // filler schema size / commit batch size
+}
+
+func newScaleLayout(total int, quick bool) scaleLayout {
+	l := scaleLayout{total: total, hotSize: 100, bigSize: 10_000, chunkSize: 10_000}
+	if quick {
+		l.bigSize, l.chunkSize = 2_000, 2_000
+	}
+	return l
+}
+
+// populateScale fills the metastore with l.total table entities using
+// batched direct store commits (one commit per chunk), the same key layout
+// PutEntity writes: entity record + name index + child index. The first
+// scaleTagged tables of the "big" schema carry the pii tag in both the
+// forward tag table and the inverted index.
+func populateScale(db *store.DB, svc *catalog.Service, ctx catalog.Ctx, l scaleLayout) error {
+	if _, err := svc.CreateCatalog(ctx, "cat", ""); err != nil {
+		return err
+	}
+	now := time.Now().UTC()
+
+	// One schema per chunk keeps schema fan-out realistic (10k-child
+	// schemas) and gives the paging measurement a big schema to walk.
+	fill := func(schema string, n int, tagged int) error {
+		parent, err := svc.CreateSchema(ctx, "cat", schema, "")
+		if err != nil {
+			return err
+		}
+		for off := 0; off < n; off += l.chunkSize {
+			lo, hi := off, off+l.chunkSize
+			if hi > n {
+				hi = n
+			}
+			_, err := db.Update(ctx.Metastore, func(tx *store.Tx) error {
+				for i := lo; i < hi; i++ {
+					e := &erm.Entity{
+						ID:        ids.New(),
+						Type:      erm.TypeTable,
+						Name:      fmt.Sprintf("t%07d", i),
+						ParentID:  parent.ID,
+						FullName:  fmt.Sprintf("cat.%s.t%07d", schema, i),
+						Owner:     "admin",
+						State:     erm.StateActive,
+						CreatedAt: now,
+						UpdatedAt: now,
+					}
+					if err := erm.PutEntity(tx, e, relationGroupName); err != nil {
+						return err
+					}
+					if i < tagged {
+						tx.Put(erm.TableTag, erm.TagKey(e.ID, "pii"), []byte("high"))
+						tx.Put(erm.TableTagIdx, erm.TagIdxKey("pii", e.ID, ""), []byte("high"))
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := fill("hot", l.hotSize, 0); err != nil {
+		return err
+	}
+	if err := fill("big", l.bigSize, scaleTagged); err != nil {
+		return err
+	}
+	remaining := l.total - l.hotSize - l.bigSize
+	for i := 0; remaining > 0; i++ {
+		n := l.chunkSize
+		if n > remaining {
+			n = remaining
+		}
+		if err := fill(fmt.Sprintf("s%04d", i), n, 0); err != nil {
+			return err
+		}
+		remaining -= n
+	}
+	return nil
+}
+
+// relationGroupName mirrors the catalog layer's shared TABLE/VIEW
+// name-uniqueness group (catalog.relationGroup is unexported).
+const relationGroupName = "RELATION"
+
+// measureScaleOp runs fn ops times and returns p50/p99 in microseconds.
+func measureScaleOp(ops int, fn func() error) (p50, p99 float64, err error) {
+	lat := make([]float64, 0, ops)
+	for i := 0; i < ops; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		lat = append(lat, float64(time.Since(start).Nanoseconds())/1e3)
+	}
+	sort.Float64s(lat)
+	return percentile(lat, 50), percentile(lat, 99), nil
+}
+
+// runScaleCell populates one (assets, mode) cell and measures its read ops.
+func runScaleCell(total int, fullScan, quick bool) (ScaleCell, error) {
+	mode := "indexed"
+	if fullScan {
+		mode = "fullscan"
+	}
+	cell := ScaleCell{Assets: total, Mode: mode}
+
+	db, err := store.Open(store.Options{NoOrderedIndex: fullScan})
+	if err != nil {
+		return cell, err
+	}
+	defer db.Close()
+	svc, err := catalog.New(catalog.Config{DB: db})
+	if err != nil {
+		return cell, err
+	}
+	if _, err := svc.CreateMetastore("m", "m", "region-1", "admin", ""); err != nil {
+		return cell, err
+	}
+	ctx := catalog.Ctx{Principal: "admin", Metastore: "m", TrustedEngine: true}
+
+	l := newScaleLayout(total, quick)
+	start := time.Now()
+	if err := populateScale(db, svc, ctx, l); err != nil {
+		return cell, fmt.Errorf("populate %d/%s: %w", total, mode, err)
+	}
+	cell.PopulateSecs = time.Since(start).Seconds()
+	cell.AssetsPerSec = float64(total) / cell.PopulateSecs
+
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	cell.HeapMB = float64(ms.HeapAlloc) / (1 << 20)
+	cell.BytesPerAsset = float64(ms.HeapAlloc) / float64(total)
+
+	// Full scans at large N are slow by design; fewer reps still give a
+	// stable p50 (the op is deterministic, dominated by the map walk).
+	listOps, pageOps, tagOps := 300, 300, 200
+	if fullScan {
+		listOps, pageOps, tagOps = 30, 30, 50
+	}
+	if quick {
+		listOps, pageOps, tagOps = 50, 50, 30
+	}
+	cell.ListOps = listOps
+
+	// List: walk the 100-child hot schema to exhaustion (one page).
+	cell.ListP50us, cell.ListP99us, err = measureScaleOp(listOps, func() error {
+		p, err := svc.ListAssetsPage(ctx, "cat.hot", erm.TypeTable, l.hotSize, "")
+		if err != nil {
+			return err
+		}
+		if len(p.Assets) != l.hotSize {
+			return fmt.Errorf("hot listing returned %d assets, want %d", len(p.Assets), l.hotSize)
+		}
+		return nil
+	})
+	if err != nil {
+		return cell, err
+	}
+
+	// Page: steady-state keyset continuation — fetch the second 100-row
+	// page of the big schema from a fixed cursor, re-opening the pinned
+	// snapshot each op exactly as an HTTP continuation would.
+	first, err := svc.ListAssetsPage(ctx, "cat.big", erm.TypeTable, 100, "")
+	if err != nil {
+		return cell, err
+	}
+	if first.NextPageToken == "" {
+		return cell, fmt.Errorf("big schema produced no continuation token")
+	}
+	cell.PageP50us, cell.PageP99us, err = measureScaleOp(pageOps, func() error {
+		p, err := svc.ListAssetsPage(ctx, "cat.big", erm.TypeTable, 100, first.NextPageToken)
+		if err != nil {
+			return err
+		}
+		if len(p.Assets) != 100 {
+			return fmt.Errorf("continuation page returned %d assets, want 100", len(p.Assets))
+		}
+		return nil
+	})
+	if err != nil {
+		return cell, err
+	}
+
+	// Tag: first 100-row page of the inverted-index tag query.
+	cell.TagP50us, cell.TagP99us, err = measureScaleOp(tagOps, func() error {
+		p, err := svc.QueryAssetsPage(ctx, catalog.Filter{TagKey: "pii", MaxResults: 100})
+		if err != nil {
+			return err
+		}
+		if len(p.Assets) != 100 {
+			return fmt.Errorf("tag page returned %d assets, want 100", len(p.Assets))
+		}
+		return nil
+	})
+	return cell, err
+}
+
+// RunScaleGrid measures every (assets, mode) cell. Quick shrinks the asset
+// counts for CI; full scale runs 100k/1M/10M indexed and 100k/1M fullscan.
+func RunScaleGrid(quick bool) ([]ScaleCell, error) {
+	type arm struct {
+		assets   int
+		fullScan bool
+	}
+	arms := []arm{
+		{100_000, false}, {100_000, true},
+		{1_000_000, false}, {1_000_000, true},
+		{10_000_000, false}, // fullscan skipped: one scan op walks 10M keys
+	}
+	if quick {
+		arms = []arm{{20_000, false}, {20_000, true}, {60_000, false}}
+	}
+	var cells []ScaleCell
+	for _, a := range arms {
+		c, err := runScaleCell(a.assets, a.fullScan, quick)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
+// ScaleExperiment renders the grid with the indexed-vs-fullscan speedup.
+func ScaleExperiment(o Options) (*Table, error) {
+	cells, err := RunScaleGrid(o.Quick)
+	if err != nil {
+		return nil, err
+	}
+	base := map[int]ScaleCell{}
+	for _, c := range cells {
+		if c.Mode == "fullscan" {
+			base[c.Assets] = c
+		}
+	}
+	t := &Table{
+		ID:     "scale",
+		Title:  "Catalog cardinality: ordered indexes + keyset pagination at scale",
+		Paper:  "metastores reach millions of assets (§6.1); listings and queries must cost O(result size), not O(catalog size)",
+		Header: []string{"assets", "mode", "pop/s", "heap MB", "B/asset", "list p50us", "list p99us", "page p99us", "tag p99us", "list speedup"},
+	}
+	var findings []string
+	for _, c := range cells {
+		speed := "-"
+		if c.Mode == "indexed" {
+			if b, ok := base[c.Assets]; ok && c.ListP99us > 0 {
+				x := b.ListP99us / c.ListP99us
+				speed = fmt.Sprintf("%.0fx", x)
+				findings = append(findings, fmt.Sprintf("%dk: %.0fx", c.Assets/1000, x))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fi(c.Assets), c.Mode, fmt.Sprintf("%.0f", c.AssetsPerSec),
+			f(c.HeapMB), f(c.BytesPerAsset),
+			f(c.ListP50us), f(c.ListP99us), f(c.PageP99us), f(c.TagP99us), speed,
+		})
+	}
+	t.Finding = "indexed vs fullscan list p99: " + joinStrings(findings, ", ")
+	return t, nil
+}

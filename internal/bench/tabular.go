@@ -77,3 +77,18 @@ func ObsCellRows(cells []ObsCell) ([]string, [][]string) {
 	}
 	return header, rows
 }
+
+// ScaleCellRows shapes the catalog-cardinality grid for WriteAligned.
+func ScaleCellRows(cells []ScaleCell) ([]string, [][]string) {
+	header := []string{"assets", "mode", "pop_s", "assets/s", "heap_mb", "b/asset",
+		"list_p50us", "list_p99us", "page_p50us", "page_p99us", "tag_p50us", "tag_p99us"}
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			fi(c.Assets), c.Mode, f(c.PopulateSecs), fmt.Sprintf("%.0f", c.AssetsPerSec),
+			f(c.HeapMB), f(c.BytesPerAsset),
+			f(c.ListP50us), f(c.ListP99us), f(c.PageP50us), f(c.PageP99us), f(c.TagP50us), f(c.TagP99us),
+		})
+	}
+	return header, rows
+}

@@ -864,6 +864,47 @@ func (v *View) Scan(table, prefix string) []store.KV {
 	return copyKVs(f.kvs)
 }
 
+// ScanRange returns up to limit live pairs with start <= key < end (end ""
+// means unbounded, limit 0 means no limit) as of the view's version. Range
+// results are cursor-dependent and rarely repeat exactly, so they bypass the
+// scan cache and read from a DB snapshot pinned at the view's version — the
+// store serves them from its ordered index in O(log n + result).
+func (v *View) ScanRange(table, start, end string, limit int) []store.KV {
+	if v.snap != nil { // cache disabled
+		return v.snap.ScanRange(table, start, end, limit)
+	}
+	if !v.pinned() {
+		v.pinOnMiss()
+	}
+	_, span := v.sc.StartDetail("cache.rangescan", table)
+	defer span.End()
+	snap, err := v.c.db.SnapshotAt(v.msID, v.Version())
+	if err != nil {
+		v.c.noteDBError(v.m, err)
+		v.setErr(err)
+		return nil
+	}
+	defer snap.Close()
+	kvs := snap.ScanRange(table, start, end, limit)
+	v.c.noteDBSuccess(v.m)
+	return kvs
+}
+
+// GetBatch resolves keys through the view's Get path (cache hits included),
+// returning a slice aligned with keys; missing keys yield nil.
+func (v *View) GetBatch(table string, keys []string) [][]byte {
+	if v.snap != nil { // cache disabled
+		return v.snap.GetBatch(table, keys)
+	}
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		if b, ok := v.Get(table, k); ok {
+			out[i] = b
+		}
+	}
+	return out
+}
+
 // degradedScan is the outage fallback for Scan: serve the cached scan
 // result whatever its version, within the staleness bound.
 func (v *View) degradedScan(sh *shard, sk string) ([]store.KV, bool) {

@@ -263,7 +263,8 @@ func (s *Service) authorizeReadWith(ctx Ctx, auth privilege.Authorizer, r erm.Re
 // principal is allowed to see (owners always see their assets). An empty
 // type lists all children.
 func (s *Service) ListAssets(ctx Ctx, parentFull string, t erm.SecurableType) (out []*erm.Entity, err error) {
-	defer func() { s.apiAudit(ctx, "ListAssets", ids.Nil, true, err) }()
+	var parent *erm.Entity
+	defer func() { s.apiAudit(ctx, "ListAssets", entityID(parent), true, err) }()
 	ms, err := s.meta(ctx.Metastore)
 	if err != nil {
 		return nil, err
@@ -273,7 +274,6 @@ func (s *Service) ListAssets(ctx Ctx, parentFull string, t erm.SecurableType) (o
 		return nil, err
 	}
 	defer v.Close()
-	var parent *erm.Entity
 	if parentFull == "" {
 		var ok bool
 		parent, ok = erm.GetEntity(v, ms.info.EntityID)

@@ -154,7 +154,8 @@ func (s *Service) EffectivePrivileges(ctx Ctx, full string) ([]privilege.Privile
 
 // SetTag sets an entity-level tag (column == "") or a column tag.
 func (s *Service) SetTag(ctx Ctx, full, column, key, value string) (err error) {
-	defer func() { s.apiAudit(ctx, "SetTag", ids.Nil, false, err) }()
+	var tagged *erm.Entity
+	defer func() { s.apiAudit(ctx, "SetTag", entityID(tagged), false, err) }()
 	if key == "" {
 		return fmt.Errorf("%w: empty tag key", ErrInvalidArgument)
 	}
@@ -176,12 +177,14 @@ func (s *Service) SetTag(ctx Ctx, full, column, key, value string) (err error) {
 	if err := s.checkOwner(ctx, v, e.ID, "SetTag"); err != nil {
 		return err
 	}
+	tagged = e
 	tagKey := erm.TagKey(e.ID, key)
 	if column != "" {
 		tagKey = erm.ColumnTagKey(e.ID, column, key)
 	}
 	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Put(erm.TableTag, tagKey, []byte(value))
+		tx.Put(erm.TableTagIdx, erm.TagIdxKey(key, e.ID, column), []byte(value))
 		return nil
 	})
 	if err != nil {
@@ -193,7 +196,8 @@ func (s *Service) SetTag(ctx Ctx, full, column, key, value string) (err error) {
 
 // UnsetTag removes a tag.
 func (s *Service) UnsetTag(ctx Ctx, full, column, key string) (err error) {
-	defer func() { s.apiAudit(ctx, "UnsetTag", ids.Nil, false, err) }()
+	var tagged *erm.Entity
+	defer func() { s.apiAudit(ctx, "UnsetTag", entityID(tagged), false, err) }()
 	ms, err := s.meta(ctx.Metastore)
 	if err != nil {
 		return err
@@ -212,6 +216,7 @@ func (s *Service) UnsetTag(ctx Ctx, full, column, key string) (err error) {
 	if err := s.checkOwner(ctx, v, e.ID, "UnsetTag"); err != nil {
 		return err
 	}
+	tagged = e
 	tagKey := erm.TagKey(e.ID, key)
 	if column != "" {
 		tagKey = erm.ColumnTagKey(e.ID, column, key)
@@ -221,6 +226,7 @@ func (s *Service) UnsetTag(ctx Ctx, full, column, key string) (err error) {
 			return fmt.Errorf("%w: tag %s", ErrNotFound, key)
 		}
 		tx.Delete(erm.TableTag, tagKey)
+		tx.Delete(erm.TableTagIdx, erm.TagIdxKey(key, e.ID, column))
 		return nil
 	})
 	if err != nil {

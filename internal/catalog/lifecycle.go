@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"unitycatalog/internal/erm"
@@ -145,20 +146,18 @@ func (s *Service) RunGC(msID string) (GCResult, error) {
 	}
 	var victims []victim
 	for _, kv := range v.Scan(erm.TableEntity, "") {
-		var e erm.Entity
-		if err := decodeJSON(kv.Value, &e); err != nil {
+		e, err := erm.DecodeEntity(kv.Value)
+		if err != nil {
 			continue
 		}
 		if e.State == erm.StateSoftDeleted && e.DeletedAt != nil && e.DeletedAt.Before(cutoff) {
-			ec := e
-			victims = append(victims, victim{e: &ec})
+			victims = append(victims, victim{e: e})
 			continue
 		}
 		// Orphan check: a live entity whose parent record is gone.
 		if e.ParentID != ids.Nil {
 			if _, ok := erm.GetEntity(v, e.ParentID); !ok {
-				ec := e
-				victims = append(victims, victim{e: &ec})
+				victims = append(victims, victim{e: e})
 			}
 		}
 	}
@@ -174,6 +173,18 @@ func (s *Service) RunGC(msID string) (GCResult, error) {
 			erm.DeleteEntity(tx, e, group)
 			for _, kv := range tx.Scan(erm.TableTag, erm.TagPrefix(e.ID)) {
 				tx.Delete(erm.TableTag, kv.Key)
+				// Mirror the delete into the inverted index, whose keys
+				// lead with the tag key rather than the securable.
+				rest := strings.TrimPrefix(kv.Key, string(e.ID)+"\x00")
+				column := ""
+				if col, ok := strings.CutPrefix(rest, "col\x00"); ok {
+					colName, tagKey, found := strings.Cut(col, "\x00")
+					if !found {
+						continue
+					}
+					column, rest = colName, tagKey
+				}
+				tx.Delete(erm.TableTagIdx, erm.TagIdxKey(rest, e.ID, column))
 			}
 			for _, kv := range tx.Scan(erm.TableGrant, erm.GrantPrefix(e.ID)) {
 				tx.Delete(erm.TableGrant, kv.Key)

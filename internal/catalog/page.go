@@ -1,0 +1,490 @@
+package catalog
+
+// Keyset pagination for listings and metadata queries (the tentpole of the
+// catalog-cardinality work). A page token pins the snapshot version and the
+// last index key consumed; a continuation reopens a store snapshot at that
+// version and resumes the range scan after the key, so every page is
+//
+//   - O(log n + page) against the store's ordered indexes, never O(catalog);
+//   - consistent: all pages of one cursor observe the same snapshot version,
+//     so concurrent writers cause neither duplicates nor gaps;
+//   - authorized per page: the principal's compiled privilege snapshot is
+//     keyed by the pinned version, so visibility filtering streams with the
+//     scan instead of materializing the full result first.
+//
+// Page order is index order — (type, id) for child listings, key order for
+// the other indexes — not the name order of the unpaged APIs; stable cursors
+// require iterating exactly the way the index does. Tokens are opaque
+// base64url(JSON). Continuations read history the store retains
+// (MaxVersionsPerRecord beyond live snapshots); a cursor held across heavy
+// rewrites of the same keys may observe pruned history and should be
+// restarted, like any long-lived database cursor.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/store"
+)
+
+// maxPageSize caps maxResults; larger requests are clamped, matching the
+// behavior of public catalog APIs.
+const maxPageSize = 1000
+
+// Page is one page of a keyset-paginated listing or query. An empty
+// NextPageToken means the result set is exhausted.
+type Page struct {
+	Assets        []*erm.Entity
+	NextPageToken string
+}
+
+// pageCursor is the decoded page token.
+type pageCursor struct {
+	V  uint64 `json:"v"`            // pinned snapshot version
+	S  string `json:"s"`            // plan tag; the continuation must select the same plan
+	K  string `json:"k"`            // last index key consumed
+	K2 string `json:"k2,omitempty"` // inner key for nested walks (catalog scope)
+	G  int    `json:"g,omitempty"`  // stage for multi-stage walks
+}
+
+func encodeCursor(c pageCursor) string {
+	b, _ := json.Marshal(c)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+func decodeCursor(tok string) (*pageCursor, error) {
+	b, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return nil, fmt.Errorf("%w: malformed page token", ErrInvalidArgument)
+	}
+	var c pageCursor
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("%w: malformed page token", ErrInvalidArgument)
+	}
+	return &c, nil
+}
+
+// pagedReader is what a page executes against: versioned (to key the
+// compiled-authz cache and the cursor), range-capable, batch-capable.
+type pagedReader interface {
+	erm.RangeReader
+	erm.BatchReader
+	Version() uint64
+}
+
+// snapReader adapts a pinned store snapshot to pagedReader. Snapshot carries
+// its version as a field; the method shadows it for the interface.
+type snapReader struct{ *store.Snapshot }
+
+func (r snapReader) Version() uint64 { return r.Snapshot.Version }
+
+// pageReader opens the reader for one page: a fresh cache view for the first
+// page (pinning at the latest version), or a store snapshot at the cursor's
+// version for continuations — cache views cannot rewind, but the store can.
+func (s *Service) pageReader(ctx Ctx, cur *pageCursor) (pagedReader, func(), error) {
+	if cur == nil {
+		v, err := s.view(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return v, v.Close, nil
+	}
+	snap, err := s.db.SnapshotAt(ctx.Metastore, cur.V)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: stale page token: %v", ErrInvalidArgument, err)
+	}
+	return snapReader{snap}, snap.Close, nil
+}
+
+func clampPageSize(n int) int {
+	if n <= 0 || n > maxPageSize {
+		return maxPageSize
+	}
+	return n
+}
+
+// decodeAligned batch-reads entity records for ids, aligned with the input
+// (nil where missing or undecodable).
+func decodeAligned(r pagedReader, keys []string) []*erm.Entity {
+	out := make([]*erm.Entity, len(keys))
+	for i, b := range r.GetBatch(erm.TableEntity, keys) {
+		if b == nil {
+			continue
+		}
+		if e, err := erm.DecodeEntity(b); err == nil {
+			out[i] = e
+		}
+	}
+	return out
+}
+
+// pageCollector accumulates one page while tracking the last index key
+// consumed, which becomes the continuation point. stage/outer carry the
+// extra cursor state of nested (catalog-scope) walks.
+type pageCollector struct {
+	out     []*erm.Entity
+	lastKey string
+	limit   int
+	stage   int
+	outer   string
+}
+
+func (p *pageCollector) full() bool { return len(p.out) >= p.limit }
+
+// ListAssetsPage lists the children of parentFull having the given type in
+// child-index order — (type, id) — returning at most maxResults visible
+// assets and a token to continue from. It is the paginated sibling of
+// ListAssets: same authorization, different order, bounded cost per call.
+func (s *Service) ListAssetsPage(ctx Ctx, parentFull string, t erm.SecurableType, maxResults int, pageToken string) (page *Page, err error) {
+	var parent *erm.Entity
+	defer func() { s.apiAudit(ctx, "ListAssets", entityID(parent), true, err) }()
+	ms, err := s.meta(ctx.Metastore)
+	if err != nil {
+		return nil, err
+	}
+	var cur *pageCursor
+	if pageToken != "" {
+		if cur, err = decodeCursor(pageToken); err != nil {
+			return nil, err
+		}
+		if cur.S != "list" {
+			return nil, fmt.Errorf("%w: page token from a different request", ErrInvalidArgument)
+		}
+	}
+	r, release, err := s.pageReader(ctx, cur)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	if parentFull == "" {
+		var ok bool
+		parent, ok = erm.GetEntity(r, ms.info.EntityID)
+		if !ok {
+			return nil, fmt.Errorf("%w: metastore entity", ErrNotFound)
+		}
+	} else {
+		parent, err = s.resolveEntity(r, ms, parentFull)
+		if err != nil {
+			return nil, err
+		}
+		// Listing inside a container requires its usage privilege — checked
+		// on every page, against the page's pinned version.
+		if err := s.authorizeRead(ctx, r, parent); err != nil {
+			return nil, err
+		}
+	}
+	auth := s.authorizer(ctx, r)
+
+	prefix := erm.ChildPrefix(parent.ID, t)
+	end := store.PrefixEnd(prefix)
+	start := prefix
+	if cur != nil {
+		start = cur.K + "\x00"
+	}
+	pc := &pageCollector{limit: clampPageSize(maxResults)}
+	for !pc.full() {
+		batch := r.ScanRange(erm.TableChild, start, end, pc.limit-len(pc.out))
+		if len(batch) == 0 {
+			break
+		}
+		keys := make([]string, len(batch))
+		for i, kv := range batch {
+			keys[i] = string(kv.Value)
+		}
+		ents := decodeAligned(r, keys)
+		for i, kv := range batch {
+			pc.lastKey = kv.Key
+			e := ents[i]
+			if e == nil || e.State == erm.StateSoftDeleted || !s.visible(ctx, auth, r, e) {
+				continue
+			}
+			pc.out = append(pc.out, e)
+			if pc.full() {
+				break
+			}
+		}
+		start = pc.lastKey + "\x00"
+	}
+
+	page = &Page{Assets: pc.out}
+	if pc.lastKey != "" && len(r.ScanRange(erm.TableChild, pc.lastKey+"\x00", end, 1)) > 0 {
+		page.NextPageToken = encodeCursor(pageCursor{V: r.Version(), S: "list", K: pc.lastKey})
+	}
+	return page, nil
+}
+
+// queryPlan selects the index a paged query runs over. Deterministic in the
+// filter, so continuations recompute the same plan.
+func queryPlan(f Filter) string {
+	switch {
+	case f.CatalogName != "" && f.SchemaName != "" && f.NamePrefix != "" && f.Type != "":
+		return "name" // name-index range within the schema
+	case f.CatalogName != "" && f.SchemaName != "":
+		return "child" // schema scope: one child range
+	case f.CatalogName != "":
+		return "cat" // catalog scope: schema-by-schema child ranges
+	case f.TagKey != "":
+		return "tag" // inverted tag index
+	default:
+		return "scan" // entity-table range
+	}
+}
+
+// QueryAssetsPage evaluates the filter with keyset pagination, returning at
+// most f.MaxResults entities per call in index order plus a continuation
+// token in f.PageToken's format. The plan pushes the most selective filter
+// into an ordered index range; residual predicates and per-entity visibility
+// stream over the scan.
+func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (page *Page, err error) {
+	var scope *erm.Entity
+	defer func() { s.apiAudit(ctx, "QueryAssets", entityID(scope), true, err) }()
+	plan := queryPlan(f)
+	var cur *pageCursor
+	if f.PageToken != "" {
+		if cur, err = decodeCursor(f.PageToken); err != nil {
+			return nil, err
+		}
+		if cur.S != plan {
+			return nil, fmt.Errorf("%w: page token from a different query", ErrInvalidArgument)
+		}
+	}
+	r, release, err := s.pageReader(ctx, cur)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	auth := s.authorizer(ctx, r)
+	pc := &pageCollector{limit: clampPageSize(f.MaxResults)}
+
+	// admit applies residual filters and visibility; returns true when the
+	// page is full.
+	admit := func(key string, e *erm.Entity) bool {
+		pc.lastKey = key
+		if e != nil && matchesFilter(r, f, e) && s.visible(ctx, auth, r, e) {
+			pc.out = append(pc.out, e)
+		}
+		return pc.full()
+	}
+	// walkIDRange pages an index whose values are entity IDs.
+	walkIDRange := func(table, start, end string) (more bool) {
+		for !pc.full() {
+			batch := r.ScanRange(table, start, end, pc.limit-len(pc.out))
+			if len(batch) == 0 {
+				return false
+			}
+			keys := make([]string, len(batch))
+			for i, kv := range batch {
+				keys[i] = string(kv.Value)
+			}
+			ents := decodeAligned(r, keys)
+			for i, kv := range batch {
+				if admit(kv.Key, ents[i]) {
+					break
+				}
+			}
+			start = pc.lastKey + "\x00"
+		}
+		return len(r.ScanRange(table, pc.lastKey+"\x00", end, 1)) > 0
+	}
+
+	more := false
+	switch plan {
+	case "child", "name":
+		ms, merr := s.meta(ctx.Metastore)
+		if merr != nil {
+			return nil, merr
+		}
+		schema, rerr := s.resolveEntity(r, ms, f.CatalogName+"."+f.SchemaName)
+		if rerr != nil {
+			return nil, rerr
+		}
+		scope = schema
+		var prefix, table string
+		if plan == "name" {
+			table = erm.TableName
+			prefix = erm.NameKey(groupFor(s.reg, f.Type), schema.ID, f.NamePrefix)
+		} else {
+			table = erm.TableChild
+			prefix = erm.ChildPrefix(schema.ID, f.Type)
+		}
+		start := prefix
+		if cur != nil {
+			start = cur.K + "\x00"
+		}
+		more = walkIDRange(table, start, store.PrefixEnd(prefix))
+
+	case "tag":
+		prefix := erm.TagIdxPrefix(f.TagKey)
+		start := prefix
+		if cur != nil {
+			start = cur.K + "\x00"
+		}
+		end := store.PrefixEnd(prefix)
+		// The inverted index repeats a securable once per tagged column;
+		// adjacent rows share the ID, so dedup needs only the previous one.
+		// Residual value/visibility checks run against the forward table.
+		var prevID ids.ID
+		if cur != nil {
+			if id, ok := erm.TagIdxSecurable(cur.K); ok {
+				prevID = id
+			}
+		}
+		for !pc.full() {
+			batch := r.ScanRange(erm.TableTagIdx, start, end, pc.limit-len(pc.out)+1)
+			if len(batch) == 0 {
+				break
+			}
+			for _, kv := range batch {
+				id, ok := erm.TagIdxSecurable(kv.Key)
+				if !ok || id == prevID {
+					pc.lastKey = kv.Key
+					continue
+				}
+				prevID = id
+				e, _ := erm.GetEntity(r, id)
+				if admit(kv.Key, e) {
+					break
+				}
+			}
+			start = pc.lastKey + "\x00"
+		}
+		more = len(r.ScanRange(erm.TableTagIdx, pc.lastKey+"\x00", end, 1)) > 0
+
+	case "cat":
+		ms, merr := s.meta(ctx.Metastore)
+		if merr != nil {
+			return nil, merr
+		}
+		cat, rerr := s.resolveEntity(r, ms, f.CatalogName)
+		if rerr != nil {
+			return nil, rerr
+		}
+		scope = cat
+		more = s.walkCatalogPage(r, f, cur, pc, admit, cat)
+
+	default: // "scan": entity-table range
+		start := ""
+		if cur != nil {
+			start = cur.K + "\x00"
+		}
+		for !pc.full() {
+			batch := r.ScanRange(erm.TableEntity, start, "", pc.limit-len(pc.out))
+			if len(batch) == 0 {
+				break
+			}
+			for _, kv := range batch {
+				e, derr := erm.DecodeEntity(kv.Value)
+				if derr != nil {
+					pc.lastKey = kv.Key
+					continue
+				}
+				if admit(kv.Key, e) {
+					break
+				}
+			}
+			start = pc.lastKey + "\x00"
+		}
+		more = len(r.ScanRange(erm.TableEntity, pc.lastKey+"\x00", "", 1)) > 0
+	}
+
+	page = &Page{Assets: pc.out}
+	if more && pc.lastKey != "" {
+		page.NextPageToken = encodeCursor(pageCursor{V: r.Version(), S: plan, K: pc.lastKey, K2: pc.outer, G: pc.stage})
+	}
+	return page, nil
+}
+
+// walkCatalogPage pages a catalog-scoped query: each schema's children in
+// child-index order (stage 0), then the schemas themselves when the type
+// filter admits them (stage 1). The cursor records the outer schema child
+// key in K2 and the inner key in K.
+func (s *Service) walkCatalogPage(r pagedReader, f Filter, cur *pageCursor, pc *pageCollector, admit func(string, *erm.Entity) bool, cat *erm.Entity) (more bool) {
+	schemaPrefix := erm.ChildPrefix(cat.ID, erm.TypeSchema)
+	schemaEnd := store.PrefixEnd(schemaPrefix)
+
+	stage, outer, inner := 0, "", ""
+	if cur != nil {
+		stage, outer, inner = cur.G, cur.K2, cur.K
+	}
+	pc.stage, pc.outer = stage, outer
+
+	if stage == 0 {
+		outerStart := schemaPrefix
+		if outer != "" {
+			outerStart = outer // resume at the same schema
+		}
+		schemas := r.ScanRange(erm.TableChild, outerStart, schemaEnd, 0)
+		for _, skv := range schemas {
+			pc.outer = skv.Key
+			schemaID := ids.ID(skv.Value)
+			prefix := erm.ChildPrefix(schemaID, f.Type)
+			end := store.PrefixEnd(prefix)
+			start := prefix
+			if inner != "" {
+				start, inner = inner+"\x00", ""
+			}
+			for !pc.full() {
+				batch := r.ScanRange(erm.TableChild, start, end, pc.limit-len(pc.out))
+				if len(batch) == 0 {
+					break
+				}
+				keys := make([]string, len(batch))
+				for i, kv := range batch {
+					keys[i] = string(kv.Value)
+				}
+				ents := decodeAligned(r, keys)
+				for i, kv := range batch {
+					if admit(kv.Key, ents[i]) {
+						break
+					}
+				}
+				start = pc.lastKey + "\x00"
+			}
+			if pc.full() {
+				// More work remains if this schema has further children or
+				// another schema (or the schema stage) follows.
+				if len(r.ScanRange(erm.TableChild, pc.lastKey+"\x00", end, 1)) > 0 ||
+					len(r.ScanRange(erm.TableChild, skv.Key+"\x00", schemaEnd, 1)) > 0 ||
+					f.Type == "" || f.Type == erm.TypeSchema {
+					return true
+				}
+				return false
+			}
+		}
+		if f.Type != "" && f.Type != erm.TypeSchema {
+			return false
+		}
+		// Fall through to the schema stage with a fresh inner cursor.
+		pc.stage, pc.lastKey = 1, ""
+		inner = ""
+	}
+
+	// Stage 1: the schemas themselves, in child-index order.
+	pc.stage = 1
+	start := schemaPrefix
+	if inner != "" && stage == 1 {
+		start = inner + "\x00"
+	}
+	for !pc.full() {
+		batch := r.ScanRange(erm.TableChild, start, schemaEnd, pc.limit-len(pc.out))
+		if len(batch) == 0 {
+			return false
+		}
+		keys := make([]string, len(batch))
+		for i, kv := range batch {
+			keys[i] = string(kv.Value)
+		}
+		ents := decodeAligned(r, keys)
+		for i, kv := range batch {
+			if admit(kv.Key, ents[i]) {
+				break
+			}
+		}
+		start = pc.lastKey + "\x00"
+	}
+	return len(r.ScanRange(erm.TableChild, pc.lastKey+"\x00", schemaEnd, 1)) > 0
+}

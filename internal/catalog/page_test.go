@@ -1,0 +1,301 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"unitycatalog/internal/erm"
+	"unitycatalog/internal/privilege"
+)
+
+// pagedList walks ListAssetsPage to exhaustion and returns all assets plus
+// the number of pages fetched.
+func pagedList(t *testing.T, svc *Service, ctx Ctx, parent string, typ erm.SecurableType, pageSize int) ([]*erm.Entity, int) {
+	t.Helper()
+	var out []*erm.Entity
+	token := ""
+	pages := 0
+	for {
+		p, err := svc.ListAssetsPage(ctx, parent, typ, pageSize, token)
+		if err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		out = append(out, p.Assets...)
+		pages++
+		if p.NextPageToken == "" {
+			return out, pages
+		}
+		token = p.NextPageToken
+		if pages > 10000 {
+			t.Fatal("pagination failed to terminate")
+		}
+	}
+}
+
+func pagedQuery(t *testing.T, svc *Service, ctx Ctx, f Filter) ([]*erm.Entity, int) {
+	t.Helper()
+	var out []*erm.Entity
+	pages := 0
+	for {
+		p, err := svc.QueryAssetsPage(ctx, f)
+		if err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		out = append(out, p.Assets...)
+		pages++
+		if p.NextPageToken == "" {
+			return out, pages
+		}
+		f.PageToken = p.NextPageToken
+		if pages > 10000 {
+			t.Fatal("pagination failed to terminate")
+		}
+	}
+}
+
+func namesOf(ents []*erm.Entity) map[string]bool {
+	out := make(map[string]bool, len(ents))
+	for _, e := range ents {
+		out[e.FullName] = true
+	}
+	return out
+}
+
+func TestListAssetsPageMatchesUnpaged(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	for i := 0; i < 57; i++ {
+		if _, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("t%03d", i), TableSpec{Columns: cols("a")}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want, err := svc.ListAssets(admin, "sales.raw", erm.TypeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, pages := pagedList(t, svc, admin, "sales.raw", erm.TypeTable, 10)
+	if len(got) != len(want) {
+		t.Fatalf("paged %d assets, unpaged %d", len(got), len(want))
+	}
+	if pages < 6 {
+		t.Fatalf("expected >= 6 pages of 10 over %d assets, got %d", len(want), pages)
+	}
+	wantNames, gotNames := namesOf(want), namesOf(got)
+	for n := range wantNames {
+		if !gotNames[n] {
+			t.Fatalf("paged listing missing %s", n)
+		}
+	}
+	// No duplicates: map size equals slice length.
+	if len(gotNames) != len(got) {
+		t.Fatalf("paged listing returned duplicates: %d unique of %d", len(gotNames), len(got))
+	}
+}
+
+// TestListAssetsPageStableUnderWrites proves cursor stability: a walk begun
+// before a burst of creates and drops returns exactly the first page's
+// snapshot population.
+func TestListAssetsPageStableUnderWrites(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	for i := 0; i < 30; i++ {
+		if _, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("t%03d", i), TableSpec{Columns: cols("a")}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := svc.ListAssets(admin, "sales.raw", erm.TypeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First page pins the snapshot.
+	p1, err := svc.ListAssetsPage(admin, "sales.raw", erm.TypeTable, 7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NextPageToken == "" {
+		t.Fatal("expected a continuation")
+	}
+
+	// Churn: create new tables and drop an old one.
+	for i := 0; i < 10; i++ {
+		if _, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("new%02d", i), TableSpec{Columns: cols("a")}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.DeleteAsset(admin, "sales.raw.t005", false); err != nil {
+		t.Fatal(err)
+	}
+
+	got := append([]*erm.Entity{}, p1.Assets...)
+	token := p1.NextPageToken
+	for token != "" {
+		p, err := svc.ListAssetsPage(admin, "sales.raw", erm.TypeTable, 7, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p.Assets...)
+		token = p.NextPageToken
+	}
+	if len(got) != len(before) {
+		t.Fatalf("stable walk returned %d assets, snapshot had %d", len(got), len(before))
+	}
+	gotNames := namesOf(got)
+	if !gotNames["sales.raw.t005"] {
+		t.Fatal("dropped asset missing from pinned cursor walk")
+	}
+	for n := range gotNames {
+		if len(n) >= len("sales.raw.new") && n[:len("sales.raw.new")] == "sales.raw.new" {
+			t.Fatalf("asset %s created after the cursor leaked into the walk", n)
+		}
+	}
+}
+
+func TestListAssetsPageRespectsVisibility(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	for i := 0; i < 12; i++ {
+		tbl, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("t%02d", i), TableSpec{Columns: cols("a")}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grant SELECT on even tables only.
+		if i%2 == 0 {
+			if err := svc.Grant(admin, tbl.FullName, "bob", privilege.Select); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := svc.Grant(admin, "sales", "bob", privilege.UseCatalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Grant(admin, "sales.raw", "bob", privilege.UseSchema); err != nil {
+		t.Fatal(err)
+	}
+	bob := Ctx{Principal: "bob", Metastore: "ms1"}
+	got, _ := pagedList(t, svc, bob, "sales.raw", erm.TypeTable, 3)
+	if len(got) != 6 {
+		t.Fatalf("bob sees %d tables, want 6", len(got))
+	}
+	for _, e := range got {
+		if (e.Name[len(e.Name)-1]-'0')%2 != 0 {
+			t.Fatalf("bob sees unauthorized table %s", e.FullName)
+		}
+	}
+}
+
+func TestQueryAssetsPagePlans(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	if _, err := svc.CreateSchema(admin, "sales", "curated", ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		tbl, err := svc.CreateTable(admin, "sales.raw", fmt.Sprintf("fact_%02d", i), TableSpec{Columns: cols("a")}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 7 {
+			if err := svc.SetTag(admin, tbl.FullName, "", "pii", "high"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := svc.CreateTable(admin, "sales.curated", fmt.Sprintf("dim_%02d", i), TableSpec{Columns: cols("a")}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name string
+		f    Filter
+	}{
+		{"schema scope (child plan)", Filter{CatalogName: "sales", SchemaName: "raw", Type: erm.TypeTable}},
+		{"catalog scope (cat plan)", Filter{CatalogName: "sales", Type: erm.TypeTable}},
+		{"catalog scope all types", Filter{CatalogName: "sales"}},
+		{"tag (inverted index plan)", Filter{TagKey: "pii"}},
+		{"tag with value", Filter{TagKey: "pii", TagValue: "high"}},
+		{"name prefix (name plan)", Filter{CatalogName: "sales", SchemaName: "raw", NamePrefix: "FACT_0", Type: erm.TypeTable}},
+		{"unscoped (entity scan plan)", Filter{Type: erm.TypeTable}},
+		{"unscoped with residual", Filter{Owner: "admin", NameContains: "dim"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := svc.QueryAssets(admin, tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf := tc.f
+			pf.MaxResults = 4
+			got, pages := pagedQuery(t, svc, admin, pf)
+			if len(got) != len(want) {
+				t.Fatalf("paged %d, unpaged %d", len(got), len(want))
+			}
+			if len(want) > 4 && pages < 2 {
+				t.Fatalf("expected multiple pages over %d rows, got %d", len(want), pages)
+			}
+			wantNames, gotNames := namesOf(want), namesOf(got)
+			if len(gotNames) != len(got) {
+				t.Fatalf("duplicates in paged result: %d unique of %d", len(gotNames), len(got))
+			}
+			for n := range wantNames {
+				if !gotNames[n] {
+					t.Fatalf("paged result missing %s", n)
+				}
+			}
+		})
+	}
+}
+
+func TestPageTokenValidation(t *testing.T) {
+	svc, admin := testService(t)
+	seedNamespace(t, svc, admin)
+	if _, err := svc.ListAssetsPage(admin, "sales.raw", erm.TypeTable, 5, "not-base64!!!"); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("garbage token: %v", err)
+	}
+	// A list token fed into a query with a different plan is rejected.
+	p, err := svc.ListAssetsPage(admin, "sales.raw", "", 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NextPageToken != "" {
+		if _, err := svc.QueryAssetsPage(admin, Filter{TagKey: "x", MaxResults: 5, PageToken: p.NextPageToken}); !errors.Is(err, ErrInvalidArgument) {
+			t.Fatalf("cross-plan token: %v", err)
+		}
+	}
+}
+
+// TestQueryAssetsTagIndexConsistency checks the inverted index tracks set,
+// unset, and GC-purged tags.
+func TestQueryAssetsTagIndexConsistency(t *testing.T) {
+	svc, admin := testService(t)
+	tbl := seedNamespace(t, svc, admin)
+	if err := svc.SetTag(admin, tbl.FullName, "", "tier", "gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetTag(admin, tbl.FullName, "amount", "mask", "strict"); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := svc.QueryAssets(admin, Filter{TagKey: "tier"})
+	if err != nil || len(got) != 1 || got[0].ID != tbl.ID {
+		t.Fatalf("tag query after set: %v, %v", got, err)
+	}
+	if got, err = svc.QueryAssets(admin, Filter{TagKey: "mask", TagValue: "strict"}); err != nil || len(got) != 1 {
+		t.Fatalf("column tag query: %v, %v", got, err)
+	}
+
+	if err := svc.UnsetTag(admin, tbl.FullName, "", "tier"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = svc.QueryAssets(admin, Filter{TagKey: "tier"}); err != nil || len(got) != 0 {
+		t.Fatalf("tag query after unset: %v, %v", got, err)
+	}
+	// Column tag remains.
+	if got, err = svc.QueryAssets(admin, Filter{TagKey: "mask"}); err != nil || len(got) != 1 {
+		t.Fatalf("column tag survived unset of other key: %v, %v", got, err)
+	}
+}

@@ -18,18 +18,24 @@ type Filter struct {
 	CatalogName  string
 	SchemaName   string
 	NameContains string
+	NamePrefix   string // case-insensitive name prefix; pushed to the name index when scoped
 	Owner        string
 	TagKey       string
 	TagValue     string // only with TagKey; "" matches any value
 	IncludeSoft  bool   // include soft-deleted entities
 	Limit        int    // 0 means unlimited
+
+	// MaxResults/PageToken select keyset pagination (QueryAssetsPage).
+	MaxResults int
+	PageToken  string
 }
 
 // QueryAssets evaluates the filter over one consistent snapshot, applying
 // the filters during the scan (pushdown) and returning only entities the
 // principal may see.
 func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) {
-	defer func() { s.apiAudit(ctx, "QueryAssets", ids.Nil, true, err) }()
+	var scope *erm.Entity // resolved catalog/schema scope, for the audit entry
+	defer func() { s.apiAudit(ctx, "QueryAssets", entityID(scope), true, err) }()
 	v, err := s.view(ctx)
 	if err != nil {
 		return nil, err
@@ -50,6 +56,7 @@ func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) 
 		if rerr != nil {
 			return nil, rerr
 		}
+		scope = schema
 		candidates = erm.ListChildren(v, schema.ID, f.Type)
 	case f.CatalogName != "":
 		ms, merr := s.meta(ctx.Metastore)
@@ -60,23 +67,38 @@ func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) 
 		if rerr != nil {
 			return nil, rerr
 		}
+		scope = cat
 		for _, schema := range erm.ListChildren(v, cat.ID, erm.TypeSchema) {
 			candidates = append(candidates, erm.ListChildren(v, schema.ID, f.Type)...)
 		}
 		if f.Type == "" || f.Type == erm.TypeSchema {
 			candidates = append(candidates, erm.ListChildren(v, cat.ID, erm.TypeSchema)...)
 		}
+	case f.TagKey != "":
+		// No container scope but a tag filter: the inverted tag index turns the
+		// full entity scan into one prefix scan over the tagged securables.
+		seen := map[ids.ID]bool{}
+		var list []ids.ID
+		for _, kv := range v.Scan(erm.TableTagIdx, erm.TagIdxPrefix(f.TagKey)) {
+			if f.TagValue != "" && string(kv.Value) != f.TagValue {
+				continue
+			}
+			if id, ok := erm.TagIdxSecurable(kv.Key); ok && !seen[id] {
+				seen[id] = true
+				list = append(list, id)
+			}
+		}
+		candidates = erm.GetEntities(v, list)
 	default:
 		for _, kv := range v.Scan(erm.TableEntity, "") {
-			var e erm.Entity
-			if derr := decodeJSON(kv.Value, &e); derr != nil {
+			e, derr := erm.DecodeEntity(kv.Value)
+			if derr != nil {
 				continue
 			}
 			if f.Type != "" && e.Type != f.Type {
 				continue
 			}
-			ec := e
-			candidates = append(candidates, &ec)
+			candidates = append(candidates, e)
 		}
 	}
 
@@ -86,32 +108,8 @@ func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) 
 			continue
 		}
 		seen[e.ID] = true
-		if f.Type != "" && e.Type != f.Type {
+		if !matchesFilter(v, f, e) {
 			continue
-		}
-		if !f.IncludeSoft && e.State == erm.StateSoftDeleted {
-			continue
-		}
-		if f.NameContains != "" && !strings.Contains(strings.ToLower(e.Name), strings.ToLower(f.NameContains)) {
-			continue
-		}
-		if f.Owner != "" && string(e.Owner) != f.Owner {
-			continue
-		}
-		if f.TagKey != "" {
-			tags, colTags := entityTags(v, e.ID)
-			val, ok := tags[f.TagKey]
-			if !ok {
-				for _, ct := range colTags {
-					if cv, cok := ct[f.TagKey]; cok {
-						val, ok = cv, true
-						break
-					}
-				}
-			}
-			if !ok || (f.TagValue != "" && val != f.TagValue) {
-				continue
-			}
 		}
 		if !s.visible(ctx, auth, v, e) {
 			continue
@@ -125,6 +123,42 @@ func (s *Service) QueryAssets(ctx Ctx, f Filter) (out []*erm.Entity, err error) 
 	return out, nil
 }
 
+// matchesFilter applies the residual (non-pushdown) predicates to one
+// entity. Shared by the sorted and the paged query paths.
+func matchesFilter(r erm.Reader, f Filter, e *erm.Entity) bool {
+	if f.Type != "" && e.Type != f.Type {
+		return false
+	}
+	if !f.IncludeSoft && e.State == erm.StateSoftDeleted {
+		return false
+	}
+	if f.NameContains != "" && !strings.Contains(strings.ToLower(e.Name), strings.ToLower(f.NameContains)) {
+		return false
+	}
+	if f.NamePrefix != "" && !strings.HasPrefix(strings.ToLower(e.Name), strings.ToLower(f.NamePrefix)) {
+		return false
+	}
+	if f.Owner != "" && string(e.Owner) != f.Owner {
+		return false
+	}
+	if f.TagKey != "" {
+		tags, colTags := entityTags(r, e.ID)
+		val, ok := tags[f.TagKey]
+		if !ok {
+			for _, ct := range colTags {
+				if cv, cok := ct[f.TagKey]; cok {
+					val, ok = cv, true
+					break
+				}
+			}
+		}
+		if !ok || (f.TagValue != "" && val != f.TagValue) {
+			return false
+		}
+	}
+	return true
+}
+
 // AllEntities returns every live entity in a metastore without authorization
 // filtering. It exists for trusted second-tier services (search indexing,
 // discovery exports) that enforce access at query time via AuthorizeBatch.
@@ -136,15 +170,14 @@ func (s *Service) AllEntities(msID string) []*erm.Entity {
 	defer v.Close()
 	var out []*erm.Entity
 	for _, kv := range v.Scan(erm.TableEntity, "") {
-		var e erm.Entity
-		if derr := decodeJSON(kv.Value, &e); derr != nil {
+		e, derr := erm.DecodeEntity(kv.Value)
+		if derr != nil {
 			continue
 		}
 		if e.State == erm.StateSoftDeleted {
 			continue
 		}
-		ec := e
-		out = append(out, &ec)
+		out = append(out, e)
 	}
 	return out
 }
@@ -170,8 +203,8 @@ func (s *Service) TypeCounts(msID string) (map[erm.SecurableType]int, error) {
 	defer v.Close()
 	out := map[erm.SecurableType]int{}
 	for _, kv := range v.Scan(erm.TableEntity, "") {
-		var e erm.Entity
-		if derr := decodeJSON(kv.Value, &e); derr != nil {
+		e, derr := erm.DecodeEntity(kv.Value)
+		if derr != nil {
 			continue
 		}
 		if e.State == erm.StateSoftDeleted {

@@ -273,6 +273,39 @@ func (c *Client) ListAssets(parent string, typ erm.SecurableType) ([]*erm.Entity
 	return out.Assets, err
 }
 
+// AssetPage is one page of a paginated listing or query.
+type AssetPage struct {
+	Assets        []*erm.Entity `json:"assets"`
+	NextPageToken string        `json:"nextPageToken"`
+}
+
+// ListAssetsPage fetches one page of a listing with a keyset cursor. Pass
+// the previous page's NextPageToken to continue; an empty token in the
+// response means the listing is exhausted.
+func (c *Client) ListAssetsPage(parent string, typ erm.SecurableType, maxResults int, pageToken string) (*AssetPage, error) {
+	q := url.Values{"parent": {parent}, "type": {string(typ)}, "maxResults": {strconv.Itoa(maxResults)}}
+	if pageToken != "" {
+		q.Set("pageToken", pageToken)
+	}
+	var out AssetPage
+	err := c.do("GET", apiPrefix+"/assets?"+q.Encode(), nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryAssetsPage runs a filtered metadata query with keyset pagination.
+// Set req.MaxResults (and thread req.PageToken between calls).
+func (c *Client) QueryAssetsPage(req server.QueryAssetsRequest) (*AssetPage, error) {
+	var out AssetPage
+	err := c.do("POST", apiPrefix+"/query-assets", req, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // --- governance ---
 
 // Grant grants a privilege.

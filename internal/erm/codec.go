@@ -1,0 +1,245 @@
+package erm
+
+// Compact binary encoding for Entity records.
+//
+// The seed stored every entity as JSON, which at catalog cardinality is the
+// dominant memory cost: field names are repeated in every value, times are
+// RFC 3339 strings, and decoding allocates a fresh copy of highly repetitive
+// strings ("TABLE", "ACTIVE", the owner principal) for every entity touched
+// by a scan. The compact format is a flat, versioned byte layout:
+//
+//	magic version flags | length-prefixed strings | times | properties | spec
+//
+// Strings are uvarint-length-prefixed; times use time.MarshalBinary;
+// properties are sorted by key so encoding is deterministic. The first byte
+// (0xE1) is disjoint from '{', so DecodeEntity transparently accepts JSON
+// values written by older versions — no store migration is needed, records
+// converge to the compact form as they are rewritten.
+//
+// On decode, the type, state, and owner strings are interned through a
+// bounded table: ten million tables should share one "TABLE" string, not
+// hold ten million copies.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"unitycatalog/internal/ids"
+	"unitycatalog/internal/privilege"
+)
+
+const (
+	codecMagic   = 0xE1 // first byte of compact records; JSON starts with '{'
+	codecVersion = 1
+)
+
+// Entity flag bits.
+const (
+	flagManaged = 1 << iota
+	flagDeleted
+)
+
+// EncodeEntity renders e in the compact binary format.
+func EncodeEntity(e *Entity) ([]byte, error) {
+	b := make([]byte, 0, 96+len(e.Spec))
+	b = append(b, codecMagic, codecVersion)
+	var flags byte
+	if e.Managed {
+		flags |= flagManaged
+	}
+	if e.DeletedAt != nil {
+		flags |= flagDeleted
+	}
+	b = append(b, flags)
+	b = appendStr(b, string(e.ID))
+	b = appendStr(b, string(e.Type))
+	b = appendStr(b, e.Name)
+	b = appendStr(b, string(e.ParentID))
+	b = appendStr(b, e.FullName)
+	b = appendStr(b, string(e.Owner))
+	b = appendStr(b, e.Comment)
+	b = appendStr(b, e.StoragePath)
+	b = appendStr(b, string(e.State))
+	var err error
+	if b, err = appendTime(b, e.CreatedAt); err != nil {
+		return nil, fmt.Errorf("erm: encode created_at: %w", err)
+	}
+	if b, err = appendTime(b, e.UpdatedAt); err != nil {
+		return nil, fmt.Errorf("erm: encode updated_at: %w", err)
+	}
+	if e.DeletedAt != nil {
+		if b, err = appendTime(b, *e.DeletedAt); err != nil {
+			return nil, fmt.Errorf("erm: encode deleted_at: %w", err)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(e.Properties)))
+	if len(e.Properties) > 0 {
+		keys := make([]string, 0, len(e.Properties))
+		for k := range e.Properties {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = appendStr(b, k)
+			b = appendStr(b, e.Properties[k])
+		}
+	}
+	b = appendBytes(b, e.Spec)
+	return b, nil
+}
+
+// DecodeEntity parses either a compact binary record or a legacy JSON one.
+func DecodeEntity(b []byte) (*Entity, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("erm: empty entity record")
+	}
+	if b[0] == '{' {
+		var e Entity
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("erm: decode entity json: %w", err)
+		}
+		return &e, nil
+	}
+	if b[0] != codecMagic {
+		return nil, fmt.Errorf("erm: unknown entity encoding (leading byte %#x)", b[0])
+	}
+	if len(b) < 3 || b[1] != codecVersion {
+		return nil, fmt.Errorf("erm: unsupported entity codec version")
+	}
+	d := decoder{b: b, off: 3}
+	flags := b[2]
+	var e Entity
+	e.ID = ids.ID(d.str())
+	e.Type = SecurableType(intern(d.str()))
+	e.Name = d.str()
+	e.ParentID = ids.ID(d.str())
+	e.FullName = d.str()
+	e.Owner = privilege.Principal(intern(d.str()))
+	e.Comment = d.str()
+	e.StoragePath = d.str()
+	e.State = State(intern(d.str()))
+	e.Managed = flags&flagManaged != 0
+	e.CreatedAt = d.time()
+	e.UpdatedAt = d.time()
+	if flags&flagDeleted != 0 {
+		t := d.time()
+		e.DeletedAt = &t
+	}
+	if n := d.uvarint(); n > 0 {
+		if n > uint64(len(b)) { // corrupt count; bail before allocating
+			return nil, fmt.Errorf("erm: decode entity: property count %d exceeds record size", n)
+		}
+		e.Properties = make(map[string]string, n)
+		for i := uint64(0); i < n; i++ {
+			k := d.str()
+			e.Properties[k] = d.str()
+		}
+	}
+	if sp := d.bytes(); len(sp) > 0 {
+		e.Spec = append(json.RawMessage(nil), sp...)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("erm: decode entity: %w", d.err)
+	}
+	return &e, nil
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendTime(b []byte, t time.Time) ([]byte, error) {
+	tb, err := t.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return appendBytes(b, tb), nil
+}
+
+// decoder walks a compact record; the first error sticks and subsequent
+// reads return zero values, so call sites check err once at the end.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.err = fmt.Errorf("truncated field at offset %d (want %d bytes)", d.off, n)
+		return nil
+	}
+	out := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) time() time.Time {
+	var t time.Time
+	if b := d.bytes(); d.err == nil {
+		if err := t.UnmarshalBinary(b); err != nil {
+			d.err = fmt.Errorf("bad time encoding: %w", err)
+		}
+	}
+	return t
+}
+
+// intern returns a canonical shared copy of s. The table is bounded: past
+// the cap, lookups still hit but new strings pass through uncopied, so a
+// flood of distinct values cannot grow it without bound.
+func intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	internMu.RLock()
+	v, ok := internTab[s]
+	internMu.RUnlock()
+	if ok {
+		return v
+	}
+	internMu.Lock()
+	if v, ok = internTab[s]; !ok {
+		v = s
+		if len(internTab) < internCap {
+			internTab[s] = s
+		}
+	}
+	internMu.Unlock()
+	return v
+}
+
+const internCap = 4096
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 64)
+)

@@ -432,13 +432,14 @@ func builtinManifests() []TypeManifest {
 
 // Store table names used by the model.
 const (
-	TableEntity = "entity" // id -> Entity JSON
+	TableEntity = "entity" // id -> Entity (compact binary; legacy JSON accepted on read)
 	TableName   = "name"   // nameKey -> id
 	TablePath   = "path"   // storage path -> id (data assets; one-asset-per-path)
 	TableExtLoc = "extloc" // storage path -> id (external locations: containers of asset paths)
 	TableChild  = "child"  // childKey -> id
 	TableGrant  = "grant"  // grantKey -> Grant JSON
 	TableTag    = "tag"    // tagKey -> value
+	TableTagIdx = "tagidx" // tagIdxKey -> value (inverted: tag key -> tagged securables)
 	TableABAC   = "abac"   // rule id -> ABACRule JSON
 )
 
@@ -492,9 +493,34 @@ func ColumnTagKey(sec ids.ID, column, key string) string {
 // TagPrefix is the scan prefix for all tags on a securable.
 func TagPrefix(sec ids.ID) string { return string(sec) + "\x00" }
 
+// TagIdxKey builds the inverted tag index key (tag key → tagged securable).
+// Column is empty for entity-level tags. The forward table answers "what
+// tags does this asset carry"; the inverted table answers "which assets
+// carry this tag" with a single prefix scan instead of a full tag-table walk.
+func TagIdxKey(key string, sec ids.ID, column string) string {
+	return key + "\x00" + string(sec) + "\x00" + column
+}
+
+// TagIdxPrefix is the scan prefix for all securables carrying tag key.
+func TagIdxPrefix(key string) string { return key + "\x00" }
+
+// TagIdxSecurable recovers the securable ID from an inverted-index key.
+func TagIdxSecurable(idxKey string) (ids.ID, bool) {
+	i := strings.IndexByte(idxKey, 0)
+	if i < 0 {
+		return "", false
+	}
+	rest := idxKey[i+1:]
+	j := strings.IndexByte(rest, 0)
+	if j < 0 {
+		return "", false
+	}
+	return ids.ID(rest[:j]), true
+}
+
 // PutEntity writes the entity record and its indexes inside tx.
 func PutEntity(tx *store.Tx, e *Entity, group string) error {
-	b, err := json.Marshal(e)
+	b, err := EncodeEntity(e)
 	if err != nil {
 		return fmt.Errorf("erm: encode entity: %w", err)
 	}
@@ -509,7 +535,7 @@ func PutEntity(tx *store.Tx, e *Entity, group string) error {
 
 // UpdateEntity rewrites just the entity record (indexes unchanged).
 func UpdateEntity(tx *store.Tx, e *Entity) error {
-	b, err := json.Marshal(e)
+	b, err := EncodeEntity(e)
 	if err != nil {
 		return fmt.Errorf("erm: encode entity: %w", err)
 	}
@@ -533,17 +559,78 @@ type Reader interface {
 	Scan(table, prefix string) []store.KV
 }
 
+// RangeReader extends Reader with bounded, ordered [start, end) range scans —
+// the primitive keyset pagination is built on. Store snapshots, transactions,
+// and cache views all implement it.
+type RangeReader interface {
+	Reader
+	ScanRange(table, start, end string, limit int) []store.KV
+}
+
+// BatchReader is implemented by readers with aligned multi-get support.
+type BatchReader interface {
+	GetBatch(table string, keys []string) [][]byte
+}
+
+// ScanRange issues a [start, end) range scan with a row limit through r,
+// using native range support when available and falling back to a filtered
+// full scan otherwise.
+func ScanRange(r Reader, table, start, end string, limit int) []store.KV {
+	if rr, ok := r.(RangeReader); ok {
+		return rr.ScanRange(table, start, end, limit)
+	}
+	var out []store.KV
+	for _, kv := range r.Scan(table, "") {
+		if kv.Key < start || (end != "" && kv.Key >= end) {
+			continue
+		}
+		out = append(out, kv)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
 // GetEntity reads an entity by ID.
 func GetEntity(r Reader, id ids.ID) (*Entity, bool) {
 	b, ok := r.Get(TableEntity, string(id))
 	if !ok {
 		return nil, false
 	}
-	var e Entity
-	if err := json.Unmarshal(b, &e); err != nil {
+	e, err := DecodeEntity(b)
+	if err != nil {
 		return nil, false
 	}
-	return &e, true
+	return e, true
+}
+
+// GetEntities resolves a batch of IDs to entities, preserving order and
+// skipping missing or undecodable records. When the reader supports batch
+// point reads, the whole page costs one store round trip.
+func GetEntities(r Reader, list []ids.ID) []*Entity {
+	out := make([]*Entity, 0, len(list))
+	if br, ok := r.(BatchReader); ok {
+		keys := make([]string, len(list))
+		for i, id := range list {
+			keys[i] = string(id)
+		}
+		for _, b := range br.GetBatch(TableEntity, keys) {
+			if b == nil {
+				continue
+			}
+			if e, err := DecodeEntity(b); err == nil {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	for _, id := range list {
+		if e, ok := GetEntity(r, id); ok {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // GetByName resolves (group, parent, name) to an entity.

@@ -370,12 +370,30 @@ func (s *Server) handleDeleteAsset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleListAssets(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	out, err := s.Service.ListAssets(s.ctx(r), q.Get("parent"), erm.SecurableType(strings.ToUpper(q.Get("type"))))
+	parent := q.Get("parent")
+	typ := erm.SecurableType(strings.ToUpper(q.Get("type")))
+	maxResults, _ := strconv.Atoi(q.Get("maxResults"))
+	pageToken := q.Get("pageToken")
+	if maxResults <= 0 && pageToken == "" {
+		// Unpaged legacy behavior: the full, name-sorted listing.
+		out, err := s.Service.ListAssets(s.ctx(r), parent, typ)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+		return
+	}
+	page, err := s.Service.ListAssetsPage(s.ctx(r), parent, typ, maxResults, pageToken)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+	resp := map[string]any{"assets": page.Assets}
+	if page.NextPageToken != "" {
+		resp["nextPageToken"] = page.NextPageToken
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- typed conveniences ---
@@ -623,16 +641,22 @@ func (s *Server) handleTempCredentials(w http.ResponseWriter, r *http.Request) {
 
 // --- metadata query / discovery ---
 
-// QueryAssetsRequest mirrors catalog.Filter over the wire.
+// QueryAssetsRequest mirrors catalog.Filter over the wire. Setting
+// max_results (or passing page_token) selects the keyset-paginated path:
+// results arrive in index order with a next_page_token instead of the
+// full sorted result set.
 type QueryAssetsRequest struct {
 	Type         string `json:"type,omitempty"`
 	CatalogName  string `json:"catalog_name,omitempty"`
 	SchemaName   string `json:"schema_name,omitempty"`
 	NameContains string `json:"name_contains,omitempty"`
+	NamePrefix   string `json:"name_prefix,omitempty"`
 	Owner        string `json:"owner,omitempty"`
 	TagKey       string `json:"tag_key,omitempty"`
 	TagValue     string `json:"tag_value,omitempty"`
 	Limit        int    `json:"limit,omitempty"`
+	MaxResults   int    `json:"max_results,omitempty"`
+	PageToken    string `json:"page_token,omitempty"`
 }
 
 func (s *Server) handleQueryAssets(w http.ResponseWriter, r *http.Request) {
@@ -641,11 +665,26 @@ func (s *Server) handleQueryAssets(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	out, err := s.Service.QueryAssets(s.ctx(r), catalog.Filter{
+	f := catalog.Filter{
 		Type: erm.SecurableType(strings.ToUpper(req.Type)), CatalogName: req.CatalogName,
-		SchemaName: req.SchemaName, NameContains: req.NameContains, Owner: req.Owner,
-		TagKey: req.TagKey, TagValue: req.TagValue, Limit: req.Limit,
-	})
+		SchemaName: req.SchemaName, NameContains: req.NameContains, NamePrefix: req.NamePrefix,
+		Owner: req.Owner, TagKey: req.TagKey, TagValue: req.TagValue, Limit: req.Limit,
+		MaxResults: req.MaxResults, PageToken: req.PageToken,
+	}
+	if f.MaxResults > 0 || f.PageToken != "" {
+		page, err := s.Service.QueryAssetsPage(s.ctx(r), f)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp := map[string]any{"assets": page.Assets}
+		if page.NextPageToken != "" {
+			resp["nextPageToken"] = page.NextPageToken
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	out, err := s.Service.QueryAssets(s.ctx(r), f)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +72,10 @@ type Options struct {
 	// that times out, throttles, or goes down. It can also be installed
 	// after Open with SetFaults.
 	Faults *faults.Injector
+	// NoOrderedIndex disables the per-table ordered key index, forcing
+	// every scan through the full-map fallback path (ablation/baseline:
+	// the seed's behavior). Range scans still work, just in O(table size).
+	NoOrderedIndex bool
 }
 
 const (
@@ -140,9 +143,15 @@ type metastore struct {
 
 	// stateMu guards the applied state below plus the pending overlay.
 	// Lock order: mu before stateMu; applyMu is taken with neither held.
-	stateMu  sync.RWMutex
-	version  uint64 // applied (visible) version
-	tables   map[string]map[string]*record
+	stateMu sync.RWMutex
+	version uint64 // applied (visible) version
+	tables  map[string]map[string]*record
+	// indexes mirrors each table's key set in an ordered B+ tree so scans
+	// are a descent plus bounded walk instead of full-map iteration. nil
+	// under the NoOrderedIndex ablation. Membership tracks the table map
+	// exactly (records, not liveness): every mutation goes through
+	// getOrCreateRecordLocked/removeRecordLocked.
+	indexes  map[string]*btree
 	changes  changeRing
 	snaps    map[uint64]int
 	minSnapV uint64
@@ -179,6 +188,12 @@ type DB struct {
 	conflicts obs.Counter
 	commitNs  *obs.Histogram
 
+	// indexScans/fallbackScans split scans by path — ordered index versus
+	// full-map iteration (NoOrderedIndex); scanNs distributes scan latency.
+	indexScans    obs.Counter
+	fallbackScans obs.Counter
+	scanNs        *obs.Histogram
+
 	// injector is the active fault injector; swapped atomically so tests
 	// can install or clear schedules while operations are in flight.
 	injector atomic.Pointer[faults.Injector]
@@ -203,7 +218,12 @@ func Open(opts Options) (*DB, error) {
 	if opts.MaxVersionsPerRecord == 0 {
 		opts.MaxVersionsPerRecord = defaultMaxVersions
 	}
-	db := &DB{opts: opts, stores: map[string]*metastore{}, commitNs: obs.NewLatencyHistogram()}
+	db := &DB{
+		opts:     opts,
+		stores:   map[string]*metastore{},
+		commitNs: obs.NewLatencyHistogram(),
+		scanNs:   obs.NewLatencyHistogram(),
+	}
 	if opts.Faults != nil {
 		db.injector.Store(opts.Faults)
 	}
@@ -278,6 +298,12 @@ func (db *DB) RegisterMetrics(r *obs.Registry) {
 	r.RegisterCounter("uc_store_commit_conflicts_total", "Commits rejected by version CAS.", &db.conflicts)
 	r.RegisterHistogram("uc_store_commit_seconds", "End-to-end commit latency (sequence through apply).", db.commitNs)
 	r.RegisterCounterFunc("uc_store_reads_total", "Snapshot point reads and scans served.", db.ReadCount)
+	r.RegisterCounter("uc_store_index_scans_total", "Scans served by the ordered key index.", &db.indexScans)
+	r.RegisterCounter("uc_store_index_fallback_scans_total", "Scans served by full-map iteration (no ordered index).", &db.fallbackScans)
+	r.RegisterHistogram("uc_store_scan_seconds", "Latency of snapshot range scans.", db.scanNs)
+	r.RegisterGaugeFunc("uc_store_index_keys", "Keys held across all ordered indexes.", func() float64 {
+		return float64(db.IndexKeyCount())
+	})
 	if db.wal == nil {
 		return
 	}
@@ -327,7 +353,7 @@ func (db *DB) CreateMetastore(id string) error {
 		db.mu.Unlock()
 		return err
 	}
-	db.stores[id] = newMetastore(db.opts.ChangeLogSize)
+	db.stores[id] = newMetastore(db.opts.ChangeLogSize, db.opts.NoOrderedIndex)
 	db.mu.Unlock()
 	if req != nil {
 		<-req.done
@@ -336,14 +362,55 @@ func (db *DB) CreateMetastore(id string) error {
 	return nil
 }
 
-func newMetastore(changeLogSize int) *metastore {
+func newMetastore(changeLogSize int, noIndex bool) *metastore {
 	m := &metastore{
 		tables:  map[string]map[string]*record{},
 		snaps:   map[uint64]int{},
 		changes: newChangeRing(changeLogSize),
 	}
+	if !noIndex {
+		m.indexes = map[string]*btree{}
+	}
 	m.applyCond = sync.NewCond(&m.applyMu)
 	return m
+}
+
+// getOrCreateRecordLocked returns the record for (table, key), creating the
+// table map, the record, and the record's ordered-index entry as needed.
+// Every record creation funnels through here so the index cannot drift from
+// the table map. Caller holds stateMu (or has exclusive access, as in WAL
+// replay before the DB is shared).
+func (m *metastore) getOrCreateRecordLocked(table, key string) *record {
+	t, ok := m.tables[table]
+	if !ok {
+		t = map[string]*record{}
+		m.tables[table] = t
+	}
+	r, ok := t[key]
+	if !ok {
+		r = &record{}
+		t[key] = r
+		if m.indexes != nil {
+			idx, ok := m.indexes[table]
+			if !ok {
+				idx = newBtree()
+				m.indexes[table] = idx
+			}
+			idx.insert(key, r)
+		}
+	}
+	return r
+}
+
+// removeRecordLocked drops a fully-dead record from the table map and the
+// ordered index together. Caller holds stateMu.
+func (m *metastore) removeRecordLocked(table, key string) {
+	delete(m.tables[table], key)
+	if m.indexes != nil {
+		if idx := m.indexes[table]; idx != nil {
+			idx.delete(key)
+		}
+	}
 }
 
 // DropMetastore removes a metastore and all its data.
@@ -475,23 +542,25 @@ func (s *Snapshot) Get(table, key string) ([]byte, bool) {
 // Scan returns all live (key, value) pairs in table whose key starts with
 // prefix, in ascending key order, as of the snapshot version.
 func (s *Snapshot) Scan(table, prefix string) []KV {
+	return s.ScanRange(table, prefix, PrefixEnd(prefix), 0)
+}
+
+// ScanRange returns up to limit live (key, value) pairs in table with keys
+// in [start, end), in ascending key order, as of the snapshot version. An
+// empty end means unbounded; limit <= 0 means unlimited. With the keyset
+// convention — pass the last key seen plus "\x00" as the next start — it is
+// the store-level cursor primitive for paginated listings.
+func (s *Snapshot) ScanRange(table, start, end string, limit int) []KV {
 	s.db.simulateRead()
+	t0 := time.Now()
 	s.ms.stateMu.RLock()
-	defer s.ms.stateMu.RUnlock()
-	t, ok := s.ms.tables[table]
-	if !ok {
-		return nil
-	}
 	var out []KV
-	for k, r := range t {
-		if !strings.HasPrefix(k, prefix) {
-			continue
-		}
-		if v, live := r.at(s.Version); live {
-			out = append(out, KV{Key: k, Value: v})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	s.db.scanLiveLocked(s.ms, table, start, end, s.Version, func(k string, v []byte) bool {
+		out = append(out, KV{Key: k, Value: v})
+		return limit <= 0 || len(out) < limit
+	})
+	s.ms.stateMu.RUnlock()
+	s.db.scanNs.ObserveDuration(time.Since(t0))
 	return out
 }
 
@@ -500,18 +569,121 @@ func (s *Snapshot) Count(table, prefix string) int {
 	s.db.simulateRead()
 	s.ms.stateMu.RLock()
 	defer s.ms.stateMu.RUnlock()
+	n := 0
+	s.db.scanLiveLocked(s.ms, table, prefix, PrefixEnd(prefix), s.Version, func(string, []byte) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// GetBatch returns the values of keys in table as of the snapshot version,
+// aligned with keys (nil where absent or deleted), in one simulated round
+// trip — the multi-get a real database would serve as a single query.
+func (s *Snapshot) GetBatch(table string, keys []string) [][]byte {
+	s.db.simulateRead()
+	s.ms.stateMu.RLock()
+	defer s.ms.stateMu.RUnlock()
+	out := make([][]byte, len(keys))
 	t, ok := s.ms.tables[table]
 	if !ok {
-		return 0
+		return out
 	}
+	for i, k := range keys {
+		if r, ok := t[k]; ok {
+			if v, live := r.at(s.Version); live {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// PrefixEnd returns the smallest key greater than every key with the given
+// prefix, or "" (unbounded) when no such key exists. Scan(prefix) is exactly
+// ScanRange(prefix, PrefixEnd(prefix), 0).
+func PrefixEnd(prefix string) string {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			return prefix[:i] + string(prefix[i]+1)
+		}
+	}
+	return ""
+}
+
+// scanLiveLocked is the one scan implementation behind Snapshot.Scan/Count/
+// ScanRange and Tx.Scan/ScanRange: it walks live (key, value) pairs of
+// table at version v with keys in [start, end) in ascending order, calling
+// fn until it returns false. The ordered index serves it as a descent plus
+// bounded walk; without one (NoOrderedIndex) it falls back to the seed's
+// full-map iteration and sort. Caller holds ms.stateMu.
+func (db *DB) scanLiveLocked(ms *metastore, table, start, end string, v uint64, fn func(k string, val []byte) bool) {
+	t, ok := ms.tables[table]
+	if !ok {
+		return
+	}
+	if ms.indexes != nil {
+		db.indexScans.Inc()
+		idx := ms.indexes[table]
+		if idx == nil {
+			return
+		}
+		idx.ascend(start, func(k string, r *record) bool {
+			if end != "" && k >= end {
+				return false
+			}
+			if val, live := r.at(v); live {
+				return fn(k, val)
+			}
+			return true
+		})
+		return
+	}
+	db.fallbackScans.Inc()
+	var keys []string
+	for k := range t {
+		if k >= start && (end == "" || k < end) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if val, live := t[k].at(v); live {
+			if !fn(k, val) {
+				return
+			}
+		}
+	}
+}
+
+// IndexKeyCount returns the total number of keys across all ordered
+// indexes; zero under NoOrderedIndex.
+func (db *DB) IndexKeyCount() int {
+	return db.indexSize(func(string) bool { return true })
+}
+
+// IndexSize returns the number of keys the ordered index holds for one
+// table, summed across metastores.
+func (db *DB) IndexSize(table string) int {
+	return db.indexSize(func(t string) bool { return t == table })
+}
+
+func (db *DB) indexSize(want func(table string) bool) int {
+	db.mu.RLock()
+	stores := make([]*metastore, 0, len(db.stores))
+	for _, ms := range db.stores {
+		stores = append(stores, ms)
+	}
+	db.mu.RUnlock()
 	n := 0
-	for k, r := range t {
-		if !strings.HasPrefix(k, prefix) {
-			continue
+	for _, ms := range stores {
+		ms.stateMu.RLock()
+		for t, idx := range ms.indexes {
+			if want(t) {
+				n += idx.size
+			}
 		}
-		if _, live := r.at(s.Version); live {
-			n++
-		}
+		ms.stateMu.RUnlock()
 	}
 	return n
 }
@@ -641,55 +813,83 @@ func (tx *Tx) Writes() []Write {
 // Scan returns live pairs with the key prefix, merging buffered writes and
 // the pipeline overlay over the applied state at the base version.
 func (tx *Tx) Scan(table, prefix string) []KV {
-	merged := map[string][]byte{}
+	return tx.ScanRange(table, prefix, PrefixEnd(prefix), 0)
+}
+
+// ScanRange is Snapshot.ScanRange semantics ([start, end), ascending, up to
+// limit) as seen by the transaction: buffered writes, then the pipeline
+// overlay, then the applied state at the base version. The overlay keys are
+// sorted once and merge-joined with the ordered base walk, so early
+// termination at limit does not visit the rest of the range.
+func (tx *Tx) ScanRange(table, start, end string, limit int) []KV {
+	inRange := func(k string) bool { return k >= start && (end == "" || k < end) }
+
 	tx.ms.stateMu.RLock()
-	if t, ok := tx.ms.tables[table]; ok {
-		for k, r := range t {
-			if !strings.HasPrefix(k, prefix) {
-				continue
-			}
-			if v, live := r.at(tx.base); live {
-				merged[k] = v
-			}
-		}
-	}
-	for _, pc := range tx.ms.pending { // oldest → newest
+	// Overlay: sequenced-but-unapplied commits at or below base, oldest to
+	// newest so later writes win, then the transaction's own writes.
+	overlay := map[string]*txWrite{}
+	for _, pc := range tx.ms.pending {
 		if pc.version > tx.base {
 			continue
 		}
-		t, ok := pc.writes[table]
-		if !ok {
-			continue
-		}
-		for k, w := range t {
-			if !strings.HasPrefix(k, prefix) {
-				continue
+		if t, ok := pc.writes[table]; ok {
+			for k, w := range t {
+				if inRange(k) {
+					overlay[k] = w
+				}
 			}
+		}
+	}
+	for k, w := range tx.writes[table] {
+		if inRange(k) {
+			overlay[k] = w
+		}
+	}
+	okeys := make([]string, 0, len(overlay))
+	for k := range overlay {
+		okeys = append(okeys, k)
+	}
+	sort.Strings(okeys)
+
+	var out []KV
+	emit := func(k string, v []byte) bool {
+		out = append(out, KV{Key: k, Value: v})
+		return limit <= 0 || len(out) < limit
+	}
+	oi := 0
+	more := true
+	tx.db.scanLiveLocked(tx.ms, table, start, end, tx.base, func(k string, val []byte) bool {
+		for oi < len(okeys) && okeys[oi] < k {
+			if w := overlay[okeys[oi]]; !w.deleted {
+				if !emit(okeys[oi], w.value) {
+					more = false
+					return false
+				}
+			}
+			oi++
+		}
+		if oi < len(okeys) && okeys[oi] == k {
+			w := overlay[okeys[oi]]
+			oi++
 			if w.deleted {
-				delete(merged, k)
-			} else {
-				merged[k] = w.value
+				return true
+			}
+			more = emit(k, w.value)
+			return more
+		}
+		more = emit(k, val)
+		return more
+	})
+	if more {
+		for ; oi < len(okeys); oi++ {
+			if w := overlay[okeys[oi]]; !w.deleted {
+				if !emit(okeys[oi], w.value) {
+					break
+				}
 			}
 		}
 	}
 	tx.ms.stateMu.RUnlock()
-	if t, ok := tx.writes[table]; ok {
-		for k, w := range t {
-			if !strings.HasPrefix(k, prefix) {
-				continue
-			}
-			if w.deleted {
-				delete(merged, k)
-			} else {
-				merged[k] = w.value
-			}
-		}
-	}
-	out := make([]KV, 0, len(merged))
-	for k, v := range merged {
-		out = append(out, KV{Key: k, Value: v})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
@@ -838,16 +1038,7 @@ func (db *DB) update(sc obs.SpanContext, msID string, expected *uint64, fn func(
 	}
 	for _, c := range tx.ordered {
 		w := tx.writes[c.Table][c.Key]
-		t, ok := ms.tables[c.Table]
-		if !ok {
-			t = map[string]*record{}
-			ms.tables[c.Table] = t
-		}
-		r, ok := t[c.Key]
-		if !ok {
-			r = &record{}
-			t[c.Key] = r
-		}
+		r := ms.getOrCreateRecordLocked(c.Table, c.Key)
 		r.versions = append(r.versions, version{commit: newV, value: w.value, deleted: w.deleted})
 		db.pruneLocked(ms, r)
 		if w.deleted && allDeleted(r) {
@@ -855,7 +1046,7 @@ func (db *DB) update(sc obs.SpanContext, msID string, expected *uint64, fn func(
 			if r.versions[0].commit > ms.minSnapV {
 				// keep: pinned history may still need the tombstone
 			} else if len(r.versions) == 1 && ms.minSnapV >= newV {
-				delete(t, c.Key)
+				ms.removeRecordLocked(c.Table, c.Key)
 			}
 		}
 		ms.changes.push(Change{Version: newV, Table: c.Table, Key: c.Key, Deleted: w.deleted})

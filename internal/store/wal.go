@@ -387,7 +387,7 @@ func (db *DB) replayWAL(path string) error {
 		switch e.Op {
 		case "create_metastore":
 			if _, ok := db.stores[e.Metastore]; !ok {
-				db.stores[e.Metastore] = newMetastore(db.opts.ChangeLogSize)
+				db.stores[e.Metastore] = newMetastore(db.opts.ChangeLogSize, db.opts.NoOrderedIndex)
 			}
 		case "drop_metastore":
 			delete(db.stores, e.Metastore)
@@ -406,16 +406,9 @@ func (db *DB) replayWAL(path string) error {
 					e.Metastore, e.Version, ms.version)
 			}
 			for _, w := range e.Writes {
-				t, ok := ms.tables[w.Table]
-				if !ok {
-					t = map[string]*record{}
-					ms.tables[w.Table] = t
-				}
-				r, ok := t[w.Key]
-				if !ok {
-					r = &record{}
-					t[w.Key] = r
-				}
+				// getOrCreateRecordLocked also rebuilds the ordered index
+				// as replay repopulates the table maps.
+				r := ms.getOrCreateRecordLocked(w.Table, w.Key)
 				r.versions = append(r.versions, version{commit: e.Version, value: w.Value, deleted: w.Deleted})
 			}
 			ms.version = e.Version
