@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs bench-scale
+.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs bench-scale bench-txn
 
 test:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ race:
 		./internal/retry/... \
 		./internal/cloudsim/... \
 		./internal/delta/... \
+		./internal/txn/... \
 		./internal/client/... \
 		./internal/server/... \
 		./internal/chaos/...
@@ -62,3 +63,8 @@ bench-obs:
 # emits BENCH_scale.json. Full scale populates 10M assets — expect minutes.
 bench-scale:
 	$(GO) run ./cmd/ucbench -exp scale -out BENCH_scale.json
+
+# Multi-table transaction grid (contended multi-writer commits over shared
+# Delta tables + crash-recovery sweep over an interrupted backlog).
+bench-txn:
+	$(GO) run ./cmd/ucbench -exp txn -out BENCH_txn.json

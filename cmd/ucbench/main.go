@@ -83,8 +83,15 @@ func main() {
 			}
 			header, rows = bench.ScaleCellRows(grid)
 			cells, n = grid, len(grid)
+		case "txn":
+			grid, err := bench.RunTxnGrid(*quick)
+			if err != nil {
+				log.Fatalf("txn: %v", err)
+			}
+			header, rows = bench.TxnCellRows(grid)
+			cells, n = grid, len(grid)
 		default:
-			log.Fatalf("-out is only supported with -exp authz, obs, or scale")
+			log.Fatalf("-out is only supported with -exp authz, obs, scale, or txn")
 		}
 		rep := report{
 			Generated:  time.Now().UTC().Format(time.RFC3339),

@@ -103,6 +103,7 @@ func All() []Experiment {
 		{"authz", "Authorization fast path: compiled snapshots vs reference engine", AuthzExperiment},
 		{"obs", "Instrumentation overhead: request tracing on vs off", ObsExperiment},
 		{"scale", "Catalog cardinality: ordered indexes + keyset pagination at scale", ScaleExperiment},
+		{"txn", "Multi-table transactions: contended commit + recovery sweep", TxnExperiment},
 	}
 }
 

@@ -78,6 +78,18 @@ func ObsCellRows(cells []ObsCell) ([]string, [][]string) {
 	return header, rows
 }
 
+// TxnCellRows shapes the multi-table transaction grid for WriteAligned.
+func TxnCellRows(cells []TxnCell) ([]string, [][]string) {
+	header := []string{"shape", "txns", "conflicts", "secs", "per_sec", "p50_us", "p95_us", "p99_us"}
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.Shape, fi(c.Txns), fi(c.Conflicts), f(c.Secs), f(c.PerSec), f(c.P50us), f(c.P95us), f(c.P99us),
+		})
+	}
+	return header, rows
+}
+
 // ScaleCellRows shapes the catalog-cardinality grid for WriteAligned.
 func ScaleCellRows(cells []ScaleCell) ([]string, [][]string) {
 	header := []string{"assets", "mode", "pop_s", "assets/s", "heap_mb", "b/asset",

@@ -416,6 +416,19 @@ func (s *Store) ServiceDelete(path string) {
 	s.deletes.Add(1)
 }
 
+// ServiceDeleteChecked removes an object with standing access, consulting
+// the fault injector like the token-authenticated path does; missing
+// objects are still ignored (idempotent cleanup). Callers that must notice
+// storage outages during cleanup — e.g. transaction compensation — use this
+// instead of ServiceDelete.
+func (s *Store) ServiceDeleteChecked(path string) error {
+	if err := s.fault("delete", path); err != nil {
+		return err
+	}
+	s.ServiceDelete(path)
+	return nil
+}
+
 // ServiceDeletePrefix removes every object under prefix and returns the
 // number removed (used by lifecycle garbage collection).
 func (s *Store) ServiceDeletePrefix(prefix string) int {

@@ -47,8 +47,10 @@ func (s ServiceBlobs) List(prefix string) ([]cloudsim.ObjectInfo, error) {
 	return s.Store.ServiceList(prefix)
 }
 
-// Delete implements Blobs.
-func (s ServiceBlobs) Delete(path string) error { s.Store.ServiceDelete(path); return nil }
+// Delete implements Blobs. It consults the fault injector so cleanup paths
+// (compensation, vacuum) observe storage outages instead of silently
+// "succeeding"; missing objects are still ignored.
+func (s ServiceBlobs) Delete(path string) error { return s.Store.ServiceDeleteChecked(path) }
 
 // TokenBlobs adapts a cloudsim.Store through a vended temporary credential —
 // the data plane an engine actually uses.
@@ -244,16 +246,34 @@ func Create(blobs Blobs, path, name string, schema Schema, partitionCols []strin
 	return t, nil
 }
 
-// writeCommit atomically publishes a log entry for the version.
-func (t *Table) writeCommit(version int64, actions []Action) error {
+// EncodeCommit serializes actions as the byte-exact content of one log
+// entry (JSON lines). Callers that need a commit to be republishable — the
+// multi-table transaction coordinator stores the encoded entry in its
+// durable intent record so crash recovery can replay the identical bytes
+// through PutIfAbsent — encode once and publish the frozen payload.
+func EncodeCommit(actions []Action) ([]byte, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, a := range actions {
 		if err := enc.Encode(a); err != nil {
-			return fmt.Errorf("delta: encode action: %w", err)
+			return nil, fmt.Errorf("delta: encode action: %w", err)
 		}
 	}
-	return t.Blobs.PutIfAbsent(t.logPath(version), buf.Bytes())
+	return buf.Bytes(), nil
+}
+
+// LogPath returns the object path of the log entry for a version, for
+// callers that publish or inspect log entries directly (the transaction
+// coordinator's idempotent republish and compensation paths).
+func (t *Table) LogPath(version int64) string { return t.logPath(version) }
+
+// writeCommit atomically publishes a log entry for the version.
+func (t *Table) writeCommit(version int64, actions []Action) error {
+	payload, err := EncodeCommit(actions)
+	if err != nil {
+		return err
+	}
+	return t.Blobs.PutIfAbsent(t.logPath(version), payload)
 }
 
 // lastCheckpointRef is the _last_checkpoint pointer.

@@ -1,0 +1,56 @@
+package txn
+
+import "unitycatalog/internal/obs"
+
+// Metrics is the multi-table transaction metric set: lifecycle counters for
+// commits/aborts and the recovery sweep, plus state-transition latency
+// histograms. All fields are lock-free atomics safe for concurrent use.
+type Metrics struct {
+	Commits        obs.Counter // transactions flipped to COMMITTED
+	Aborts         obs.Counter // transactions decided ABORTED (live or recovery)
+	Conflicts      obs.Counter // commits rejected by snapshot validation
+	Fenced         obs.Counter // operations refused under a stale epoch/lease
+	EpochAcquired  obs.Counter // coordinator epochs acquired (per metastore)
+	PublishRetries obs.Counter // extra publish/compensation attempts after faults
+
+	RecoverRuns      obs.Counter // recovery sweeps executed
+	RecoveredForward obs.Counter // COMMITTED/taken-over records rolled forward
+	RecoveredBack    obs.Counter // expired PREPARED records rolled back
+	RecoverCleaned   obs.Counter // dirty ABORTED records fully compensated
+	RecoverCorrupt   obs.Counter // undecodable intent records skipped
+
+	CommitSeconds        *obs.Histogram // Begin-validated Commit() end to end
+	PrepareSeconds       *obs.Histogram // validate + durable PREPARED intent
+	PublishSeconds       *obs.Histogram // per-participant log-entry publish
+	RecoverySweepSeconds *obs.Histogram // full Recover() pass per metastore
+}
+
+// NewMetrics returns a zeroed metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		CommitSeconds:        obs.NewLatencyHistogram(),
+		PrepareSeconds:       obs.NewLatencyHistogram(),
+		PublishSeconds:       obs.NewLatencyHistogram(),
+		RecoverySweepSeconds: obs.NewLatencyHistogram(),
+	}
+}
+
+// Register exposes the set on a registry under the uc_txn_* family (served
+// by /metrics when wired through uc.Open).
+func (m *Metrics) Register(r *obs.Registry) {
+	r.RegisterCounter("uc_txn_commits_total", "Multi-table transactions committed.", &m.Commits)
+	r.RegisterCounter("uc_txn_aborts_total", "Multi-table transactions aborted.", &m.Aborts)
+	r.RegisterCounter("uc_txn_conflicts_total", "Multi-table commits rejected by snapshot validation.", &m.Conflicts)
+	r.RegisterCounter("uc_txn_fenced_total", "Coordinator operations refused under a stale epoch or expired lease.", &m.Fenced)
+	r.RegisterCounter("uc_txn_epochs_total", "Coordinator epochs acquired.", &m.EpochAcquired)
+	r.RegisterCounter("uc_txn_publish_retries_total", "Extra publish/compensation attempts after injected or transient storage faults.", &m.PublishRetries)
+	r.RegisterCounter("uc_txn_recover_runs_total", "Recovery sweeps executed.", &m.RecoverRuns)
+	r.RegisterCounter("uc_txn_recovered_forward_total", "Transactions rolled forward to full visibility by recovery.", &m.RecoveredForward)
+	r.RegisterCounter("uc_txn_recovered_back_total", "Expired PREPARED transactions rolled back by recovery.", &m.RecoveredBack)
+	r.RegisterCounter("uc_txn_recover_cleaned_total", "Dirty aborted transactions whose compensation recovery completed.", &m.RecoverCleaned)
+	r.RegisterCounter("uc_txn_recover_corrupt_total", "Undecodable transaction intent records skipped by recovery.", &m.RecoverCorrupt)
+	r.RegisterHistogram("uc_txn_commit_seconds", "Multi-table Commit latency end to end.", m.CommitSeconds)
+	r.RegisterHistogram("uc_txn_prepare_seconds", "Latency from Commit entry to durable PREPARED intent.", m.PrepareSeconds)
+	r.RegisterHistogram("uc_txn_publish_seconds", "Per-participant Delta log entry publish latency.", m.PublishSeconds)
+	r.RegisterHistogram("uc_txn_recovery_sweep_seconds", "Recovery sweep latency per metastore.", m.RecoverySweepSeconds)
+}

@@ -5,64 +5,57 @@
 // requires the centralized metadata store to act as the commit coordinator
 // for "catalog-owned" tables.
 //
-// Protocol:
+// Protocol (crash-recoverable two-phase commit with roll-forward):
 //
 //  1. Begin authorizes MODIFY on every participant table and snapshots each
 //     table's current log version.
 //  2. The application stages per-table actions (StageAppend writes data
-//     files eagerly; they are invisible until commit).
-//  3. Commit serializes through the coordinator's per-metastore lock,
-//     verifies no participant advanced past its snapshot (optimistic
-//     concurrency), durably records the transaction intent in the catalog's
-//     ACID store, then publishes every table's next log entry. If any
-//     publish fails (an out-of-band writer raced on a table that should be
-//     catalog-owned), the already-published entries of this transaction are
-//     compensated (removed) and the transaction aborts — all or nothing.
+//     files eagerly; they are invisible until commit and tracked for
+//     cleanup on abort).
+//  3. Commit serializes through the coordinator, verifies no participant
+//     advanced past its snapshot (optimistic concurrency), freezes each
+//     participant's log entry as exact bytes, and durably writes a PREPARED
+//     intent record — participants, pinned versions, frozen payloads, lease
+//     — through the store's group-commit WAL.
+//  4. Each participant's entry is published via idempotent PutIfAbsent of
+//     the frozen bytes, with per-table progress recorded durably as it
+//     lands; storage faults retry, a foreign entry compensates and aborts.
+//  5. The record flips to COMMITTED (or ABORTED with tracked cleanup).
+//
+// If the coordinator dies at any step, Recover finishes the job: PREPARED
+// records past their lease roll back (or forward, if publishes already
+// landed), partially published COMMITTED records roll forward, and dirty
+// aborts re-run compensation — see recover.go for the invariants.
 package txn
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"sync"
+	"sort"
+	"time"
 
+	"unitycatalog/internal/audit"
 	"unitycatalog/internal/catalog"
 	"unitycatalog/internal/cloudsim"
 	"unitycatalog/internal/delta"
 	"unitycatalog/internal/erm"
 	"unitycatalog/internal/events"
 	"unitycatalog/internal/ids"
-	"unitycatalog/internal/store"
 )
-
-// Common errors.
-var (
-	// ErrConflict means a participant table advanced past the transaction's
-	// snapshot; retry with fresh state.
-	ErrConflict = errors.New("txn: serialization conflict")
-	// ErrAborted is returned by operations on a finished transaction.
-	ErrAborted = errors.New("txn: transaction is no longer active")
-)
-
-// Coordinator commits multi-table transactions through the catalog.
-type Coordinator struct {
-	Service *catalog.Service
-
-	mu sync.Mutex // serializes commits per coordinator (per metastore set)
-}
-
-// NewCoordinator returns a Coordinator over the service.
-func NewCoordinator(svc *catalog.Service) *Coordinator {
-	return &Coordinator{Service: svc}
-}
 
 // participant is one table in a transaction.
 type participant struct {
-	full    string
-	entity  *erm.Entity
+	full   string
+	entity *erm.Entity
+	// table reads and stages through the principal's vended credential;
+	// ctable is the coordinator's control-plane handle (standing service
+	// access) used for validation, publish, and compensation — recovery has
+	// no vended token, so the commit path must not depend on one either.
 	table   *delta.Table
+	ctable  *delta.Table
 	base    *delta.Snapshot
 	actions []delta.Action
+	staged  []string // full blob paths written by StageAppend
 }
 
 // Txn is an in-flight multi-table transaction.
@@ -71,6 +64,7 @@ type Txn struct {
 	coord *Coordinator
 	ctx   catalog.Ctx
 	parts map[string]*participant
+	order []string // deterministic participant order (sorted full names)
 	done  bool
 }
 
@@ -88,6 +82,9 @@ func (c *Coordinator) Begin(ctx catalog.Ctx, tables []string) (*Txn, error) {
 	}
 	t := &Txn{ID: ids.New(), coord: c, ctx: ctx, parts: map[string]*participant{}}
 	for _, full := range tables {
+		if _, dup := t.parts[full]; dup {
+			continue
+		}
 		ra := resp.Assets[full]
 		if ra == nil || ra.Table == nil || ra.Credential == nil {
 			return nil, fmt.Errorf("%w: %s is not a writable table", catalog.ErrInvalidArgument, full)
@@ -95,18 +92,53 @@ func (c *Coordinator) Begin(ctx catalog.Ctx, tables []string) (*Txn, error) {
 		dt := delta.NewTable(ra.Entity.StoragePath, delta.TokenBlobs{
 			Store: c.Service.Cloud(), Token: ra.Credential.Credential.Token,
 		})
+		ct := delta.NewTable(ra.Entity.StoragePath, c.serviceBlobs())
 		snap, err := dt.Snapshot()
 		if err != nil {
 			return nil, fmt.Errorf("txn: open %s: %w", full, err)
 		}
-		t.parts[full] = &participant{full: full, entity: ra.Entity, table: dt, base: snap}
+		t.parts[full] = &participant{full: full, entity: ra.Entity, table: dt, ctable: ct, base: snap}
+		t.order = append(t.order, full)
+	}
+	sort.Strings(t.order)
+	for _, full := range t.order {
+		c.auditTxn(ctx, "TxnBegin", t.ID, t.parts[full], true, fmt.Sprintf("pinned v%d", t.parts[full].base.Version))
 	}
 	return t, nil
+}
+
+// auditTxn appends one multi-table transaction audit record per participant,
+// carrying the resolved securable, the transaction ID, and the trace ID.
+func (c *Coordinator) auditTxn(ctx catalog.Ctx, op string, id ids.ID, p *participant, allowed bool, detail string) {
+	rec := audit.Record{
+		Kind: audit.KindAPIRequest, Metastore: ctx.Metastore,
+		Principal: string(ctx.Principal), Operation: op,
+		Allowed: allowed, Detail: detail,
+		Extra:   map[string]string{"txn": string(id)},
+		TraceID: ctx.Trace.TraceID(),
+	}
+	if p != nil {
+		rec.Securable = p.entity.ID
+		rec.Extra["table"] = p.full
+	}
+	c.Service.Audit().Append(rec)
+}
+
+// ordered returns participants in deterministic publish order.
+func (t *Txn) ordered() []*participant {
+	out := make([]*participant, 0, len(t.order))
+	for _, full := range t.order {
+		out = append(out, t.parts[full])
+	}
+	return out
 }
 
 // Read returns the transaction's pinned snapshot of a participant table,
 // for reads at a consistent point across all participants.
 func (t *Txn) Read(full string) (*delta.Snapshot, error) {
+	if t.done {
+		return nil, ErrAborted
+	}
 	p, ok := t.parts[full]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s is not a participant", catalog.ErrInvalidArgument, full)
@@ -116,6 +148,9 @@ func (t *Txn) Read(full string) (*delta.Snapshot, error) {
 
 // Scan reads from a participant at the transaction snapshot.
 func (t *Txn) Scan(full string, columns []string, preds []delta.Predicate) (*delta.ScanResult, error) {
+	if t.done {
+		return nil, ErrAborted
+	}
 	p, ok := t.parts[full]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s is not a participant", catalog.ErrInvalidArgument, full)
@@ -137,7 +172,8 @@ func (t *Txn) Stage(full string, actions ...delta.Action) error {
 }
 
 // StageAppend writes the batch as a data file now (invisible until commit)
-// and stages the corresponding AddFile action.
+// and stages the corresponding AddFile action. The file path is tracked so
+// an abort can remove it instead of leaking it until VACUUM.
 func (t *Txn) StageAppend(full string, batch *delta.Batch) error {
 	if t.done {
 		return ErrAborted
@@ -154,6 +190,7 @@ func (t *Txn) StageAppend(full string, batch *delta.Batch) error {
 	if err := p.table.Blobs.Put(p.table.Path+"/"+name, data); err != nil {
 		return err
 	}
+	p.staged = append(p.staged, p.table.Path+"/"+name)
 	p.actions = append(p.actions, delta.Action{Add: &delta.AddFile{
 		Path: name, Size: int64(len(data)), DataChange: true,
 		Stats: delta.ComputeStats(batch),
@@ -161,19 +198,9 @@ func (t *Txn) StageAppend(full string, batch *delta.Batch) error {
 	return nil
 }
 
-// txnRecord is the durable intent written to the catalog store.
-type txnRecord struct {
-	ID        ids.ID           `json:"id"`
-	Principal string           `json:"principal"`
-	Tables    map[string]int64 `json:"tables"` // full name -> committed version
-	State     string           `json:"state"`  // COMMITTED, ABORTED
-}
-
-// storeTable is the catalog store table holding transaction records.
-const storeTable = "multitable_txn"
-
-// Commit atomically publishes all staged actions. On conflict nothing is
-// applied and ErrConflict is returned.
+// Commit atomically publishes all staged actions via the two-phase protocol.
+// On conflict nothing is applied and ErrConflict is returned; on ErrFenced a
+// newer coordinator owns the outcome and the caller must check Record.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrAborted
@@ -182,106 +209,226 @@ func (t *Txn) Commit() error {
 	c := t.coord
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 
-	// Validate: no participant advanced past its pinned version.
-	for _, p := range t.parts {
-		cur, err := p.table.Snapshot()
+	// Phase 0 — validate: no participant advanced past its pinned version.
+	// Validation goes through the coordinator's control-plane handle so
+	// injected storage faults retry instead of spuriously aborting.
+	for _, p := range t.ordered() {
+		cur, err := c.snapshotRetrying(p.ctable)
 		if err != nil {
 			return err
 		}
 		if cur.Version != p.base.Version {
+			c.metrics.Conflicts.Inc()
+			// Nothing durable exists yet; just drop the staged files.
+			t.dropStaged()
+			c.auditTxn(t.ctx, "TxnCommit", t.ID, p, false,
+				fmt.Sprintf("conflict: moved v%d -> v%d", p.base.Version, cur.Version))
 			return fmt.Errorf("%w: %s moved v%d -> v%d", ErrConflict, p.full, p.base.Version, cur.Version)
 		}
 	}
 
-	// Durably record intent in the catalog's ACID store before touching
-	// any log: recovery can tell a committed transaction from an aborted
-	// one.
-	rec := txnRecord{ID: t.ID, Principal: string(t.ctx.Principal), Tables: map[string]int64{}, State: "COMMITTED"}
-	for _, p := range t.parts {
-		rec.Tables[p.full] = p.base.Version + 1
+	// Phase 1 — prepare: freeze each participant's log entry as exact bytes
+	// and durably record the intent. From here the transaction survives a
+	// coordinator crash: the record alone is enough to finish or undo it.
+	rec := &intentRecord{
+		ID: t.ID, Principal: string(t.ctx.Principal), State: StatePrepared,
+		LeaseExpiry: c.now().Add(c.opts.Lease),
 	}
-	recB, err := json.Marshal(rec)
-	if err != nil {
+	for _, p := range t.ordered() {
+		all := append(append([]delta.Action{}, p.actions...), delta.Action{
+			CommitInfo: &delta.CommitInfo{
+				Timestamp: c.now().UnixMilli(),
+				Operation: fmt.Sprintf("MULTI-TABLE TXN %s", t.ID.Short()),
+			},
+		})
+		payload, err := delta.EncodeCommit(all)
+		if err != nil {
+			return err
+		}
+		rec.Participants = append(rec.Participants, participantRecord{
+			Name: p.full, EntityID: p.entity.ID, TablePath: p.ctable.Path,
+			Base: p.base.Version, Target: p.base.Version + 1,
+			Payload: payload, Staged: p.staged,
+		})
+	}
+	if err := c.putRecord(t.ctx.Metastore, rec); err != nil {
 		return err
 	}
-	db := c.Service.DB()
-	if _, err := db.Update(t.ctx.Metastore, func(tx *store.Tx) error {
-		tx.Put(storeTable, string(t.ID), recB)
+	c.metrics.PrepareSeconds.ObserveDuration(time.Since(start))
+	if err := c.crashed("after_intent"); err != nil {
+		return err
+	}
+
+	// Phase 2 — publish every participant's log entry in deterministic
+	// order, recording durable progress as each lands.
+	blobs := c.serviceBlobs()
+	for i, p := range t.ordered() {
+		if err := c.crashed("before_publish:" + p.full); err != nil {
+			return err
+		}
+		if err := c.fenceCheck(t.ctx.Metastore, t.ID); err != nil {
+			return err
+		}
+		pubStart := time.Now()
+		path := p.ctable.LogPath(rec.Participants[i].Target)
+		if err := c.publishOne(blobs, path, rec.Participants[i].Payload); err != nil {
+			if errors.Is(err, errForeignEntry) {
+				// An out-of-band writer took our target version: compensate
+				// everything we published and abort.
+				aerr := t.abortPrepared(blobs, rec, err)
+				if aerr != nil {
+					return aerr
+				}
+				c.metrics.Conflicts.Inc()
+				return fmt.Errorf("%w: %s (out-of-band writer)", ErrConflict, p.full)
+			}
+			// Retries exhausted on a storage fault, or an unclassified
+			// error: decide ABORTED while we still own the record.
+			if aerr := t.abortPrepared(blobs, rec, err); aerr != nil {
+				return errors.Join(err, aerr)
+			}
+			return err
+		}
+		c.metrics.PublishSeconds.ObserveDuration(time.Since(pubStart))
+		if err := c.crashed("after_publish:" + p.full); err != nil {
+			return err
+		}
+		idx, exp := i, c.now().Add(c.opts.Lease)
+		if err := c.updateRecord(t.ctx.Metastore, t.ID, func(r *intentRecord) error {
+			if r.State != StatePrepared {
+				return fmt.Errorf("%w: record already %s", ErrFenced, r.State)
+			}
+			r.Participants[idx].Published = true
+			r.LeaseExpiry = exp
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3 — decide: flip the record to COMMITTED. This store write is
+	// the commit point; after it, recovery only ever rolls forward.
+	if err := c.crashed("before_flip"); err != nil {
+		return err
+	}
+	if err := c.updateRecord(t.ctx.Metastore, t.ID, func(r *intentRecord) error {
+		if r.State != StatePrepared {
+			return fmt.Errorf("%w: record already %s", ErrFenced, r.State)
+		}
+		r.State = StateCommitted
 		return nil
 	}); err != nil {
 		return err
 	}
+	c.metrics.Commits.Inc()
+	c.metrics.CommitSeconds.ObserveDuration(time.Since(start))
 
-	// Publish each participant's next log version. Under catalog ownership
-	// the coordinator is the only committer, so these cannot conflict; if
-	// an out-of-band writer raced anyway, compensate and abort.
-	var published []*participant
-	for _, p := range t.parts {
-		op := fmt.Sprintf("MULTI-TABLE TXN %s", t.ID.Short())
-		if _, err := p.table.Commit(p.base, p.actions, op); err != nil {
-			for _, q := range published {
-				q.table.Blobs.Delete(logPath(q.table, q.base.Version+1))
-			}
-			t.markAborted()
-			if errors.Is(err, delta.ErrConflict) {
-				return fmt.Errorf("%w: %s (out-of-band writer)", ErrConflict, p.full)
-			}
-			return err
-		}
-		published = append(published, p)
-	}
-	// Announce a table-data commit event per participant.
-	for _, p := range t.parts {
+	// Announce a table-data commit event and audit entry per participant.
+	for i, p := range t.ordered() {
 		c.Service.Bus().Publish(events.Event{
 			Metastore: t.ctx.Metastore, Op: events.OpCommit,
 			EntityID: p.entity.ID, Type: string(p.entity.Type), FullName: p.full,
 			Principal: string(t.ctx.Principal), Detail: "txn " + t.ID.Short(),
 		})
+		c.auditTxn(t.ctx, "TxnCommit", t.ID, p, true, fmt.Sprintf("published v%d", rec.Participants[i].Target))
 	}
 	return nil
 }
 
-// markAborted flips the durable record to ABORTED (best effort).
-func (t *Txn) markAborted() {
-	rec := txnRecord{ID: t.ID, Principal: string(t.ctx.Principal), State: "ABORTED"}
-	if b, err := json.Marshal(rec); err == nil {
-		t.coord.Service.DB().Update(t.ctx.Metastore, func(tx *store.Tx) error {
-			tx.Put(storeTable, string(t.ID), b)
-			return nil
-		})
+// dropStaged deletes this transaction's staged data files (best effort with
+// visible failures: the joined error is returned, not swallowed).
+func (t *Txn) dropStaged() error {
+	var all []string
+	for _, p := range t.parts {
+		all = append(all, p.staged...)
 	}
+	return t.coord.deleteStaged(t.coord.serviceBlobs(), all)
 }
 
-// Abort discards the transaction (staged data files become garbage for
-// VACUUM; they were never referenced by any log).
-func (t *Txn) Abort() {
+// abortPrepared decides ABORTED for a PREPARED record this coordinator still
+// owns, then compensates. Ordering matters: the durable ABORTED mark (with
+// Dirty set) lands first, so a concurrent recovery can never roll the
+// transaction forward after we started deleting its entries; compensation
+// failures are recorded on the record (CleanupErr) and returned — never
+// silently dropped — and the recovery sweep retries them until Dirty clears.
+func (t *Txn) abortPrepared(blobs delta.Blobs, rec *intentRecord, cause error) error {
+	c := t.coord
+	if err := c.updateRecord(t.ctx.Metastore, t.ID, func(r *intentRecord) error {
+		if r.State != StatePrepared {
+			return fmt.Errorf("%w: record already %s", ErrFenced, r.State)
+		}
+		r.State = StateAborted
+		r.Dirty = true
+		return nil
+	}); err != nil {
+		return err
+	}
+	c.metrics.Aborts.Inc()
+
+	var errs []error
+	for i := range rec.Participants {
+		pr := &rec.Participants[i]
+		path := fmt.Sprintf("%s/_delta_log/%020d.json", pr.TablePath, pr.Target)
+		if err := c.deleteIfOurs(blobs, path, pr.Payload); err != nil {
+			errs = append(errs, fmt.Errorf("compensate %s: %w", pr.Name, err))
+		}
+		if err := c.deleteStaged(blobs, pr.Staged); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	cleanupErr := errors.Join(errs...)
+	if uerr := c.updateRecord(t.ctx.Metastore, t.ID, func(r *intentRecord) error {
+		if cleanupErr != nil {
+			r.CleanupErr = cleanupErr.Error()
+		} else {
+			r.Dirty = false
+			r.CleanupErr = ""
+		}
+		return nil
+	}); uerr != nil {
+		errs = append(errs, uerr)
+		cleanupErr = errors.Join(errs...)
+	}
+	for _, p := range t.ordered() {
+		c.auditTxn(t.ctx, "TxnAbort", t.ID, p, true, "aborted: "+cause.Error())
+	}
+	return cleanupErr
+}
+
+// Abort discards the transaction before commit: its staged data files are
+// deleted (not leaked until VACUUM) and a terminal ABORTED record is
+// written. Cleanup or record failures are returned, and a failed cleanup
+// leaves the record Dirty so the recovery sweep retries it. A second Abort
+// (or Abort after Commit) returns ErrAborted.
+func (t *Txn) Abort() error {
 	if t.done {
-		return
+		return ErrAborted
 	}
 	t.done = true
-	t.markAborted()
-}
+	c := t.coord
+	c.mu.Lock()
+	defer c.mu.Unlock()
 
-// logPath mirrors the delta package's log naming for compensation.
-func logPath(tbl *delta.Table, version int64) string {
-	return fmt.Sprintf("%s/_delta_log/%020d.json", tbl.Path, version)
-}
-
-// Record fetches a transaction's durable record (for tests and tooling).
-func (c *Coordinator) Record(msID string, id ids.ID) (state string, tables map[string]int64, err error) {
-	snap, err := c.Service.DB().Snapshot(msID)
-	if err != nil {
-		return "", nil, err
+	rec := &intentRecord{
+		ID: t.ID, Principal: string(t.ctx.Principal), State: StateAborted,
 	}
-	defer snap.Close()
-	b, ok := snap.Get(storeTable, string(id))
-	if !ok {
-		return "", nil, fmt.Errorf("%w: txn %s", catalog.ErrNotFound, id.Short())
+	for _, p := range t.ordered() {
+		rec.Participants = append(rec.Participants, participantRecord{
+			Name: p.full, EntityID: p.entity.ID, TablePath: p.ctable.Path,
+			Base: p.base.Version, Target: p.base.Version + 1, Staged: p.staged,
+		})
 	}
-	var rec txnRecord
-	if err := json.Unmarshal(b, &rec); err != nil {
-		return "", nil, err
+	cleanupErr := t.dropStaged()
+	if cleanupErr != nil {
+		rec.Dirty = true
+		rec.CleanupErr = cleanupErr.Error()
 	}
-	return rec.State, rec.Tables, nil
+	recErr := c.putRecord(t.ctx.Metastore, rec)
+	c.metrics.Aborts.Inc()
+	for _, p := range t.ordered() {
+		c.auditTxn(t.ctx, "TxnAbort", t.ID, p, true, "aborted by caller")
+	}
+	return errors.Join(cleanupErr, recErr)
 }

@@ -143,6 +143,15 @@ type Config struct {
 	// TraceSlowThreshold always retains traces at least this slow
 	// (default 100ms; negative disables).
 	TraceSlowThreshold time.Duration
+
+	// --- multi-table transactions (see internal/txn) ---
+
+	// TxnLease bounds how long an in-flight multi-table commit may keep
+	// publishing before the recovery sweep may take it over (default 30s).
+	TxnLease time.Duration
+	// TxnSweepInterval runs the transaction recovery sweep periodically
+	// (default 0: startup-only recovery, no background sweeper).
+	TxnSweepInterval time.Duration
 }
 
 // Catalog is the assembled Unity Catalog stack.
@@ -156,8 +165,9 @@ type Catalog struct {
 	Artifacts *mlregistry.ArtifactRepository
 	Optimizer *optimize.Optimizer
 
-	db  *store.DB
-	srv *server.Server
+	db    *store.DB
+	srv   *server.Server
+	coord *txn.Coordinator
 }
 
 // Open assembles a Catalog from the config.
@@ -198,11 +208,23 @@ func Open(cfg Config) (*Catalog, error) {
 	c.Models = c.srv.Registry
 	c.Artifacts = mlregistry.NewArtifactRepository(svc)
 	c.Optimizer = optimize.New(svc, optimize.Options{})
+
+	// One transaction coordinator per stack: its intent records outlive any
+	// process (WAL replay restores them into the store), so recover what a
+	// predecessor left behind, expose its metrics on /metrics, and keep a
+	// periodic sweep running if configured.
+	c.coord = txn.NewCoordinatorOptions(svc, txn.Options{Lease: cfg.TxnLease})
+	c.coord.Metrics().Register(c.srv.Metrics())
+	// Recovery failures are retried by the sweep (and visible in metrics
+	// and intent records); an embedder still gets a catalog.
+	c.coord.RecoverAll()
+	c.coord.StartSweeper(cfg.TxnSweepInterval)
 	return c, nil
 }
 
 // Close shuts the stack down.
 func (c *Catalog) Close() error {
+	c.coord.Close()
 	c.Lineage.Close()
 	c.Search.Close()
 	return c.db.Close()
@@ -255,10 +277,13 @@ func (c *Catalog) BootstrapDeltaTable(path string, cols []ColumnInfo) error {
 	return err
 }
 
-// NewTransactionCoordinator returns a coordinator for multi-table,
+// NewTransactionCoordinator returns the stack's coordinator for multi-table,
 // multi-statement transactions on catalog-owned Delta tables (paper §6.3).
+// The coordinator is shared: it was created at Open, already recovered any
+// transactions a crashed predecessor left behind, and exports its metrics
+// under uc_txn_* on /metrics.
 func (c *Catalog) NewTransactionCoordinator() *txn.Coordinator {
-	return txn.NewCoordinator(c.Service)
+	return c.coord
 }
 
 // Session binds a principal and metastore for fluent catalog operations.
