@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs bench-scale bench-txn
+.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs bench-scale bench-txn bench-http
 
 test:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ race:
 		./internal/audit/... \
 		./internal/faults/... \
 		./internal/retry/... \
+		./internal/jsonenc/... \
 		./internal/cloudsim/... \
 		./internal/delta/... \
 		./internal/txn/... \
@@ -68,3 +69,10 @@ bench-scale:
 # Delta tables + crash-recovery sweep over an interrupted backlog).
 bench-txn:
 	$(GO) run ./cmd/ucbench -exp txn -out BENCH_txn.json
+
+# HTTP hot-path grid (exact allocs/request per route for reflection vs
+# pooled-encoder vs conditional-304 response paths, then 1k/10k concurrent
+# keep-alive clients over real TCP with p50/p99 and QPS per arm); emits
+# BENCH_http.json.
+bench-http:
+	$(GO) run ./cmd/ucbench -exp http -out BENCH_http.json

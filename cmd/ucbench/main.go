@@ -90,8 +90,15 @@ func main() {
 			}
 			header, rows = bench.TxnCellRows(grid)
 			cells, n = grid, len(grid)
+		case "http":
+			grid, err := bench.RunHTTPGrid(*quick)
+			if err != nil {
+				log.Fatalf("http: %v", err)
+			}
+			header, rows = bench.HTTPCellRows(grid)
+			cells, n = grid, len(grid)
 		default:
-			log.Fatalf("-out is only supported with -exp authz, obs, scale, or txn")
+			log.Fatalf("-out is only supported with -exp authz, obs, scale, txn, or http")
 		}
 		rep := report{
 			Generated:  time.Now().UTC().Format(time.RFC3339),

@@ -36,6 +36,8 @@ func main() {
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		sampleN   = flag.Int("trace-sample", 0, "retain every Nth trace for /debug/traces (0 = default 64, negative disables)")
 		slowMs    = flag.Int("trace-slow-ms", 0, "always retain traces at least this slow (0 = default 100ms, negative disables)")
+		naiveEnc  = flag.Bool("naive-encoding", false, "use the reflection-based JSON response path instead of the pooled encoders (ablation)")
+		etagAge   = flag.Duration("etag-max-age", 0, "conditional-GET validator lifetime (0 = default 30s, negative disables)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func main() {
 		Pprof:              *pprofFlag,
 		TraceSampleEvery:   *sampleN,
 		TraceSlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+		NaiveEncoding:      *naiveEnc,
+		ETagMaxAge:         *etagAge,
 	})
 	if err != nil {
 		log.Fatalf("open catalog: %v", err)

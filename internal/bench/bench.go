@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"obs", "Instrumentation overhead: request tracing on vs off", ObsExperiment},
 		{"scale", "Catalog cardinality: ordered indexes + keyset pagination at scale", ScaleExperiment},
 		{"txn", "Multi-table transactions: contended commit + recovery sweep", TxnExperiment},
+		{"http", "HTTP hot path: pooled encoders + conditional GET at connection scale", HTTPExperiment},
 	}
 }
 

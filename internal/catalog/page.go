@@ -121,42 +121,64 @@ func decodeAligned(r pagedReader, keys []string) []*erm.Entity {
 	return out
 }
 
-// pageCollector accumulates one page while tracking the last index key
-// consumed, which becomes the continuation point. stage/outer carry the
+// pageCollector drives one page while tracking the last index key consumed,
+// which becomes the continuation point. Admitted entities are handed to emit
+// as the scan produces them — the caller decides whether to buffer them into
+// a Page or stream them straight into a response body. stage/outer carry the
 // extra cursor state of nested (catalog-scope) walks.
 type pageCollector struct {
-	out     []*erm.Entity
+	emit    func(*erm.Entity)
+	n       int
 	lastKey string
 	limit   int
 	stage   int
 	outer   string
 }
 
-func (p *pageCollector) full() bool { return len(p.out) >= p.limit }
+func (p *pageCollector) add(e *erm.Entity) { p.n++; p.emit(e) }
+func (p *pageCollector) full() bool        { return p.n >= p.limit }
+func (p *pageCollector) room() int         { return p.limit - p.n }
 
 // ListAssetsPage lists the children of parentFull having the given type in
 // child-index order — (type, id) — returning at most maxResults visible
 // assets and a token to continue from. It is the paginated sibling of
 // ListAssets: same authorization, different order, bounded cost per call.
-func (s *Service) ListAssetsPage(ctx Ctx, parentFull string, t erm.SecurableType, maxResults int, pageToken string) (page *Page, err error) {
+func (s *Service) ListAssetsPage(ctx Ctx, parentFull string, t erm.SecurableType, maxResults int, pageToken string) (*Page, error) {
+	page := &Page{}
+	next, err := s.ListAssetsPageFunc(ctx, parentFull, t, maxResults, pageToken, func(e *erm.Entity) {
+		page.Assets = append(page.Assets, e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	page.NextPageToken = next
+	return page, nil
+}
+
+// ListAssetsPageFunc is the streaming core of ListAssetsPage: each visible
+// asset is passed to emit in index order as the scan produces it, and the
+// continuation token (empty when exhausted) is returned. Every error path
+// fires before the first emit, so callers may stream emissions directly into
+// an HTTP response without a partial-write hazard.
+func (s *Service) ListAssetsPageFunc(ctx Ctx, parentFull string, t erm.SecurableType, maxResults int, pageToken string, emit func(*erm.Entity)) (next string, err error) {
 	var parent *erm.Entity
 	defer func() { s.apiAudit(ctx, "ListAssets", entityID(parent), true, err) }()
 	ms, err := s.meta(ctx.Metastore)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	var cur *pageCursor
 	if pageToken != "" {
 		if cur, err = decodeCursor(pageToken); err != nil {
-			return nil, err
+			return "", err
 		}
 		if cur.S != "list" {
-			return nil, fmt.Errorf("%w: page token from a different request", ErrInvalidArgument)
+			return "", fmt.Errorf("%w: page token from a different request", ErrInvalidArgument)
 		}
 	}
 	r, release, err := s.pageReader(ctx, cur)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	defer release()
 
@@ -164,17 +186,17 @@ func (s *Service) ListAssetsPage(ctx Ctx, parentFull string, t erm.SecurableType
 		var ok bool
 		parent, ok = erm.GetEntity(r, ms.info.EntityID)
 		if !ok {
-			return nil, fmt.Errorf("%w: metastore entity", ErrNotFound)
+			return "", fmt.Errorf("%w: metastore entity", ErrNotFound)
 		}
 	} else {
 		parent, err = s.resolveEntity(r, ms, parentFull)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		// Listing inside a container requires its usage privilege — checked
 		// on every page, against the page's pinned version.
 		if err := s.authorizeRead(ctx, r, parent); err != nil {
-			return nil, err
+			return "", err
 		}
 	}
 	auth := s.authorizer(ctx, r)
@@ -185,9 +207,9 @@ func (s *Service) ListAssetsPage(ctx Ctx, parentFull string, t erm.SecurableType
 	if cur != nil {
 		start = cur.K + "\x00"
 	}
-	pc := &pageCollector{limit: clampPageSize(maxResults)}
+	pc := &pageCollector{limit: clampPageSize(maxResults), emit: emit}
 	for !pc.full() {
-		batch := r.ScanRange(erm.TableChild, start, end, pc.limit-len(pc.out))
+		batch := r.ScanRange(erm.TableChild, start, end, pc.room())
 		if len(batch) == 0 {
 			break
 		}
@@ -202,7 +224,7 @@ func (s *Service) ListAssetsPage(ctx Ctx, parentFull string, t erm.SecurableType
 			if e == nil || e.State == erm.StateSoftDeleted || !s.visible(ctx, auth, r, e) {
 				continue
 			}
-			pc.out = append(pc.out, e)
+			pc.add(e)
 			if pc.full() {
 				break
 			}
@@ -210,11 +232,10 @@ func (s *Service) ListAssetsPage(ctx Ctx, parentFull string, t erm.SecurableType
 		start = pc.lastKey + "\x00"
 	}
 
-	page = &Page{Assets: pc.out}
 	if pc.lastKey != "" && len(r.ScanRange(erm.TableChild, pc.lastKey+"\x00", end, 1)) > 0 {
-		page.NextPageToken = encodeCursor(pageCursor{V: r.Version(), S: "list", K: pc.lastKey})
+		next = encodeCursor(pageCursor{V: r.Version(), S: "list", K: pc.lastKey})
 	}
-	return page, nil
+	return next, nil
 }
 
 // queryPlan selects the index a paged query runs over. Deterministic in the
@@ -239,40 +260,57 @@ func queryPlan(f Filter) string {
 // token in f.PageToken's format. The plan pushes the most selective filter
 // into an ordered index range; residual predicates and per-entity visibility
 // stream over the scan.
-func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (page *Page, err error) {
+func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (*Page, error) {
+	page := &Page{}
+	next, err := s.QueryAssetsPageFunc(ctx, f, func(e *erm.Entity) {
+		page.Assets = append(page.Assets, e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	page.NextPageToken = next
+	return page, nil
+}
+
+// QueryAssetsPageFunc is the streaming core of QueryAssetsPage: each matching
+// entity is passed to emit in index order as the plan's scan produces it, and
+// the continuation token (empty when exhausted) is returned. Every error path
+// fires before the first emit, so callers may stream emissions directly into
+// an HTTP response without a partial-write hazard.
+func (s *Service) QueryAssetsPageFunc(ctx Ctx, f Filter, emit func(*erm.Entity)) (next string, err error) {
 	var scope *erm.Entity
 	defer func() { s.apiAudit(ctx, "QueryAssets", entityID(scope), true, err) }()
 	plan := queryPlan(f)
 	var cur *pageCursor
 	if f.PageToken != "" {
 		if cur, err = decodeCursor(f.PageToken); err != nil {
-			return nil, err
+			return "", err
 		}
 		if cur.S != plan {
-			return nil, fmt.Errorf("%w: page token from a different query", ErrInvalidArgument)
+			return "", fmt.Errorf("%w: page token from a different query", ErrInvalidArgument)
 		}
 	}
 	r, release, err := s.pageReader(ctx, cur)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	defer release()
 	auth := s.authorizer(ctx, r)
-	pc := &pageCollector{limit: clampPageSize(f.MaxResults)}
+	pc := &pageCollector{limit: clampPageSize(f.MaxResults), emit: emit}
 
 	// admit applies residual filters and visibility; returns true when the
 	// page is full.
 	admit := func(key string, e *erm.Entity) bool {
 		pc.lastKey = key
 		if e != nil && matchesFilter(r, f, e) && s.visible(ctx, auth, r, e) {
-			pc.out = append(pc.out, e)
+			pc.add(e)
 		}
 		return pc.full()
 	}
 	// walkIDRange pages an index whose values are entity IDs.
 	walkIDRange := func(table, start, end string) (more bool) {
 		for !pc.full() {
-			batch := r.ScanRange(table, start, end, pc.limit-len(pc.out))
+			batch := r.ScanRange(table, start, end, pc.room())
 			if len(batch) == 0 {
 				return false
 			}
@@ -296,11 +334,11 @@ func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (page *Page, err error) {
 	case "child", "name":
 		ms, merr := s.meta(ctx.Metastore)
 		if merr != nil {
-			return nil, merr
+			return "", merr
 		}
 		schema, rerr := s.resolveEntity(r, ms, f.CatalogName+"."+f.SchemaName)
 		if rerr != nil {
-			return nil, rerr
+			return "", rerr
 		}
 		scope = schema
 		var prefix, table string
@@ -334,7 +372,7 @@ func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (page *Page, err error) {
 			}
 		}
 		for !pc.full() {
-			batch := r.ScanRange(erm.TableTagIdx, start, end, pc.limit-len(pc.out)+1)
+			batch := r.ScanRange(erm.TableTagIdx, start, end, pc.room()+1)
 			if len(batch) == 0 {
 				break
 			}
@@ -357,11 +395,11 @@ func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (page *Page, err error) {
 	case "cat":
 		ms, merr := s.meta(ctx.Metastore)
 		if merr != nil {
-			return nil, merr
+			return "", merr
 		}
 		cat, rerr := s.resolveEntity(r, ms, f.CatalogName)
 		if rerr != nil {
-			return nil, rerr
+			return "", rerr
 		}
 		scope = cat
 		more = s.walkCatalogPage(r, f, cur, pc, admit, cat)
@@ -372,7 +410,7 @@ func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (page *Page, err error) {
 			start = cur.K + "\x00"
 		}
 		for !pc.full() {
-			batch := r.ScanRange(erm.TableEntity, start, "", pc.limit-len(pc.out))
+			batch := r.ScanRange(erm.TableEntity, start, "", pc.room())
 			if len(batch) == 0 {
 				break
 			}
@@ -391,11 +429,10 @@ func (s *Service) QueryAssetsPage(ctx Ctx, f Filter) (page *Page, err error) {
 		more = len(r.ScanRange(erm.TableEntity, pc.lastKey+"\x00", "", 1)) > 0
 	}
 
-	page = &Page{Assets: pc.out}
 	if more && pc.lastKey != "" {
-		page.NextPageToken = encodeCursor(pageCursor{V: r.Version(), S: plan, K: pc.lastKey, K2: pc.outer, G: pc.stage})
+		next = encodeCursor(pageCursor{V: r.Version(), S: plan, K: pc.lastKey, K2: pc.outer, G: pc.stage})
 	}
-	return page, nil
+	return next, nil
 }
 
 // walkCatalogPage pages a catalog-scoped query: each schema's children in
@@ -428,7 +465,7 @@ func (s *Service) walkCatalogPage(r pagedReader, f Filter, cur *pageCursor, pc *
 				start, inner = inner+"\x00", ""
 			}
 			for !pc.full() {
-				batch := r.ScanRange(erm.TableChild, start, end, pc.limit-len(pc.out))
+				batch := r.ScanRange(erm.TableChild, start, end, pc.room())
 				if len(batch) == 0 {
 					break
 				}
@@ -470,7 +507,7 @@ func (s *Service) walkCatalogPage(r pagedReader, f Filter, cur *pageCursor, pc *
 		start = inner + "\x00"
 	}
 	for !pc.full() {
-		batch := r.ScanRange(erm.TableChild, start, schemaEnd, pc.limit-len(pc.out))
+		batch := r.ScanRange(erm.TableChild, start, schemaEnd, pc.room())
 		if len(batch) == 0 {
 			return false
 		}

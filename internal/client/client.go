@@ -53,6 +53,11 @@ type Client struct {
 	// so one slow attempt fails fast and the retry budget is spent on fresh
 	// attempts (0 = rely on the http.Client's overall timeout alone).
 	RequestTimeout time.Duration
+
+	// vcache remembers ETag validators and bodies for conditional GET. A
+	// pointer so Client stays copyable (Resolve clones per principal) and so
+	// zero-valued Clients simply skip conditional handling.
+	vcache *validatorCache
 }
 
 // New returns a Client whose transport times out instead of hanging.
@@ -62,6 +67,7 @@ func New(base, principal, metastore string) *Client {
 		HTTP:      &http.Client{Timeout: defaultHTTPTimeout},
 		Principal: principal,
 		Metastore: metastore,
+		vcache:    newValidatorCache(),
 	}
 }
 
@@ -130,10 +136,22 @@ func retryable(method string) func(error) bool {
 
 // roundTrip performs one logical request with retries. body is re-read
 // from scratch on every attempt, and each attempt gets its own deadline.
+//
+// When the client has seen this exact request before and the server stamped
+// an ETag on the response, the attempt carries If-None-Match; a 304 reply
+// short-circuits to the cached body without the server re-encoding (or the
+// client re-downloading) anything.
 func (c *Client) roundTrip(method, path string, body []byte, jsonBody bool) ([]byte, error) {
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = &http.Client{Timeout: defaultHTTPTimeout}
+	}
+	var vkey uint64
+	var cachedTag string
+	var cachedBody []byte
+	if c.vcache != nil {
+		vkey = validatorKey(c.Principal, c.Metastore, method, path, string(body))
+		cachedTag, cachedBody = c.vcache.get(vkey)
 	}
 	return retry.DoValue(c.Retry, retryable(method), func() ([]byte, error) {
 		ctx, cancel := context.Background(), func() {}
@@ -154,6 +172,9 @@ func (c *Client) roundTrip(method, path string, body []byte, jsonBody bool) ([]b
 		if jsonBody && body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if cachedTag != "" {
+			req.Header.Set("If-None-Match", cachedTag)
+		}
 		resp, err := httpc.Do(req)
 		if err != nil {
 			return nil, &transportError{err: err}
@@ -163,8 +184,16 @@ func (c *Client) roundTrip(method, path string, body []byte, jsonBody bool) ([]b
 		if err != nil {
 			return nil, &transportError{err: err}
 		}
+		if resp.StatusCode == http.StatusNotModified && cachedTag != "" {
+			return cachedBody, nil
+		}
 		if resp.StatusCode >= 300 {
 			return nil, newAPIError(resp, data)
+		}
+		if c.vcache != nil {
+			if tag := resp.Header.Get("ETag"); tag != "" {
+				c.vcache.put(vkey, tag, data)
+			}
 		}
 		return data, nil
 	})

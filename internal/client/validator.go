@@ -1,0 +1,70 @@
+package client
+
+// Conditional-GET support. The server stamps version-keyed ETags on
+// cacheable read responses (server/etag.go); the client remembers the
+// validator and body per logical request and revalidates with
+// If-None-Match, so an unchanged response costs a 304 with no body instead
+// of a full re-send and re-encode. Clients built with New get a cache
+// automatically; zero-valued Clients skip conditional handling entirely.
+
+import "sync"
+
+// maxValidatorEntries bounds the cache: a client replaying a wide request
+// mix must not retain every response body it has ever seen.
+const maxValidatorEntries = 256
+
+type validatorEntry struct {
+	etag string
+	body []byte
+}
+
+// validatorCache maps a request key (principal, metastore, method, path,
+// body) to the last validator and body the server returned for it.
+type validatorCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*validatorEntry
+}
+
+func newValidatorCache() *validatorCache {
+	return &validatorCache{entries: map[uint64]*validatorEntry{}}
+}
+
+func (v *validatorCache) get(key uint64) (etag string, body []byte) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e, ok := v.entries[key]; ok {
+		return e.etag, e.body
+	}
+	return "", nil
+}
+
+func (v *validatorCache) put(key uint64, etag string, body []byte) {
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.entries[key]; !ok && len(v.entries) >= maxValidatorEntries {
+		for k := range v.entries { // evict an arbitrary entry
+			delete(v.entries, k)
+			break
+		}
+	}
+	v.entries[key] = &validatorEntry{etag: etag, body: cp}
+}
+
+// validatorKey folds the request identity with FNV-1a. The server's ETag
+// already binds the principal and metastore; including them here keeps one
+// client's entries from shadowing a clone's (Resolve clones per principal,
+// sharing the cache pointer).
+func validatorKey(parts ...string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,152 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// etagServer mimics the server's conditional-GET behavior: a versioned body
+// with an ETag, and a 304 (empty) reply when If-None-Match matches.
+type etagServer struct {
+	mu       sync.Mutex
+	tag      string
+	body     string
+	hits     int
+	statuses []int
+}
+
+func (es *etagServer) handler(w http.ResponseWriter, r *http.Request) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	es.hits++
+	w.Header().Set("ETag", es.tag)
+	if r.Header.Get("If-None-Match") == es.tag {
+		es.statuses = append(es.statuses, http.StatusNotModified)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	es.statuses = append(es.statuses, http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(es.body))
+}
+
+func (es *etagServer) set(tag, body string) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	es.tag = tag
+	es.body = body
+}
+
+func TestClientValidatorCache304YieldsCachedBody(t *testing.T) {
+	es := &etagServer{tag: `"v1-x"`, body: `{"name":"one"}`}
+	srv := httptest.NewServer(http.HandlerFunc(es.handler))
+	defer srv.Close()
+	c := New(srv.URL, "alice", "ms")
+
+	// First fetch populates the cache.
+	data, err := c.roundTrip("GET", "/asset", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"name":"one"}` {
+		t.Fatalf("first body = %s", data)
+	}
+
+	// Second fetch revalidates: the server answers 304 with no body, and the
+	// client must hand back the cached bytes.
+	data, err = c.roundTrip("GET", "/asset", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"name":"one"}` {
+		t.Fatalf("304 body = %s, want cached body", data)
+	}
+	es.mu.Lock()
+	if es.hits != 2 || es.statuses[1] != http.StatusNotModified {
+		t.Fatalf("hits=%d statuses=%v, want second request served as 304", es.hits, es.statuses)
+	}
+	es.mu.Unlock()
+
+	// A write changes the version: the stale validator must miss and the
+	// client must observe the fresh body, then revalidate against the new tag.
+	es.set(`"v2-y"`, `{"name":"two"}`)
+	data, err = c.roundTrip("GET", "/asset", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"name":"two"}` {
+		t.Fatalf("post-write body = %s, want fresh body", data)
+	}
+	data, err = c.roundTrip("GET", "/asset", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"name":"two"}` {
+		t.Fatalf("second post-write body = %s", data)
+	}
+	es.mu.Lock()
+	if es.statuses[2] != http.StatusOK || es.statuses[3] != http.StatusNotModified {
+		t.Fatalf("statuses=%v, want 200 after write then 304", es.statuses)
+	}
+	es.mu.Unlock()
+}
+
+func TestValidatorCacheKeySeparatesRequests(t *testing.T) {
+	es := &etagServer{tag: `"v1-x"`, body: `{"a":1}`}
+	srv := httptest.NewServer(http.HandlerFunc(es.handler))
+	defer srv.Close()
+	c := New(srv.URL, "alice", "ms")
+
+	if _, err := c.roundTrip("GET", "/a", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	// Different path: must not send the /a validator.
+	if _, err := c.roundTrip("GET", "/b", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	// Different body on the same path: also a distinct entry.
+	if _, err := c.roundTrip("POST", "/a", []byte(`{"q":1}`), true); err != nil {
+		t.Fatal(err)
+	}
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	for i, st := range es.statuses {
+		if st != http.StatusOK {
+			t.Fatalf("request %d got %d, want all full responses", i, st)
+		}
+	}
+}
+
+func TestZeroValueClientSkipsValidatorCache(t *testing.T) {
+	es := &etagServer{tag: `"v1-x"`, body: `{"a":1}`}
+	srv := httptest.NewServer(http.HandlerFunc(es.handler))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Principal: "p", Metastore: "m"}
+
+	for i := 0; i < 2; i++ {
+		data, err := c.roundTrip("GET", "/a", nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != `{"a":1}` {
+			t.Fatalf("body = %s", data)
+		}
+	}
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.statuses[1] != http.StatusOK {
+		t.Fatal("zero-value client must not revalidate")
+	}
+}
+
+func TestValidatorCacheBounded(t *testing.T) {
+	v := newValidatorCache()
+	for i := 0; i < 4*maxValidatorEntries; i++ {
+		v.put(uint64(i), "t", []byte("b"))
+	}
+	if n := len(v.entries); n > maxValidatorEntries {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, maxValidatorEntries)
+	}
+}

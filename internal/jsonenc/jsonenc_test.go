@@ -1,0 +1,257 @@
+package jsonenc
+
+// Differential tests for the primitives: every helper must produce exactly
+// the bytes encoding/json produces for the same value. The generators lean
+// on the nasty corners — control bytes, HTML-sensitive characters, invalid
+// UTF-8, U+2028/U+2029, multi-byte runes split across boundaries.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func marshal(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	return b
+}
+
+func diffCheck(t *testing.T, got, want []byte, what string) {
+	t.Helper()
+	if string(got) != string(want) {
+		t.Fatalf("%s mismatch:\n got: %q\nwant: %q", what, got, want)
+	}
+}
+
+var trickyStrings = []string{
+	"",
+	"plain",
+	"with space",
+	`quotes " and \ backslash`,
+	"tabs\tnewlines\nreturns\r",
+	"control\x00\x01\x1f bytes",
+	"html <b>&amp;</b> sensitive",
+	"unicode: héllo wörld — em–dash",
+	"CJK 漢字 and emoji 🚀",
+	"line sep \u2028 and para sep \u2029",
+	"invalid utf8 \xff\xfe trailing",
+	"truncated rune \xe2\x80",
+	"mixed \xc3\x28 bad continuation",
+	"\xed\xa0\x80 surrogate half",
+	strings.Repeat("long ascii ", 100),
+	strings.Repeat("ünïcödé ", 50),
+}
+
+func TestAppendStringDifferential(t *testing.T) {
+	for _, s := range trickyStrings {
+		diffCheck(t, AppendString(nil, s), marshal(t, s), fmt.Sprintf("AppendString(%q)", s))
+	}
+}
+
+// randomString builds byte soup that is frequently invalid UTF-8.
+func randomString(rng *rand.Rand) string {
+	n := rng.Intn(40)
+	b := make([]byte, 0, n*2)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0: // raw byte, often invalid
+			b = append(b, byte(rng.Intn(256)))
+		case 1: // ASCII incl. control and HTML chars
+			b = append(b, byte(rng.Intn(128)))
+		case 2: // valid multi-byte rune
+			r := rune(rng.Intn(0x10FFFF))
+			b = append(b, string(r)...)
+		case 3: // the JS line separators
+			if rng.Intn(2) == 0 {
+				b = append(b, "\u2028"...)
+			} else {
+				b = append(b, "\u2029"...)
+			}
+		default: // plain letters
+			b = append(b, byte('a'+rng.Intn(26)))
+		}
+	}
+	return string(b)
+}
+
+func TestAppendStringProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		s := randomString(rng)
+		diffCheck(t, AppendString(nil, s), marshal(t, s), fmt.Sprintf("AppendString(%q)", s))
+	}
+}
+
+func FuzzAppendString(f *testing.F) {
+	for _, s := range trickyStrings {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Fatalf("AppendString(%q):\n got %q\nwant %q", s, got, want)
+		}
+	})
+}
+
+func TestAppendTime(t *testing.T) {
+	zones := []*time.Location{
+		time.UTC,
+		time.FixedZone("plus", 5*3600+1800),
+		time.FixedZone("minus", -7*3600),
+	}
+	times := []time.Time{
+		time.Date(2026, 8, 8, 12, 34, 56, 0, time.UTC),
+		time.Date(2026, 8, 8, 12, 34, 56, 789000000, time.UTC),
+		time.Date(1999, 12, 31, 23, 59, 59, 999999999, time.UTC),
+		time.Date(1, 1, 1, 0, 0, 0, 0, time.UTC), // zero value
+		time.Unix(0, 1).UTC(),
+		time.Now(), // carries a monotonic reading; must not matter
+	}
+	for _, loc := range zones {
+		for _, tm := range times {
+			tm := tm.In(loc)
+			diffCheck(t, AppendTime(nil, tm), marshal(t, tm), "AppendTime("+tm.String()+")")
+		}
+	}
+	// Random instants.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		tm := time.Unix(rng.Int63n(4e9)-1e9, rng.Int63n(1e9)).In(zones[rng.Intn(len(zones))])
+		diffCheck(t, AppendTime(nil, tm), marshal(t, tm), "AppendTime("+tm.String()+")")
+	}
+}
+
+func TestAppendIntUintBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		n := rng.Int63() - rng.Int63()
+		diffCheck(t, AppendInt(nil, n), marshal(t, n), "AppendInt")
+		u := uint64(rng.Int63())
+		diffCheck(t, AppendUint(nil, u), marshal(t, u), "AppendUint")
+	}
+	diffCheck(t, AppendBool(nil, true), marshal(t, true), "AppendBool")
+	diffCheck(t, AppendBool(nil, false), marshal(t, false), "AppendBool")
+}
+
+// TestAppendRaw compares against encoding/json's own re-emission of a
+// json.RawMessage, which compacts whitespace and applies HTML escaping.
+func TestAppendRaw(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`  { "a" : 1 , "b" : [ 1, 2 , 3 ] }  `,
+		`{"s":"spaces  inside strings   stay"}`,
+		`{"html":"<script>alert('&')</script>"}`,
+		"{\n\t\"nested\": {\"deep\": [true, false, null]}\r\n}",
+		`{"esc":"quote \" backslash \\ solidus \/ tab \t"}`,
+		`{"uni":"漢字 🚀   literal"}`,
+		`"bare string with < and spaces"`,
+		`[1,2.5,-3e10,"x"]`,
+		`{"sep":"` + "\u2028\u2029" + `"}`,
+		`{"u":"🚀 surrogate pair escape"}`,
+	}
+	for _, src := range cases {
+		raw := json.RawMessage(src)
+		want := marshal(t, raw)
+		got := AppendRaw(nil, []byte(src))
+		diffCheck(t, got, want, fmt.Sprintf("AppendRaw(%q)", src))
+	}
+	// Random valid JSON documents: build via marshaling random maps with
+	// tricky strings, then pretty-print with varying indentation.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		m := map[string]any{}
+		for j := rng.Intn(5); j >= 0; j-- {
+			k := randomValidString(rng)
+			switch rng.Intn(3) {
+			case 0:
+				m[k] = randomValidString(rng)
+			case 1:
+				m[k] = rng.NormFloat64()
+			default:
+				m[k] = []any{randomValidString(rng), float64(rng.Intn(100)), rng.Intn(2) == 0}
+			}
+		}
+		compact := marshal(t, m)
+		indented, err := json.MarshalIndent(m, " ", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := json.RawMessage(indented)
+		want := marshal(t, raw)
+		got := AppendRaw(nil, indented)
+		diffCheck(t, got, want, fmt.Sprintf("AppendRaw(indent of %s)", compact))
+	}
+}
+
+// randomValidString is randomString constrained to valid UTF-8 (raw specs
+// always hold valid JSON text).
+func randomValidString(rng *rand.Rand) string {
+	s := randomString(rng)
+	return strings.ToValidUTF8(s, "?")
+}
+
+func TestAppendStringMap(t *testing.T) {
+	cases := []map[string]string{
+		nil,
+		{},
+		{"one": "1"},
+		{"b": "2", "a": "1", "c": "3"},
+		{"k<html>": "v&amp;", "zz\ttab": "line\nbreak", "": "empty key"},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		m := map[string]string{}
+		for j := rng.Intn(8); j >= 0; j-- {
+			m[randomValidString(rng)] = randomValidString(rng)
+		}
+		cases = append(cases, m)
+	}
+	for _, m := range cases {
+		diffCheck(t, AppendStringMap(nil, m), marshal(t, m), fmt.Sprintf("AppendStringMap(%v)", m))
+	}
+}
+
+func TestAppendStringSlice(t *testing.T) {
+	cases := [][]string{nil, {}, {"a"}, {"x", "", "html <&>", "uni 漢"}}
+	for _, ss := range cases {
+		diffCheck(t, AppendStringSlice(nil, ss), marshal(t, ss), fmt.Sprintf("AppendStringSlice(%v)", ss))
+	}
+}
+
+func TestBufferPoolReuse(t *testing.T) {
+	b := Get()
+	b.B = AppendString(b.B, "hello")
+	Put(b)
+	b2 := Get()
+	if len(b2.B) != 0 {
+		t.Fatalf("pooled buffer not reset: %q", b2.B)
+	}
+	Put(b2)
+	// Oversized buffers are dropped, not retained.
+	big := &Buffer{B: make([]byte, 0, maxRetainedCap+1)}
+	Put(big) // must not panic; nothing to assert beyond that
+	Put(nil)
+}
+
+func TestAppendStringAllocs(t *testing.T) {
+	buf := make([]byte, 0, 1024)
+	s := "a perfectly ordinary response field value"
+	n := testing.AllocsPerRun(200, func() {
+		buf = AppendString(buf[:0], s)
+	})
+	if n != 0 {
+		t.Fatalf("AppendString allocated %v times per run, want 0", n)
+	}
+}

@@ -249,6 +249,38 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	return h
 }
 
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// NewGaugeVec builds an unregistered gauge family.
+func NewGaugeVec(labels ...string) *GaugeVec {
+	return &GaugeVec{labels: labels, children: map[string]*Gauge{}}
+}
+
+// With returns the child gauge for the label values, creating it on first
+// use. values must match the family's label names positionally.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	k := strings.Join(values, "\x00")
+	v.mu.RLock()
+	g, ok := v.children[k]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.children[k]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.children[k] = g
+	return g
+}
+
 // --- registry ---
 
 // Registry holds registered metric families and renders them in the
@@ -326,6 +358,18 @@ func (r *Registry) RegisterCounterVec(name, help string, v *CounterVec) {
 	})
 }
 
+// RegisterGaugeVec exposes a labeled gauge family.
+func (r *Registry) RegisterGaugeVec(name, help string, v *GaugeVec) {
+	r.add(name, help, "gauge", func(w io.Writer, n string) {
+		for _, k := range v.sortedKeys() {
+			v.mu.RLock()
+			g := v.children[k]
+			v.mu.RUnlock()
+			fmt.Fprintf(w, "%s{%s} %d\n", n, labelPairs(v.labels, k), g.Load())
+		}
+	})
+}
+
 // RegisterHistogramVec exposes a labeled histogram family.
 func (r *Registry) RegisterHistogramVec(name, help string, v *HistogramVec) {
 	r.add(name, help, "histogram", func(w io.Writer, n string) {
@@ -339,6 +383,17 @@ func (r *Registry) RegisterHistogramVec(name, help string, v *HistogramVec) {
 }
 
 func (v *CounterVec) sortedKeys() []string {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+func (v *GaugeVec) sortedKeys() []string {
 	v.mu.RLock()
 	keys := make([]string, 0, len(v.children))
 	for k := range v.children {

@@ -22,12 +22,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unitycatalog/internal/cache"
 	"unitycatalog/internal/catalog"
 	"unitycatalog/internal/cloudsim"
 	"unitycatalog/internal/erm"
 	"unitycatalog/internal/faults"
-	"unitycatalog/internal/iceberg"
 	"unitycatalog/internal/ids"
+	"unitycatalog/internal/jsonenc"
 	"unitycatalog/internal/lineage"
 	"unitycatalog/internal/mlregistry"
 	"unitycatalog/internal/obs"
@@ -35,6 +36,7 @@ import (
 	"unitycatalog/internal/retry"
 	"unitycatalog/internal/search"
 	"unitycatalog/internal/sharing"
+	"unitycatalog/internal/store"
 )
 
 // Server is the HTTP front end.
@@ -55,12 +57,15 @@ type Server struct {
 
 	// Telemetry (see telemetry.go): each server owns a tracer, a metrics
 	// registry covering every layer beneath it, and per-route HTTP families.
-	cfg         Config
-	tracer      *obs.Tracer
-	metrics     *obs.Registry
-	httpReqs    *obs.CounterVec
-	httpSeconds *obs.HistogramVec
-	logMu       sync.Mutex
+	cfg          Config
+	tracer       *obs.Tracer
+	metrics      *obs.Registry
+	httpReqs     *obs.CounterVec
+	httpSeconds  *obs.HistogramVec
+	httpAllocs   *obs.GaugeVec
+	encodeErrors *obs.Counter
+	allocs       *allocSampler
+	logMu        sync.Mutex
 
 	mux  *http.ServeMux
 	once sync.Once
@@ -128,70 +133,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 const apiPrefix = "/api/2.1/unity-catalog"
 
-func (s *Server) buildMux() {
-	m := http.NewServeMux()
-	s.mux = m
+// healthzResponse is the healthz body: a fixed struct rather than a rebuilt
+// map tree, so probes do not allocate shape machinery and the JSON shape is
+// pinned at compile time. The wal and authz sections intentionally keep
+// their structs' Go field names, as the map encoding always emitted.
+type healthzResponse struct {
+	Status   string                         `json:"status"`
+	Degraded healthzDegraded                `json:"degraded"`
+	WAL      store.WALStats                 `json:"wal"`
+	Cache    []cache.MetastoreHealth        `json:"cache"`
+	Authz    privilege.SnapshotCacheMetrics `json:"authz"`
+}
 
-	// --- generic asset CRUD ---
-	m.HandleFunc("POST "+apiPrefix+"/assets", s.handleCreateAsset)
-	m.HandleFunc("GET "+apiPrefix+"/assets/{full}", s.handleGetAsset)
-	m.HandleFunc("PATCH "+apiPrefix+"/assets/{full}", s.handleUpdateAsset)
-	m.HandleFunc("DELETE "+apiPrefix+"/assets/{full}", s.handleDeleteAsset)
-	m.HandleFunc("GET "+apiPrefix+"/assets", s.handleListAssets)
-
-	// --- typed conveniences matching the public UC API shape ---
-	m.HandleFunc("POST "+apiPrefix+"/catalogs", s.handleCreateCatalog)
-	m.HandleFunc("GET "+apiPrefix+"/catalogs", s.handleListCatalogs)
-	m.HandleFunc("POST "+apiPrefix+"/schemas", s.handleCreateSchema)
-	m.HandleFunc("POST "+apiPrefix+"/tables", s.handleCreateTable)
-
-	// --- governance ---
-	m.HandleFunc("POST "+apiPrefix+"/grants", s.handleGrant)
-	m.HandleFunc("DELETE "+apiPrefix+"/grants", s.handleRevoke)
-	m.HandleFunc("GET "+apiPrefix+"/grants/{full}", s.handleGrantsOn)
-	m.HandleFunc("GET "+apiPrefix+"/effective-privileges/{full}", s.handleEffective)
-	m.HandleFunc("POST "+apiPrefix+"/tags", s.handleSetTag)
-	m.HandleFunc("DELETE "+apiPrefix+"/tags", s.handleUnsetTag)
-	m.HandleFunc("POST "+apiPrefix+"/abac-rules", s.handleCreateABAC)
-	m.HandleFunc("GET "+apiPrefix+"/abac-rules", s.handleListABAC)
-	m.HandleFunc("DELETE "+apiPrefix+"/abac-rules/{id}", s.handleDeleteABAC)
-
-	// --- query path ---
-	m.HandleFunc("POST "+apiPrefix+"/resolve", s.handleResolve)
-	m.HandleFunc("POST "+apiPrefix+"/temporary-credentials", s.handleTempCredentials)
-
-	// --- metadata query / discovery ---
-	m.HandleFunc("POST "+apiPrefix+"/query-assets", s.handleQueryAssets)
-	m.HandleFunc("GET "+apiPrefix+"/search", s.handleSearch)
-	m.HandleFunc("POST "+apiPrefix+"/lineage", s.handleSubmitLineage)
-	m.HandleFunc("GET "+apiPrefix+"/lineage/{id}", s.handleQueryLineage)
-
-	// --- model registry ---
-	m.HandleFunc("POST "+apiPrefix+"/models", s.handleCreateModel)
-	m.HandleFunc("POST "+apiPrefix+"/models/{full}/versions", s.handleCreateModelVersion)
-	m.HandleFunc("GET "+apiPrefix+"/models/{full}/versions", s.handleListModelVersions)
-	m.HandleFunc("PATCH "+apiPrefix+"/models/{full}/versions/{version}", s.handleFinalizeModelVersion)
-
-	// --- Delta Sharing protocol ---
-	m.HandleFunc("GET /delta-sharing/shares", s.handleListShares)
-	m.HandleFunc("GET /delta-sharing/shares/{share}/schemas", s.handleListShareSchemas)
-	m.HandleFunc("GET /delta-sharing/shares/{share}/schemas/{schema}/tables", s.handleListShareTables)
-	m.HandleFunc("GET /delta-sharing/shares/{share}/schemas/{schema}/tables/{table}/query", s.handleQueryShareTable)
-
-	// --- Iceberg REST facade, one per metastore path segment ---
-	m.HandleFunc("/iceberg/{ms}/", func(w http.ResponseWriter, r *http.Request) {
-		msID := r.PathValue("ms")
-		ice := iceberg.New(s.Service, msID)
-		http.StripPrefix("/iceberg/"+msID, ice.Handler()).ServeHTTP(w, r)
-	})
-
-	// --- extended surface (volumes, clones, renames, admin) ---
-	s.buildExtraRoutes(m)
-
-	// --- operational ---
-	m.HandleFunc("GET "+apiPrefix+"/stats", s.handleStats)
-	m.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mountOps(m)
+type healthzDegraded struct {
+	Cache bool `json:"cache"`
+	WAL   bool `json:"wal"`
 }
 
 // handleHealthz reports liveness plus per-subsystem degradation. A degraded
@@ -201,29 +157,26 @@ func (s *Server) buildMux() {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	walErr := s.Service.DB().WALErr()
 	cacheDegraded := s.Service.CacheDegraded()
-	status := "ok"
-	if cacheDegraded || walErr != nil {
-		status = "degraded"
+	resp := healthzResponse{
+		Status:   "ok",
+		Degraded: healthzDegraded{Cache: cacheDegraded, WAL: walErr != nil},
+		WAL:      s.Service.DB().WALStats(),
+		Cache:    s.Service.CacheHealth(),
+		Authz:    s.Service.AuthzMetrics(),
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": status,
-		"degraded": map[string]bool{
-			"cache": cacheDegraded,
-			"wal":   walErr != nil,
-		},
-		"wal":   s.Service.DB().WALStats(),
-		"cache": s.Service.CacheHealth(),
-		"authz": s.Service.AuthzMetrics(),
-	})
+	if cacheDegraded || walErr != nil {
+		resp.Status = "degraded"
+	}
+	if s.cfg.NaiveEncoding {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	buf := jsonenc.Get()
+	buf.B = appendHealthz(buf.B, &resp)
+	sendPooled(w, http.StatusOK, buf)
 }
 
 // --- helpers ---
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -276,15 +229,6 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error(), Code: status})
 }
 
-func readJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("%w: bad request body: %v", catalog.ErrInvalidArgument, err)
-	}
-	return nil
-}
-
 // --- asset CRUD ---
 
 // CreateAssetRequest is the generic creation body.
@@ -321,12 +265,21 @@ func (s *Server) handleCreateAsset(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetAsset(w http.ResponseWriter, r *http.Request) {
+	if s.conditional(w, r, 0) {
+		return
+	}
 	e, err := s.Service.GetAsset(s.ctx(r), r.PathValue("full"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, e)
+	if s.cfg.NaiveEncoding {
+		writeJSON(w, http.StatusOK, e)
+		return
+	}
+	buf := jsonenc.Get()
+	buf.B = jsonenc.AppendEntity(buf.B, e)
+	sendPooled(w, http.StatusOK, buf)
 }
 
 // UpdateAssetRequest is the PATCH body.
@@ -369,6 +322,9 @@ func (s *Server) handleDeleteAsset(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListAssets(w http.ResponseWriter, r *http.Request) {
+	if s.conditional(w, r, 0) {
+		return
+	}
 	q := r.URL.Query()
 	parent := q.Get("parent")
 	typ := erm.SecurableType(strings.ToUpper(q.Get("type")))
@@ -381,19 +337,41 @@ func (s *Server) handleListAssets(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+		if s.cfg.NaiveEncoding {
+			writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+			return
+		}
+		buf := jsonenc.Get()
+		buf.B = append(buf.B, `{"assets":`...)
+		buf.B = appendEntities(buf.B, out)
+		buf.B = append(buf.B, '}')
+		sendPooled(w, http.StatusOK, buf)
 		return
 	}
-	page, err := s.Service.ListAssetsPage(s.ctx(r), parent, typ, maxResults, pageToken)
+	if s.cfg.NaiveEncoding {
+		page, err := s.Service.ListAssetsPage(s.ctx(r), parent, typ, maxResults, pageToken)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp := map[string]any{"assets": page.Assets}
+		if page.NextPageToken != "" {
+			resp["nextPageToken"] = page.NextPageToken
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Streaming path: entities are encoded into the response buffer as the
+	// keyset scan emits them; no page slice is ever materialized.
+	st := newAssetStream()
+	next, err := s.Service.ListAssetsPageFunc(s.ctx(r), parent, typ, maxResults, pageToken, st.emit)
 	if err != nil {
+		st.close()
 		writeErr(w, err)
 		return
 	}
-	resp := map[string]any{"assets": page.Assets}
-	if page.NextPageToken != "" {
-		resp["nextPageToken"] = page.NextPageToken
-	}
-	writeJSON(w, http.StatusOK, resp)
+	sendJSON(w, http.StatusOK, st.finish(next))
+	st.close()
 }
 
 // --- typed conveniences ---
@@ -591,8 +569,14 @@ func (s *Server) handleDeleteABAC(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	var req catalog.ResolveRequest
-	if err := readJSON(r, &req); err != nil {
+	bodyHash, err := readJSONHash(r, &req)
+	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	// Credential-bearing resolves are never conditional: vended tokens
+	// expire on their own clock, independent of the metastore version.
+	if !req.WithCredentials && s.conditional(w, r, bodyHash) {
 		return
 	}
 	resp, err := s.Service.Resolve(s.ctx(r), req)
@@ -600,7 +584,62 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if s.cfg.NaiveEncoding {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	buf := jsonenc.Get()
+	buf.B = jsonenc.AppendResolveResponse(buf.B, resp)
+	sendPooled(w, http.StatusOK, buf)
+}
+
+// AuthorizeBatchRequest asks whether the principal holds a privilege on
+// each of a list of securable IDs — the bulk authorization entry point used
+// by second-tier discovery services.
+type AuthorizeBatchRequest struct {
+	AssetIDs  []string `json:"asset_ids"`
+	Privilege string   `json:"privilege"`
+}
+
+func (s *Server) handleAuthorizeBatch(w http.ResponseWriter, r *http.Request) {
+	var req AuthorizeBatchRequest
+	bodyHash, err := readJSONHash(r, &req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.conditional(w, r, bodyHash) {
+		return
+	}
+	assetIDs := make([]ids.ID, len(req.AssetIDs))
+	for i, a := range req.AssetIDs {
+		assetIDs[i] = ids.ID(a)
+	}
+	allowed, err := s.Service.AuthorizeBatch(s.ctx(r), assetIDs, privilege.Privilege(strings.ToUpper(req.Privilege)))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.cfg.NaiveEncoding {
+		writeJSON(w, http.StatusOK, map[string]any{"allowed": allowed})
+		return
+	}
+	buf := jsonenc.Get()
+	buf.B = append(buf.B, `{"allowed":`...)
+	if allowed == nil {
+		buf.B = append(buf.B, "null"...)
+	} else {
+		buf.B = append(buf.B, '[')
+		for i, ok := range allowed {
+			if i > 0 {
+				buf.B = append(buf.B, ',')
+			}
+			buf.B = jsonenc.AppendBool(buf.B, ok)
+		}
+		buf.B = append(buf.B, ']')
+	}
+	buf.B = append(buf.B, '}')
+	sendPooled(w, http.StatusOK, buf)
 }
 
 // TempCredentialRequest asks for a temporary storage credential.
@@ -636,7 +675,15 @@ func (s *Server) handleTempCredentials(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, tc)
+	// Vended tokens must never be cached: they expire on their own clock.
+	w.Header().Set("Cache-Control", "no-store")
+	if s.cfg.NaiveEncoding {
+		writeJSON(w, http.StatusOK, tc)
+		return
+	}
+	buf := jsonenc.Get()
+	buf.B = jsonenc.AppendTempCredential(buf.B, &tc)
+	sendPooled(w, http.StatusOK, buf)
 }
 
 // --- metadata query / discovery ---
@@ -661,8 +708,12 @@ type QueryAssetsRequest struct {
 
 func (s *Server) handleQueryAssets(w http.ResponseWriter, r *http.Request) {
 	var req QueryAssetsRequest
-	if err := readJSON(r, &req); err != nil {
+	bodyHash, err := readJSONHash(r, &req)
+	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	if s.conditional(w, r, bodyHash) {
 		return
 	}
 	f := catalog.Filter{
@@ -672,16 +723,28 @@ func (s *Server) handleQueryAssets(w http.ResponseWriter, r *http.Request) {
 		MaxResults: req.MaxResults, PageToken: req.PageToken,
 	}
 	if f.MaxResults > 0 || f.PageToken != "" {
-		page, err := s.Service.QueryAssetsPage(s.ctx(r), f)
-		if err != nil {
-			writeErr(w, err)
+		if s.cfg.NaiveEncoding {
+			page, qerr := s.Service.QueryAssetsPage(s.ctx(r), f)
+			if qerr != nil {
+				writeErr(w, qerr)
+				return
+			}
+			resp := map[string]any{"assets": page.Assets}
+			if page.NextPageToken != "" {
+				resp["nextPageToken"] = page.NextPageToken
+			}
+			writeJSON(w, http.StatusOK, resp)
 			return
 		}
-		resp := map[string]any{"assets": page.Assets}
-		if page.NextPageToken != "" {
-			resp["nextPageToken"] = page.NextPageToken
+		st := newAssetStream()
+		next, qerr := s.Service.QueryAssetsPageFunc(s.ctx(r), f, st.emit)
+		if qerr != nil {
+			st.close()
+			writeErr(w, qerr)
+			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		sendJSON(w, http.StatusOK, st.finish(next))
+		st.close()
 		return
 	}
 	out, err := s.Service.QueryAssets(s.ctx(r), f)
@@ -689,7 +752,15 @@ func (s *Server) handleQueryAssets(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+	if s.cfg.NaiveEncoding {
+		writeJSON(w, http.StatusOK, map[string]any{"assets": out})
+		return
+	}
+	buf := jsonenc.Get()
+	buf.B = append(buf.B, `{"assets":`...)
+	buf.B = appendEntities(buf.B, out)
+	buf.B = append(buf.B, '}')
+	sendPooled(w, http.StatusOK, buf)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {

@@ -13,26 +13,8 @@ import (
 
 // This file adds the extended REST surface: volume file operations, shallow
 // clones, renames, workspace bindings, lifecycle tooling (undelete, GC),
-// and predictive-optimization triggers.
-
-func (s *Server) buildExtraRoutes(m *http.ServeMux) {
-	// Volume files. Contents travel as request/response bodies; the server
-	// still moves them through vended credentials internally.
-	m.HandleFunc("PUT "+apiPrefix+"/volumes/{full}/files/{name...}", s.handlePutVolumeFile)
-	m.HandleFunc("GET "+apiPrefix+"/volumes/{full}/files/{name...}", s.handleGetVolumeFile)
-	m.HandleFunc("DELETE "+apiPrefix+"/volumes/{full}/files/{name...}", s.handleDeleteVolumeFile)
-	m.HandleFunc("GET "+apiPrefix+"/volumes/{full}/files", s.handleListVolumeFiles)
-
-	// Table management.
-	m.HandleFunc("POST "+apiPrefix+"/tables/{full}/clone", s.handleCloneTable)
-	m.HandleFunc("POST "+apiPrefix+"/assets/{full}/rename", s.handleRenameAsset)
-	m.HandleFunc("POST "+apiPrefix+"/tables/{full}/optimize", s.handleOptimizeTable)
-
-	// Catalog administration.
-	m.HandleFunc("PUT "+apiPrefix+"/catalogs/{name}/workspace-bindings", s.handleSetBindings)
-	m.HandleFunc("POST "+apiPrefix+"/undelete/{id}", s.handleUndelete)
-	m.HandleFunc("POST "+apiPrefix+"/gc", s.handleGC)
-}
+// and predictive-optimization triggers. Routes live in the table in
+// routes.go.
 
 func (s *Server) handlePutVolumeFile(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))

@@ -17,8 +17,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime/metrics"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"unitycatalog/internal/obs"
@@ -41,6 +43,13 @@ type Config struct {
 	AccessLogWriter io.Writer
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// NaiveEncoding forces the reflection-based encoding/json path on the
+	// hot routes — the ablation baseline the bench-http experiment measures
+	// the pooled encoders against.
+	NaiveEncoding bool
+	// ETagMaxAge bounds the lifetime of a conditional-GET validator
+	// (default 30s; negative disables conditional handling). See etag.go.
+	ETagMaxAge time.Duration
 }
 
 // initTelemetry assembles the registry, tracer, and HTTP metric families.
@@ -59,14 +68,24 @@ func (s *Server) initTelemetry(cfg Config) {
 	if cfg.AccessLogWriter == nil {
 		cfg.AccessLogWriter = os.Stderr
 	}
+	if cfg.ETagMaxAge == 0 {
+		cfg.ETagMaxAge = 30 * time.Second
+	} else if cfg.ETagMaxAge < 0 {
+		cfg.ETagMaxAge = 0
+	}
 	s.cfg = cfg
 	s.tracer = obs.NewTracer(cfg.SampleEvery, cfg.SlowThreshold)
 	s.metrics = obs.NewRegistry()
 	s.Service.RegisterMetrics(s.metrics)
 	s.httpReqs = obs.NewCounterVec("route", "code")
 	s.httpSeconds = obs.NewHistogramVec(obs.LatencyBuckets(), 1e-9, "route")
+	s.httpAllocs = obs.NewGaugeVec("route")
+	s.encodeErrors = &obs.Counter{}
+	s.allocs = newAllocSampler()
 	s.metrics.RegisterCounterVec("uc_http_requests_total", "API requests by route and status code.", s.httpReqs)
 	s.metrics.RegisterHistogramVec("uc_http_request_seconds", "API request latency by route.", s.httpSeconds)
+	s.metrics.RegisterGaugeVec("uc_http_allocs_per_request", "Sampled heap allocations per request by route.", s.httpAllocs)
+	s.metrics.RegisterCounter("uc_http_encode_errors", "Response bodies that failed to encode (served as 500).", s.encodeErrors)
 }
 
 // Metrics exposes the server's registry (for embedding hosts and tests).
@@ -82,10 +101,13 @@ func opsPath(p string) bool {
 	return p == "/healthz" || p == "/metrics" || strings.HasPrefix(p, "/debug/")
 }
 
-// statusWriter captures the response status and, via writeErr, the
-// underlying error, so the access log can report what a 5xx actually was.
+// statusWriter captures the response status and, via writeErr/encodeFail,
+// the underlying error, so the access log can report what a 5xx actually
+// was. srv links back to the owning server so encoding failures can bump
+// its uc_http_encode_errors counter from the package-level write helpers.
 type statusWriter struct {
 	http.ResponseWriter
+	srv    *Server
 	status int
 	err    error
 }
@@ -95,6 +117,45 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// allocSampler measures heap allocations across a sampled subset of
+// requests (one in allocSampleEvery, one at a time) to feed the per-route
+// uc_http_allocs_per_request gauge. The runtime counter is process-wide, so
+// concurrent requests add noise — the gauge is an operational signal; the
+// bench harness's sequential direct-dispatch phase produces exact numbers.
+type allocSampler struct {
+	n       atomic.Uint64
+	busy    atomic.Bool
+	samples [1]metrics.Sample
+}
+
+const allocSampleEvery = 256
+
+func newAllocSampler() *allocSampler {
+	a := &allocSampler{}
+	a.samples[0].Name = "/gc/heap/allocs:objects"
+	return a
+}
+
+// begin claims the measurement slot for this request when it is sampled,
+// returning the allocation counter to diff against in end.
+func (a *allocSampler) begin() (uint64, bool) {
+	if a.n.Add(1)%allocSampleEvery != 1 {
+		return 0, false
+	}
+	if !a.busy.CompareAndSwap(false, true) {
+		return 0, false
+	}
+	metrics.Read(a.samples[:])
+	return a.samples[0].Value.Uint64(), true
+}
+
+func (a *allocSampler) end(before uint64) uint64 {
+	metrics.Read(a.samples[:])
+	delta := a.samples[0].Value.Uint64() - before
+	a.busy.Store(false)
+	return delta
+}
+
 // serveTraced is the request path for API endpoints: start a trace, expose
 // its ID, dispatch (or fail with an injected fault), then record metrics,
 // the access log line, and trace retention.
@@ -102,7 +163,7 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
 	t := s.tracer.StartTrace()
 	sc := s.tracer.Root(t)
 	w.Header().Set("X-UC-Trace-Id", t.ID())
-	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw := &statusWriter{ResponseWriter: w, srv: s, status: http.StatusOK}
 	r = r.WithContext(obs.ContextWithSpan(r.Context(), sc))
 
 	_, route := s.mux.Handler(r)
@@ -110,6 +171,7 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
 		route = "unmatched"
 	}
 
+	allocsBefore, measure := s.allocs.begin()
 	start := time.Now()
 	if err := s.injector.Load().Check("http."+r.Method, r.URL.Path); err != nil {
 		writeErr(sw, err)
@@ -117,6 +179,9 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
 		s.mux.ServeHTTP(sw, r)
 	}
 	took := time.Since(start)
+	if measure {
+		s.httpAllocs.With(route).Set(int64(s.allocs.end(allocsBefore)))
+	}
 
 	s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
 	s.httpSeconds.With(route).ObserveDuration(took)

@@ -143,6 +143,12 @@ type Config struct {
 	// TraceSlowThreshold always retains traces at least this slow
 	// (default 100ms; negative disables).
 	TraceSlowThreshold time.Duration
+	// NaiveEncoding forces the reflection-based encoding/json response path
+	// on the hot routes instead of the pooled encoders (ablation baseline).
+	NaiveEncoding bool
+	// ETagMaxAge bounds the lifetime of a conditional-GET validator
+	// (default 30s; negative disables conditional handling).
+	ETagMaxAge time.Duration
 
 	// --- multi-table transactions (see internal/txn) ---
 
@@ -201,6 +207,8 @@ func Open(cfg Config) (*Catalog, error) {
 		AccessLog:       cfg.AccessLog,
 		AccessLogWriter: cfg.AccessLogWriter,
 		Pprof:           cfg.Pprof,
+		NaiveEncoding:   cfg.NaiveEncoding,
+		ETagMaxAge:      cfg.ETagMaxAge,
 	})
 	c.Search = c.srv.Search
 	c.Lineage = c.srv.Lineage
