@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs bench-scale bench-txn bench-http
+.PHONY: test race bench bench-parallel bench-store bench-authz bench-obs bench-scale bench-txn bench-http bench-fleet
 
 test:
 	$(GO) build ./...
@@ -32,6 +32,8 @@ race:
 		./internal/txn/... \
 		./internal/client/... \
 		./internal/server/... \
+		./internal/events/... \
+		./internal/fleet/... \
 		./internal/chaos/...
 
 bench:
@@ -76,3 +78,10 @@ bench-txn:
 # BENCH_http.json.
 bench-http:
 	$(GO) run ./cmd/ucbench -exp http -out BENCH_http.json
+
+# Serving-fleet grid (1..16 catalog nodes over one shared DB, caches kept
+# coherent by the change-event stream; aggregate QPS, read/write p50/p99,
+# staleness-window percentiles, invalidation fan-out per write); emits
+# BENCH_fleet.json.
+bench-fleet:
+	$(GO) run ./cmd/ucbench -exp fleet -out BENCH_fleet.json

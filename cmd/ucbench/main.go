@@ -97,8 +97,15 @@ func main() {
 			}
 			header, rows = bench.HTTPCellRows(grid)
 			cells, n = grid, len(grid)
+		case "fleet":
+			grid, err := bench.RunFleetGrid(*quick)
+			if err != nil {
+				log.Fatalf("fleet: %v", err)
+			}
+			header, rows = bench.FleetCellRows(grid)
+			cells, n = grid, len(grid)
 		default:
-			log.Fatalf("-out is only supported with -exp authz, obs, scale, txn, or http")
+			log.Fatalf("-out is only supported with -exp authz, obs, scale, txn, http, or fleet")
 		}
 		rep := report{
 			Generated:  time.Now().UTC().Format(time.RFC3339),

@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"scale", "Catalog cardinality: ordered indexes + keyset pagination at scale", ScaleExperiment},
 		{"txn", "Multi-table transactions: contended commit + recovery sweep", TxnExperiment},
 		{"http", "HTTP hot path: pooled encoders + conditional GET at connection scale", HTTPExperiment},
+		{"fleet", "Serving fleet: event-driven selective cache coherence at 1-16 nodes", FleetExperiment},
 	}
 }
 

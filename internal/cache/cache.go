@@ -152,8 +152,13 @@ type Metrics struct {
 	CoalescedMisses     int64
 	FullReconciles      int64
 	SelectiveReconciles int64
-	Evictions           int64
-	WriteConflicts      int64
+	// EventApplies counts coherence notifications that advanced the known
+	// version without a database round trip; EventInvalidations counts the
+	// cache entries those notifications dropped.
+	EventApplies      int64
+	EventInvalidations int64
+	Evictions          int64
+	WriteConflicts     int64
 	// DegradedReads counts reads served from stale cached data while the
 	// database was unavailable; DegradedMisses counts degraded reads that
 	// found nothing cached; DegradedDenied counts reads refused because the
@@ -176,6 +181,8 @@ type counters struct {
 	coalescedMisses      obs.Counter
 	fullReconciles       obs.Counter
 	selectiveReconciles  obs.Counter
+	eventApplies         obs.Counter
+	eventInvalidations   obs.Counter
 	evictions            obs.Counter
 	writeConflicts       obs.Counter
 	degradedReads        obs.Counter
@@ -216,7 +223,12 @@ func (r *cachedRecord) at(v uint64) (value []byte, deleted, ok bool) {
 
 type cachedScan struct {
 	version uint64 // guarded by the shard lock (bumped under all-shard locks)
-	kvs     []store.KV
+	// validFrom is the version the scan was read at; never bumped. The
+	// entry is proven unchanged only on [validFrom, version] — a view
+	// pinned before validFrom must not be served it (the keys may not have
+	// existed yet at that version).
+	validFrom uint64
+	kvs       []store.KV
 	// Eviction bookkeeping, updated lock-free on the hit path.
 	lastUsed atomic.Int64
 	uses     atomic.Int64
@@ -395,6 +407,8 @@ func (c *Cache) Metrics() Metrics {
 		CoalescedMisses:     c.metrics.coalescedMisses.Load(),
 		FullReconciles:      c.metrics.fullReconciles.Load(),
 		SelectiveReconciles: c.metrics.selectiveReconciles.Load(),
+		EventApplies:        c.metrics.eventApplies.Load(),
+		EventInvalidations:  c.metrics.eventInvalidations.Load(),
 		Evictions:           c.metrics.evictions.Load(),
 		WriteConflicts:      c.metrics.writeConflicts.Load(),
 		DegradedReads:       c.metrics.degradedReads.Load(),
@@ -415,6 +429,8 @@ func (c *Cache) RegisterMetrics(r *obs.Registry) {
 	r.RegisterCounter("uc_cache_coalesced_misses_total", "Misses that piggybacked on an in-flight database read.", &c.metrics.coalescedMisses)
 	r.RegisterCounter("uc_cache_full_reconciles_total", "Full (evict-everything) reconciliations.", &c.metrics.fullReconciles)
 	r.RegisterCounter("uc_cache_selective_reconciles_total", "Change-log-driven selective reconciliations.", &c.metrics.selectiveReconciles)
+	r.RegisterCounter("uc_cache_event_applies_total", "Coherence events applied without a database round trip.", &c.metrics.eventApplies)
+	r.RegisterCounter("uc_cache_event_invalidations_total", "Cache entries invalidated by coherence events.", &c.metrics.eventInvalidations)
 	r.RegisterCounter("uc_cache_evictions_total", "Records evicted by the cache policy.", &c.metrics.evictions)
 	r.RegisterCounter("uc_cache_write_conflicts_total", "Optimistic writes retried after a version conflict.", &c.metrics.writeConflicts)
 	r.RegisterCounter("uc_cache_degraded_reads_total", "Reads served from stale cache during a database outage.", &c.metrics.degradedReads)
@@ -524,30 +540,7 @@ func (c *Cache) reconcileAllLocked(msID string, m *msCache) error {
 	if c.opts.Strategy == ReconcileSelective {
 		changes, err := c.db.ChangesSince(msID, known)
 		if err == nil {
-			for _, ch := range changes {
-				rk := recordKey(ch.Table, ch.Key)
-				sh := m.shardFor(rk)
-				if _, ok := sh.records[rk]; ok {
-					delete(sh.records, rk)
-					m.entries.Add(-1)
-				}
-				// Invalidate scans over the changed table whose prefix
-				// covers the changed key.
-				for i := range m.shards {
-					for sk := range m.shards[i].scans {
-						tbl, prefix, _ := strings.Cut(sk, "\x00")
-						if tbl == ch.Table && strings.HasPrefix(ch.Key, prefix) {
-							delete(m.shards[i].scans, sk)
-						}
-					}
-				}
-			}
-			// Surviving entries remain the latest as of dbV.
-			for i := range m.shards {
-				for _, s := range m.shards[i].scans {
-					s.version = dbV
-				}
-			}
+			invalidateChangesLocked(m, changes, dbV)
 			m.knownVersion.Store(dbV)
 			c.metrics.selectiveReconciles.Add(1)
 			return nil
@@ -557,14 +550,144 @@ func (c *Cache) reconcileAllLocked(msID string, m *msCache) error {
 		}
 		// fall through to full eviction
 	}
+	evictAllLocked(m, dbV)
+	c.metrics.fullReconciles.Add(1)
+	return nil
+}
+
+// invalidateChangesLocked drops exactly the cached records named by changes
+// plus any cached scan whose (table, prefix) covers a changed key, then
+// bumps surviving scans to newV (they remain the latest as of newV). It
+// returns the number of records and scans dropped. Caller must hold every
+// shard lock (lockAll).
+func invalidateChangesLocked(m *msCache, changes []store.Change, newV uint64) int {
+	dropped := 0
+	for _, ch := range changes {
+		rk := recordKey(ch.Table, ch.Key)
+		sh := m.shardFor(rk)
+		if _, ok := sh.records[rk]; ok {
+			delete(sh.records, rk)
+			m.entries.Add(-1)
+			dropped++
+		}
+		// Invalidate scans over the changed table whose prefix covers the
+		// changed key.
+		for i := range m.shards {
+			for sk := range m.shards[i].scans {
+				tbl, prefix, _ := strings.Cut(sk, "\x00")
+				if tbl == ch.Table && strings.HasPrefix(ch.Key, prefix) {
+					delete(m.shards[i].scans, sk)
+					dropped++
+				}
+			}
+		}
+	}
+	for i := range m.shards {
+		for _, s := range m.shards[i].scans {
+			s.version = newV
+		}
+	}
+	return dropped
+}
+
+// evictAllLocked drops every cached record and scan and sets the known
+// version to newV. Caller must hold every shard lock (lockAll).
+func evictAllLocked(m *msCache, newV uint64) {
 	for i := range m.shards {
 		m.shards[i].records = map[string]*cachedRecord{}
 		m.shards[i].scans = map[string]*cachedScan{}
 	}
 	m.entries.Store(0)
-	m.knownVersion.Store(dbV)
+	m.knownVersion.Store(newV)
+}
+
+// ApplyResult classifies an ApplyChanges outcome.
+type ApplyResult int
+
+const (
+	// ApplyAdvanced means the notification was the next version and its
+	// changes were invalidated; the cache is now current as of that version
+	// with no database round trip.
+	ApplyAdvanced ApplyResult = iota
+	// ApplyStale means the cache already knew this version (its own
+	// write-through or an earlier reconcile covered it); nothing to do.
+	ApplyStale
+	// ApplyGap means the notification skipped past knownVersion+1 — the
+	// subscriber missed intermediate versions and must Refresh (or
+	// ReconcileFull) to catch up.
+	ApplyGap
+	// ApplyNotOwned means this node does not cache the metastore.
+	ApplyNotOwned
+)
+
+// ApplyChanges applies one coherence notification — "version v changed
+// exactly these records" — from the change-event stream. Unlike Refresh it
+// never touches the database: the event carries the invalidation set. It
+// returns how many cached entries were dropped, how many records were
+// resident before applying (what a full evict would have dropped), and the
+// outcome.
+func (c *Cache) ApplyChanges(msID string, version uint64, changes []store.Change) (invalidated int, resident int64, res ApplyResult) {
+	if c.opts.Disabled {
+		return 0, 0, ApplyNotOwned
+	}
+	c.mu.RLock()
+	m, ok := c.owned[msID]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, 0, ApplyNotOwned
+	}
+	m.lockAll()
+	defer m.unlockAll()
+	known := m.knownVersion.Load()
+	if version <= known {
+		return 0, m.entries.Load(), ApplyStale
+	}
+	if version != known+1 {
+		return 0, m.entries.Load(), ApplyGap
+	}
+	resident = m.entries.Load()
+	invalidated = invalidateChangesLocked(m, changes, version)
+	m.knownVersion.Store(version)
+	c.metrics.eventApplies.Add(1)
+	c.metrics.eventInvalidations.Add(int64(invalidated))
+	return invalidated, resident, ApplyAdvanced
+}
+
+// ReconcileFull forcibly evicts everything cached for msID and re-pins the
+// known version from the database. The coherence layer calls this when its
+// event subscription reports dropped events — the invalidation sets are
+// gone, so only a full evict guarantees no stale entry survives.
+func (c *Cache) ReconcileFull(msID string) error {
+	if c.opts.Disabled {
+		return nil
+	}
+	m, err := c.owner(msID)
+	if err != nil {
+		return err
+	}
+	m.lockAll()
+	defer m.unlockAll()
+	dbV, err := c.db.Version(msID)
+	if err != nil {
+		c.noteDBError(m, err)
+		return err
+	}
+	c.noteDBSuccess(m)
+	evictAllLocked(m, dbV)
 	c.metrics.fullReconciles.Add(1)
 	return nil
+}
+
+// OwnedMetastores lists the metastores this node caches, sorted.
+func (c *Cache) OwnedMetastores() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.owned))
+	for id := range c.owned {
+		out = append(out, id)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // pinnedBit marks a View's state word as pinned; the remaining bits are the
@@ -841,7 +964,7 @@ func (v *View) Scan(table, prefix string) []store.KV {
 		snap.Close()
 		sh.mu.Lock()
 		if v.m.knownVersion.Load() == ver {
-			s := &cachedScan{version: ver, kvs: f.kvs}
+			s := &cachedScan{version: ver, validFrom: ver, kvs: f.kvs}
 			s.touch()
 			sh.scans[sk] = s
 		}
@@ -938,12 +1061,13 @@ func (v *View) tryScanHit(sh *shard, sk string) ([]store.KV, bool) {
 		s := sh.scans[sk]
 		var kvs []store.KV
 		found := false
-		if s != nil && s.version >= ver {
-			// The scan result is the latest as of s.version >= view version
-			// and unchanged since the view version (otherwise invalidated),
-			// so it is valid for this view only if it was already valid at
-			// view version. Entries are only stored/bumped when proven
-			// unchanged, so >= is safe.
+		if s != nil && s.validFrom <= ver && ver <= s.version {
+			// The entry was read at validFrom and every bump to s.version
+			// proved it unchanged on (validFrom, s.version], so it is valid
+			// at any view version inside that window. Outside it — a view
+			// pinned before the scan was ever read, or past the last proven
+			// version — nothing is known and the miss path must re-read at
+			// the view's own version.
 			kvs, found = s.kvs, true
 		}
 		sh.mu.RUnlock()

@@ -129,7 +129,7 @@ func (s *Service) CreateAsset(ctx Ctx, req CreateRequest) (e *erm.Entity, err er
 	}
 
 	group := groupFor(s.reg, req.Type)
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		// Name uniqueness within the group.
 		if _, exists := tx.Get(erm.TableName, erm.NameKey(group, parent.ID, req.Name)); exists {
 			return fmt.Errorf("%w: %s %q in %s", ErrAlreadyExists, req.Type, req.Name, parentLabel(parent))
@@ -146,7 +146,11 @@ func (s *Service) CreateAsset(ctx Ctx, req CreateRequest) (e *erm.Entity, err er
 				return err
 			}
 		}
-		return erm.PutEntity(tx, e, group)
+		if err := erm.PutEntity(tx, e, group); err != nil {
+			return err
+		}
+		stageEvent(tx, ctx, events.OpCreate, e, "")
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -156,7 +160,6 @@ func (s *Service) CreateAsset(ctx Ctx, req CreateRequest) (e *erm.Entity, err er
 		// the trie only resolves paths to their unique governing asset.
 		_ = ms.trie.Insert(e.StoragePath, e.ID)
 	}
-	s.publish(ctx, newV, events.OpCreate, e, "")
 	return e, nil
 }
 
@@ -430,16 +433,19 @@ func (s *Service) UpdateAsset(ctx Ctx, full string, req UpdateRequest) (e *erm.E
 	}
 	updated.UpdatedAt = s.clk.Now()
 
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		if _, ok := erm.GetEntity(tx, e.ID); !ok {
 			return fmt.Errorf("%w: %s", ErrNotFound, full)
 		}
-		return erm.UpdateEntity(tx, updated)
+		if err := erm.UpdateEntity(tx, updated); err != nil {
+			return err
+		}
+		stageEvent(tx, ctx, events.OpUpdate, updated, "")
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.publish(ctx, newV, events.OpUpdate, updated, "")
 	return updated, nil
 }
 
@@ -559,18 +565,21 @@ func (s *Service) RenameAsset(ctx Ctx, full, newName string) (e *erm.Entity, err
 	}
 	renamed.UpdatedAt = s.clk.Now()
 
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		if _, taken := tx.Get(erm.TableName, erm.NameKey(group, cur.ParentID, newName)); taken {
 			return fmt.Errorf("%w: %s %q", ErrAlreadyExists, cur.Type, newName)
 		}
 		tx.Delete(erm.TableName, erm.NameKey(group, cur.ParentID, cur.Name))
 		tx.Put(erm.TableName, erm.NameKey(group, cur.ParentID, newName), []byte(cur.ID))
-		return erm.UpdateEntity(tx, renamed)
+		if err := erm.UpdateEntity(tx, renamed); err != nil {
+			return err
+		}
+		stageEvent(tx, ctx, events.OpUpdate, renamed, "renamed from "+cur.Name)
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.publish(ctx, newV, events.OpUpdate, renamed, "renamed from "+cur.Name)
 	return renamed, nil
 }
 
@@ -660,14 +669,14 @@ func (s *Service) SetWorkspaceBindings(ctx Ctx, catalogName string, workspaces [
 		return err
 	}
 	upd.UpdatedAt = s.clk.Now()
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
-		return erm.UpdateEntity(tx, upd)
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+		if err := erm.UpdateEntity(tx, upd); err != nil {
+			return err
+		}
+		stageEvent(tx, ctx, events.OpUpdate, upd, "workspace bindings")
+		return nil
 	})
-	if err != nil {
-		return err
-	}
-	s.publish(ctx, newV, events.OpUpdate, upd, "workspace bindings")
-	return nil
+	return err
 }
 
 // TableSpecOf decodes a table entity's spec.

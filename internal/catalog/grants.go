@@ -55,15 +55,12 @@ func (s *Service) Grant(ctx Ctx, full string, p privilege.Principal, priv privil
 	if err != nil {
 		return err
 	}
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Put(erm.TableGrant, erm.GrantKey(e.ID, p, priv), b)
+		stageEvent(tx, ctx, events.OpGrant, e, fmt.Sprintf("%s to %s", priv, p))
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	s.publish(ctx, newV, events.OpGrant, e, fmt.Sprintf("%s to %s", priv, p))
-	return nil
+	return err
 }
 
 // Revoke removes a grant. Revocation does not invalidate already-vended
@@ -91,12 +88,13 @@ func (s *Service) Revoke(ctx Ctx, full string, p privilege.Principal, priv privi
 	if err := s.checkOwner(ctx, v, e.ID, "Revoke"); err != nil {
 		return err
 	}
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		key := erm.GrantKey(e.ID, p, priv)
 		if _, ok := tx.Get(erm.TableGrant, key); !ok {
 			return fmt.Errorf("%w: no such grant", ErrNotFound)
 		}
 		tx.Delete(erm.TableGrant, key)
+		stageEvent(tx, ctx, events.OpRevoke, e, fmt.Sprintf("%s from %s", priv, p))
 		return nil
 	})
 	if err != nil {
@@ -105,7 +103,6 @@ func (s *Service) Revoke(ctx Ctx, full string, p privilege.Principal, priv privi
 	if s.tokenCache != nil {
 		s.tokenCache.invalidateAsset(e.ID)
 	}
-	s.publish(ctx, newV, events.OpRevoke, e, fmt.Sprintf("%s from %s", priv, p))
 	return nil
 }
 
@@ -182,16 +179,13 @@ func (s *Service) SetTag(ctx Ctx, full, column, key, value string) (err error) {
 	if column != "" {
 		tagKey = erm.ColumnTagKey(e.ID, column, key)
 	}
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Put(erm.TableTag, tagKey, []byte(value))
 		tx.Put(erm.TableTagIdx, erm.TagIdxKey(key, e.ID, column), []byte(value))
+		stageEvent(tx, ctx, events.OpTag, e, key+"="+value)
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	s.publish(ctx, newV, events.OpTag, e, key+"="+value)
-	return nil
+	return err
 }
 
 // UnsetTag removes a tag.
@@ -221,19 +215,16 @@ func (s *Service) UnsetTag(ctx Ctx, full, column, key string) (err error) {
 	if column != "" {
 		tagKey = erm.ColumnTagKey(e.ID, column, key)
 	}
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		if _, ok := tx.Get(erm.TableTag, tagKey); !ok {
 			return fmt.Errorf("%w: tag %s", ErrNotFound, key)
 		}
 		tx.Delete(erm.TableTag, tagKey)
 		tx.Delete(erm.TableTagIdx, erm.TagIdxKey(key, e.ID, column))
+		stageEvent(tx, ctx, events.OpTag, e, "unset "+key)
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	s.publish(ctx, newV, events.OpTag, e, "unset "+key)
-	return nil
+	return err
 }
 
 // Tags returns entity-level tags of full (requires read access).
@@ -333,14 +324,14 @@ func (s *Service) CreateABACRule(ctx Ctx, scopeFull string, rule privilege.ABACR
 	if err != nil {
 		return rule, err
 	}
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		tx.Put(erm.TableABAC, string(rule.ID), b)
+		stageEvent(tx, ctx, events.OpUpdate, nil, "abac rule "+rule.Name)
 		return nil
 	})
 	if err != nil {
 		return rule, err
 	}
-	s.publish(ctx, newV, events.OpUpdate, nil, "abac rule "+rule.Name)
 	return rule, nil
 }
 

@@ -43,9 +43,17 @@ func (s *Service) DeleteAsset(ctx Ctx, full string, force bool) (err error) {
 
 	now := s.clk.Now()
 	var deleted []*erm.Entity
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		deleted = deleted[:0]
-		return s.softDeleteTree(tx, e.ID, force, now, &deleted)
+		if err := s.softDeleteTree(tx, e.ID, force, now, &deleted); err != nil {
+			return err
+		}
+		// One event per deleted entity, all at this commit's version, so
+		// second-tier consumers (search, lineage) de-index each securable.
+		for _, d := range deleted {
+			stageEvent(tx, ctx, events.OpDelete, d, "")
+		}
+		return nil
 	})
 	if err != nil {
 		return err
@@ -57,7 +65,6 @@ func (s *Service) DeleteAsset(ctx Ctx, full string, force bool) (err error) {
 		if s.tokenCache != nil {
 			s.tokenCache.invalidateAsset(d.ID)
 		}
-		s.publish(ctx, newV, events.OpDelete, d, "")
 	}
 	return nil
 }
@@ -241,7 +248,7 @@ func (s *Service) Undelete(ctx Ctx, id ids.ID) (e *erm.Entity, err error) {
 	restored.State = erm.StateActive
 	restored.DeletedAt = nil
 	restored.UpdatedAt = s.clk.Now()
-	newV, err := s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
+	_, err = s.cache.UpdateT(ctx.Trace, ctx.Metastore, func(tx *store.Tx) error {
 		parent, ok := erm.GetEntity(tx, cur.ParentID)
 		if !ok || parent.State == erm.StateSoftDeleted {
 			return fmt.Errorf("%w: parent of %s is gone", ErrNotFound, cur.FullName)
@@ -258,7 +265,11 @@ func (s *Service) Undelete(ctx Ctx, id ids.ID) (e *erm.Entity, err error) {
 				return err
 			}
 		}
-		return erm.PutEntity(tx, restored, group)
+		if err := erm.PutEntity(tx, restored, group); err != nil {
+			return err
+		}
+		stageEvent(tx, ctx, events.OpCreate, restored, "undelete")
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -266,6 +277,5 @@ func (s *Service) Undelete(ctx Ctx, id ids.ID) (e *erm.Entity, err error) {
 	if restored.StoragePath != "" && restored.Type != erm.TypeExternalLocation {
 		_ = ms.trie.Insert(restored.StoragePath, restored.ID)
 	}
-	s.publish(ctx, newV, events.OpCreate, restored, "undelete")
 	return restored, nil
 }

@@ -141,6 +141,11 @@ func New(cfg Config) (*Service, error) {
 			MaxAge:     cfg.AuthzSnapshotTTL,
 		})
 	}
+	// Publish change events from the store's commit hook: events go out
+	// strictly after the commit is durable and visible, in per-metastore
+	// version order, exactly once per applied commit — including commits
+	// made by other service nodes sharing this DB.
+	cfg.DB.AddCommitHook(s.onCommit)
 	return s, nil
 }
 
@@ -157,6 +162,10 @@ func (s *Service) Cloud() *cloudsim.Store { return s.cloud }
 
 // Registry returns the asset-type registry.
 func (s *Service) Registry() *erm.Registry { return s.reg }
+
+// Cache returns the node's metadata cache (fleet coherence wires its event
+// subscription to it).
+func (s *Service) Cache() *cache.Cache { return s.cache }
 
 // CacheMetrics returns the metadata cache counters.
 func (s *Service) CacheMetrics() cache.Metrics { return s.cache.Metrics() }
@@ -487,18 +496,65 @@ func errDetail(err error) string {
 	return err.Error()
 }
 
-// publish emits a change event at the given metastore version.
-func (s *Service) publish(ctx Ctx, version uint64, op events.Op, e *erm.Entity, detail string) {
-	ev := events.Event{
-		Metastore: ctx.Metastore, Version: version, Op: op,
-		Principal: string(ctx.Principal), Detail: detail, Time: s.clk.Now(),
-	}
+// stagedEvent is the note a catalog write attaches to its transaction. The
+// commit hook turns it into an events.Event if and only if the commit
+// applies — a retried CAS closure stages fresh notes, a failed commit
+// publishes nothing.
+type stagedEvent struct {
+	op        events.Op
+	entityID  ids.ID
+	typ       string
+	fullName  string
+	principal string
+	detail    string
+}
+
+// stageEvent stages a change event inside tx, to be published at the
+// commit's version by every service node's commit hook.
+func stageEvent(tx *store.Tx, ctx Ctx, op events.Op, e *erm.Entity, detail string) {
+	se := &stagedEvent{op: op, principal: string(ctx.Principal), detail: detail}
 	if e != nil {
-		ev.EntityID = e.ID
-		ev.Type = string(e.Type)
-		ev.FullName = e.FullName
+		se.entityID = e.ID
+		se.typ = string(e.Type)
+		se.fullName = e.FullName
 	}
-	s.bus.Publish(ev)
+	tx.Annotate(se)
+}
+
+// onCommit is the store commit hook: it publishes one event per staged
+// annotation (or a bare OpChange event for unannotated commits, e.g. raw
+// store writes or another subsystem's commits) onto this node's bus. Every
+// event carries the commit's full change set so cache nodes can invalidate
+// exactly the touched entries; applying the set is idempotent at a version,
+// so multi-event commits (a cascading delete stages one event per entity)
+// are safe. It runs inside the store's apply turnstile: publishes are
+// per-metastore version-ordered and strictly after durability.
+func (s *Service) onCommit(msID string, version uint64, changes []store.Change, notes []any) {
+	evChanges := make([]events.Change, len(changes))
+	for i, c := range changes {
+		evChanges[i] = events.Change{Table: c.Table, Key: c.Key, Deleted: c.Deleted}
+	}
+	now := s.clk.Now()
+	published := false
+	for _, n := range notes {
+		se, ok := n.(*stagedEvent)
+		if !ok {
+			continue
+		}
+		s.bus.Publish(events.Event{
+			Metastore: msID, Version: version, Op: se.op,
+			EntityID: se.entityID, Type: se.typ, FullName: se.fullName,
+			Principal: se.principal, Detail: se.detail, Time: now,
+			Changes: evChanges,
+		})
+		published = true
+	}
+	if !published {
+		s.bus.Publish(events.Event{
+			Metastore: msID, Version: version, Op: events.OpChange,
+			Time: now, Changes: evChanges,
+		})
+	}
 }
 
 // --- name resolution helpers ---

@@ -29,7 +29,17 @@ const (
 	OpRevoke Op = "REVOKE"
 	OpTag    Op = "TAG"
 	OpCommit Op = "COMMIT" // table data commit (new table version)
+	OpChange Op = "CHANGE" // store commit with no higher-level annotation
 )
+
+// Change names one store record touched by the commit that produced an
+// event. Cache nodes use the list to invalidate exactly the affected
+// entries instead of re-reading the change log from the database.
+type Change struct {
+	Table   string `json:"table"`
+	Key     string `json:"key"`
+	Deleted bool   `json:"deleted,omitempty"`
+}
 
 // Event is one metadata change.
 type Event struct {
@@ -42,6 +52,10 @@ type Event struct {
 	Principal string    `json:"principal,omitempty"`
 	Detail    string    `json:"detail,omitempty"`
 	Time      time.Time `json:"time"`
+	// Changes lists the store records the commit wrote or deleted. All
+	// events published for one commit carry the same list; applying it is
+	// idempotent at a given version.
+	Changes []Change `json:"changes,omitempty"`
 }
 
 // Subscription receives events for one subscriber.

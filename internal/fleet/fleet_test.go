@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/obs"
+	"unitycatalog/internal/store"
+)
+
+func cols(names ...string) []catalog.ColumnInfo {
+	out := make([]catalog.ColumnInfo, len(names))
+	for i, n := range names {
+		out[i] = catalog.ColumnInfo{Name: n, Type: "STRING", Nullable: true, Position: i}
+	}
+	return out
+}
+
+func adminCtx(ms string) catalog.Ctx {
+	return catalog.Ctx{Principal: "admin", Metastore: ms, TrustedEngine: true}
+}
+
+func newFleet(t *testing.T, opts Options) (*Fleet, *store.DB) {
+	t.Helper()
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	f, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f, db
+}
+
+func waitLagZero(t *testing.T, f *Fleet) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.MaxVersionLag() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("fleet staleness never drained: lag=%d versions", f.MaxVersionLag())
+}
+
+// TestFleetCrossNodeCoherence: a write through the owner must invalidate
+// exactly the touched entries on every other node caching the metastore,
+// with no database round trip and no full evict.
+func TestFleetCrossNodeCoherence(t *testing.T) {
+	f, _ := newFleet(t, Options{Nodes: 3})
+	admin := adminCtx("ms1")
+	if _, _, err := f.CreateMetastore("ms1", "m", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Do("ms1", func(svc *catalog.Service) error {
+		if _, err := svc.CreateCatalog(admin, "c", ""); err != nil {
+			return err
+		}
+		if _, err := svc.CreateSchema(admin, "c", "s", ""); err != nil {
+			return err
+		}
+		_, err := svc.CreateTable(admin, "c.s", "t", catalog.TableSpec{Columns: cols("x")}, "")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := f.Owner("ms1")
+
+	// Warm every non-owner node by serving a read there (a misrouted
+	// request served locally), so multiple caches hold c.s.t.
+	var others []*Node
+	for _, n := range f.Nodes() {
+		if n != owner {
+			others = append(others, n)
+		}
+	}
+	if len(others) != 2 {
+		t.Fatalf("want 2 non-owner nodes, got %d", len(others))
+	}
+	for _, n := range others {
+		if err := n.Serve("ms1", func(svc *catalog.Service) error {
+			_, err := svc.GetAsset(admin, "c.s.t")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLagZero(t, f)
+	entriesBefore := others[0].Service.Cache().EntryCount("ms1")
+	if entriesBefore == 0 {
+		t.Fatal("non-owner cache did not warm")
+	}
+
+	// Write through the router (routes to the owner).
+	comment := "updated-by-owner"
+	if err := f.Do("ms1", func(svc *catalog.Service) error {
+		_, err := svc.UpdateAsset(admin, "c.s.t", catalog.UpdateRequest{Comment: &comment})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitLagZero(t, f)
+
+	for i, n := range others {
+		// The event must have been applied, not fully evicted: most warmed
+		// entries survive.
+		m := n.Coherence()
+		if m.EventsApplied == 0 {
+			t.Fatalf("node %d applied no coherence events", i)
+		}
+		if m.DropReconciles != 0 {
+			t.Fatalf("node %d fell back to full reconcile", i)
+		}
+		if after := n.Service.Cache().EntryCount("ms1"); after == 0 {
+			t.Fatalf("node %d cache emptied by selective invalidation", i)
+		}
+		// And the read must be fresh without consulting the owner.
+		if err := n.Serve("ms1", func(svc *catalog.Service) error {
+			e, err := svc.GetAsset(admin, "c.s.t")
+			if err != nil {
+				return err
+			}
+			if e.Comment != comment {
+				return fmt.Errorf("stale read on node %d: comment = %q", i, e.Comment)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFleetRoutingAndRebalance: requests reach every metastore through the
+// router before and after node add/remove; ownership moves, service stays up.
+func TestFleetRoutingAndRebalance(t *testing.T) {
+	f, _ := newFleet(t, Options{Nodes: 4})
+	const metastores = 8
+	for i := 0; i < metastores; i++ {
+		id := fmt.Sprintf("ms%d", i)
+		if _, _, err := f.CreateMetastore(id, id, "r", "admin", "s3://root/"+id); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Do(id, func(svc *catalog.Service) error {
+			_, err := svc.CreateCatalog(adminCtx(id), "c", "")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func() {
+		t.Helper()
+		for i := 0; i < metastores; i++ {
+			id := fmt.Sprintf("ms%d", i)
+			if err := f.Do(id, func(svc *catalog.Service) error {
+				_, err := svc.GetAsset(adminCtx(id), "c")
+				return err
+			}); err != nil {
+				t.Fatalf("read %s: %v", id, err)
+			}
+		}
+	}
+	read()
+
+	// Snapshot ownership over a large key space so the movement assertions
+	// are statistical facts about the ring, not luck with 8 metastores.
+	const keys = 1024
+	ownersBefore := map[string]int{}
+	for i := 0; i < keys; i++ {
+		id := fmt.Sprintf("ms%d", i)
+		ownersBefore[id] = f.Owner(id).ID
+	}
+	added, err := f.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for id, prev := range ownersBefore {
+		if f.Owner(id).ID != prev {
+			moved++
+			if f.Owner(id).ID != added.ID {
+				t.Errorf("%s moved to node %d, not the new node", id, f.Owner(id).ID)
+			}
+		}
+	}
+	// Consistent hashing moves ~1/5 of keys to the fifth node — and only
+	// to it. Anywhere near 1/2 would mean we rehash like modulo.
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("adding a node moved %d/%d keys; want roughly %d", moved, keys, keys/5)
+	}
+	read() // new owners attach lazily and serve
+
+	if err := f.RemoveNode(added.ID); err != nil {
+		t.Fatal(err)
+	}
+	for id, prev := range ownersBefore {
+		if f.Owner(id).ID != prev {
+			t.Errorf("%s did not return to node %d after removal", id, prev)
+		}
+	}
+	read()
+
+	if err := f.RemoveNode(999); err == nil {
+		t.Error("removing an unknown node must fail")
+	}
+}
+
+// TestFleetForwardingAndMetrics: misroutes are forwarded (and counted), the
+// LocalServeEvery valve serves some locally, and the uc_fleet_* families
+// show up on a registry.
+func TestFleetForwardingAndMetrics(t *testing.T) {
+	f, _ := newFleet(t, Options{Nodes: 4, LocalServeEvery: 4})
+	if _, _, err := f.CreateMetastore("ms1", "m", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	admin := adminCtx("ms1")
+	if err := f.Do("ms1", func(svc *catalog.Service) error {
+		_, err := svc.CreateCatalog(admin, "c", "")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := f.Do("ms1", func(svc *catalog.Service) error {
+			_, err := svc.GetAsset(admin, "c")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Routed() < 64 {
+		t.Fatalf("routed = %d, want >= 64", f.Routed())
+	}
+	// With 4 nodes round-robin, ~3/4 of requests misroute; 1/4 of those
+	// serve locally.
+	if f.Forwarded() == 0 {
+		t.Fatal("no requests forwarded")
+	}
+	if f.LocalServes() == 0 {
+		t.Fatal("no misroutes served locally despite LocalServeEvery")
+	}
+
+	reg := obs.NewRegistry()
+	f.RegisterMetrics(reg)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, family := range []string{
+		"uc_fleet_requests_total",
+		"uc_fleet_requests_forwarded_total",
+		"uc_fleet_requests_local_total",
+		"uc_fleet_nodes",
+		"uc_fleet_events_applied_total",
+		"uc_fleet_invalidations_total",
+		"uc_fleet_full_reconciles_total",
+		"uc_fleet_staleness_versions",
+		"uc_fleet_staleness_seconds",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+}
+
+// TestRingDistribution: virtual nodes spread many metastores roughly evenly
+// and deterministically.
+func TestRingDistribution(t *testing.T) {
+	f, _ := newFleet(t, Options{Nodes: 8})
+	counts := map[int]int{}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		counts[f.Owner(fmt.Sprintf("metastore-%d", i)).ID]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 nodes own anything", len(counts))
+	}
+	for id, c := range counts {
+		if c < n/8/3 || c > n/8*3 {
+			t.Errorf("node %d owns %d of %d (badly skewed)", id, c, n)
+		}
+	}
+	// Determinism: same key always maps to the same node.
+	if f.Owner("metastore-7") != f.Owner("metastore-7") {
+		t.Error("ownership not deterministic")
+	}
+}

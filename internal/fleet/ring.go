@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring mapping metastore IDs to nodes. Each node
+// contributes vnodesPerNode virtual points so ownership spreads evenly and
+// adding or removing one node only moves the metastores whose arcs it
+// gained or lost — the rest of the fleet keeps its warm caches.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node *Node
+}
+
+// fnv64a is inline FNV-1a with a murmur-style finalizer. Raw FNV-1a has
+// weak avalanche on the last few input bytes: keys that differ only in a
+// short suffix ("ms00".."ms63") land within ~2^44 of each other, far
+// narrower than the mean arc between ring points (~2^55 at a few hundred
+// vnodes), so whole tenant families collapse onto one owner. The finalizer
+// spreads suffix differences across all 64 bits.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// buildRing constructs the ring from the live node set.
+func buildRing(nodes []*Node, vnodesPerNode int) ring {
+	points := make([]ringPoint, 0, len(nodes)*vnodesPerNode)
+	for _, n := range nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			h := fnv64a("node-" + strconv.Itoa(n.ID) + "#" + strconv.Itoa(v))
+			points = append(points, ringPoint{hash: h, node: n})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].hash < points[j].hash })
+	return ring{points: points}
+}
+
+// owner returns the node owning key: the first virtual point at or after
+// the key's hash, wrapping around.
+func (r ring) owner(key string) *Node {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := fnv64a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

@@ -197,6 +197,39 @@ type DB struct {
 	// injector is the active fault injector; swapped atomically so tests
 	// can install or clear schedules while operations are in flight.
 	injector atomic.Pointer[faults.Injector]
+
+	// hooks observe applied commits (see AddCommitHook). Stored as an
+	// immutable slice behind an atomic pointer so the commit path reads it
+	// without locks.
+	hooks atomic.Pointer[[]CommitHook]
+}
+
+// CommitHook observes one applied commit. It runs on the committing
+// goroutine after the commit is durable (WAL-acked) and visible, but before
+// the apply turnstile admits version+1 — so for a given metastore, hooks
+// fire strictly in version order and exactly once per applied commit.
+// Failed commits and WAL-replayed commits fire no hooks.
+//
+// changes is a fresh slice (Version filled in) the hook may retain; notes
+// carries whatever the transaction attached via Tx.Annotate, in order.
+// Hooks must not block: the metastore's commit pipeline stalls until every
+// hook returns. Calling back into the DB for reads is safe; committing to
+// the same metastore from a hook deadlocks.
+type CommitHook func(msID string, version uint64, changes []Change, notes []any)
+
+// AddCommitHook registers h for every subsequently applied commit on any
+// metastore. Hooks cannot be removed; register once per consumer.
+func (db *DB) AddCommitHook(h CommitHook) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var cur []CommitHook
+	if p := db.hooks.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]CommitHook, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = h
+	db.hooks.Store(&next)
 }
 
 // SetFaults installs (or, with nil, removes) the fault injector consulted by
@@ -712,7 +745,16 @@ type Tx struct {
 	base    uint64
 	writes  map[string]map[string]*txWrite // table -> key -> write
 	ordered []Change                       // write order for the change log/WAL
+	notes   []any                          // opaque annotations for commit hooks
 }
+
+// Annotate attaches an opaque note to the transaction. If the transaction
+// commits, every registered CommitHook receives the notes in the order they
+// were added; on retry (e.g. a CAS conflict re-running the closure) the
+// fresh transaction starts with no notes. Callers use this to stage
+// higher-level event metadata inside the closure so it is published
+// if-and-only-if the commit applies.
+func (tx *Tx) Annotate(note any) { tx.notes = append(tx.notes, note) }
 
 type txWrite struct {
 	value   []byte
@@ -1054,6 +1096,18 @@ func (db *DB) update(sc obs.SpanContext, msID string, expected *uint64, fn func(
 	ms.pending = ms.pending[1:]
 	ms.version = newV
 	ms.stateMu.Unlock()
+
+	// Commit hooks: after durability and visibility, before the turnstile
+	// admits newV+1 — per-metastore hooks see strictly increasing versions.
+	if hp := db.hooks.Load(); hp != nil && len(*hp) > 0 {
+		applied := make([]Change, len(tx.ordered))
+		for i, c := range tx.ordered {
+			applied[i] = Change{Version: newV, Table: c.Table, Key: c.Key, Deleted: c.Deleted}
+		}
+		for _, h := range *hp {
+			h(msID, newV, applied, tx.notes)
+		}
+	}
 
 	ms.applyMu.Lock()
 	ms.applied = newV
