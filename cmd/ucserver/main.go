@@ -38,6 +38,10 @@ func main() {
 		slowMs    = flag.Int("trace-slow-ms", 0, "always retain traces at least this slow (0 = default 100ms, negative disables)")
 		naiveEnc  = flag.Bool("naive-encoding", false, "use the reflection-based JSON response path instead of the pooled encoders (ablation)")
 		etagAge   = flag.Duration("etag-max-age", 0, "conditional-GET validator lifetime (0 = default 30s, negative disables)")
+		node      = flag.String("node", "", "node name attributing this process's spans in stitched cross-node traces")
+		tenantK   = flag.Int("tenant-topk", 0, "track the top K tenants in /debug/tenants and uc_tenant_* metrics (0 = default 32, negative disables)")
+		sloP99    = flag.Duration("slo-p99", 0, "per-route p99 latency budget arming the flight-recorder watchdog (0 = no SLO check)")
+		flightInt = flag.Duration("flight-interval", 0, "background flight-recorder poll interval (0 = poll lazily on /debug/flightrecorder reads)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,10 @@ func main() {
 		Pprof:              *pprofFlag,
 		TraceSampleEvery:   *sampleN,
 		TraceSlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+		Node:               *node,
+		TenantTopK:         *tenantK,
+		SLORouteP99:        *sloP99,
+		FlightInterval:     *flightInt,
 		NaiveEncoding:      *naiveEnc,
 		ETagMaxAge:         *etagAge,
 	})
@@ -86,6 +94,8 @@ func main() {
 	fmt.Printf("  Iceberg REST:  http://localhost%s/iceberg/%s/v1/\n", *addr, *metastore)
 	fmt.Printf("  Metrics:       http://localhost%s/metrics\n", *addr)
 	fmt.Printf("  Traces:        http://localhost%s/debug/traces\n", *addr)
+	fmt.Printf("  Tenants:       http://localhost%s/debug/tenants\n", *addr)
+	fmt.Printf("  FlightRec:     http://localhost%s/debug/flightrecorder\n", *addr)
 	if *pprofFlag {
 		fmt.Printf("  pprof:         http://localhost%s/debug/pprof/\n", *addr)
 	}

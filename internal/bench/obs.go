@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"unitycatalog/internal/catalog"
+	"unitycatalog/internal/fleet"
 	"unitycatalog/internal/obs"
 	"unitycatalog/internal/store"
 )
@@ -21,21 +24,97 @@ import (
 // ObsCell is one measured cell of the instrumentation-overhead grid.
 type ObsCell struct {
 	// Path is the hot path: deep_check (authorized GetAsset on a
-	// catalog.schema.table chain, cache hit) or commit_wal (single-key
-	// store commit through the group-commit WAL).
+	// catalog.schema.table chain, cache hit), commit_wal (single-key
+	// store commit through the group-commit WAL), or fleet_forward
+	// (round-robin routed reads on a two-node fleet, ~half crossing the
+	// node boundary).
 	Path string `json:"path"`
-	// Mode is "off" (zero SpanContext) or "traced" (enabled, unsampled).
+	// Mode is "off" (zero SpanContext), "traced" (enabled, unsampled),
+	// "traced+metered" (tracing plus per-tenant usage metering), or
+	// "propagated" (cross-node trace propagation on forwarded requests).
 	Mode        string  `json:"mode"`
 	Ops         int     `json:"ops"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// OverheadPct is the overhead vs this path's "off" mode, computed as
+	// the median of per-round paired ratios (each round times every mode
+	// back-to-back, so both sides of a ratio see the same machine state).
+	// Absent on "off" cells. This is the number the <=5% budget is judged
+	// against; comparing the NsPerOp minima across cells instead folds in
+	// whole-run clock drift, which on a shared box exceeds the signal.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
-// RunObsGrid measures both hot paths with tracing off and on.
+// obsMode pairs a grid mode label with its per-op closure.
+type obsMode struct {
+	mode string
+	fn   func()
+}
+
+// measureObsPath interleaves the modes round-robin over several rounds.
+// Each cell reports its fastest round (NsPerOp) and, for non-off modes, the
+// median of per-round ratios against the off mode measured back-to-back in
+// the same round (OverheadPct). One-shot sequential cells let machine drift
+// (GC pauses, noisy neighbors on a shared box) land entirely on whichever
+// mode ran last, which swamps single-digit-percent overheads; paired rounds
+// put both sides of every ratio in adjacent time windows, so the median
+// ratio isolates the instrumentation cost itself. modes[0] must be "off".
+func measureObsPath(path string, ops int, modes []obsMode) []ObsCell {
+	const rounds = 7
+	chunk := ops / rounds
+	if chunk < 1 {
+		chunk = 1
+	}
+	cells := make([]ObsCell, len(modes))
+	for i, m := range modes {
+		cells[i] = ObsCell{Path: path, Mode: m.mode, Ops: chunk * rounds}
+		// Warm pass: map growth, pools, and branch history paid outside
+		// the timed rounds.
+		for j := 0; j < chunk/4+1; j++ {
+			m.fn()
+		}
+	}
+	// Each round brackets every mode between two off runs and divides by
+	// their mean: linear drift across the bracket cancels exactly, leaving
+	// spiky noise for the median over rounds to reject.
+	ratios := make([][]float64, len(modes))
+	keepMin := func(i int, ns, allocs float64) {
+		if cells[i].NsPerOp == 0 || ns < cells[i].NsPerOp {
+			cells[i].NsPerOp, cells[i].AllocsPerOp = ns, allocs
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		offPrev, offAllocs := measureAuthz(chunk, modes[0].fn)
+		keepMin(0, offPrev, offAllocs)
+		for i := 1; i < len(modes); i++ {
+			ns, allocs := measureAuthz(chunk, modes[i].fn)
+			keepMin(i, ns, allocs)
+			offNext, offA := measureAuthz(chunk, modes[0].fn)
+			keepMin(0, offNext, offA)
+			if base := (offPrev + offNext) / 2; base > 0 {
+				ratios[i] = append(ratios[i], ns/base)
+			}
+			offPrev = offNext
+		}
+	}
+	for i := range modes {
+		if i == 0 || len(ratios[i]) == 0 {
+			continue
+		}
+		sort.Float64s(ratios[i])
+		cells[i].OverheadPct = (ratios[i][len(ratios[i])/2] - 1) * 100
+	}
+	return cells
+}
+
+// RunObsGrid measures the hot paths with tracing off and on.
 func RunObsGrid(quick bool) ([]ObsCell, error) {
-	checkOps, commitOps := 100_000, 2_000
+	// commitOps sized so each interleaved round's chunk is ~500 commits:
+	// group-commit fsync latency is spiky, and smaller chunks let one slow
+	// batch swing a whole round's ratio.
+	checkOps, commitOps := 100_000, 3_500
 	if quick {
-		checkOps, commitOps = 20_000, 500
+		checkOps, commitOps = 20_000, 700
 	}
 
 	var cells []ObsCell
@@ -57,20 +136,38 @@ func RunObsGrid(quick bool) ([]ObsCell, error) {
 	if err := get(reader); err != nil {
 		return nil, fmt.Errorf("obs deep_check: %w", err)
 	}
-	for _, mode := range []string{"off", "traced"} {
-		fn := func() { get(reader) }
-		if mode == "traced" {
-			fn = func() {
-				t := tracer.StartTrace()
-				ctx := reader
-				ctx.Trace = tracer.Root(t)
-				get(ctx)
-				tracer.Finish(t, "bench.deep_check")
-			}
-		}
-		ns, allocs := measureAuthz(checkOps, fn)
-		cells = append(cells, ObsCell{Path: "deep_check", Mode: mode, Ops: checkOps, NsPerOp: ns, AllocsPerOp: allocs})
+	// Tenant metering rides the same hot path in production (one sketch
+	// update per request plus one per catalog op), so its cost is measured
+	// as a third mode stacked on tracing. 64 rotating tenants on a K=32
+	// sketch keep the space-saving eviction path exercised, not just the
+	// cheap increment-existing branch.
+	meter := obs.NewUsageMeter(32)
+	tenantNames := make([]string, 64)
+	for i := range tenantNames {
+		tenantNames[i] = fmt.Sprintf("tenant-%02d", i)
 	}
+	var seq int
+	cells = append(cells, measureObsPath("deep_check", checkOps, []obsMode{
+		{"off", func() { get(reader) }},
+		{"traced", func() {
+			t := tracer.StartTrace()
+			ctx := reader
+			ctx.Trace = tracer.Root(t)
+			get(ctx)
+			tracer.Finish(t, "bench.deep_check")
+		}},
+		{"traced+metered", func() {
+			t := tracer.StartTrace()
+			ctx := reader
+			ctx.Trace = tracer.Root(t)
+			get(ctx)
+			tracer.Finish(t, "bench.deep_check")
+			tn := tenantNames[seq&63]
+			seq++
+			meter.ObserveRequest(tn, 512, 40*time.Microsecond)
+			meter.ObserveOp(tn)
+		}},
+	})...)
 
 	// Path 2: WAL-backed commit, same shape as the commit grid's cells.
 	dir, err := os.MkdirTemp("", "obsbench")
@@ -90,19 +187,102 @@ func RunObsGrid(quick bool) ([]ObsCell, error) {
 		tx.Put("t", "k", []byte("v"))
 		return nil
 	}
-	for _, mode := range []string{"off", "traced"} {
-		fn := func() { db.Update("m", put) }
-		if mode == "traced" {
-			fn = func() {
-				t := tracer.StartTrace()
-				db.UpdateT(tracer.Root(t), "m", put)
-				tracer.Finish(t, "bench.commit_wal")
-			}
-		}
-		ns, allocs := measureAuthz(commitOps, fn)
-		cells = append(cells, ObsCell{Path: "commit_wal", Mode: mode, Ops: commitOps, NsPerOp: ns, AllocsPerOp: allocs})
+	cells = append(cells, measureObsPath("commit_wal", commitOps, []obsMode{
+		{"off", func() { db.Update("m", put) }},
+		{"traced", func() {
+			t := tracer.StartTrace()
+			db.UpdateT(tracer.Root(t), "m", put)
+			tracer.Finish(t, "bench.commit_wal")
+		}},
+	})...)
+
+	// Path 3: routed reads on a two-node fleet. Round-robin entry against a
+	// single owner means ~half the requests cross the node boundary; the
+	// "propagated" mode pays span-context wire encoding, the forward span,
+	// and a remote trace segment on the executing node for each of those.
+	fwdOps := 40_000
+	if quick {
+		fwdOps = 8_000
 	}
+	var fwdModes []obsMode
+	for _, mode := range []string{"off", "propagated"} {
+		opts := fleet.Options{Nodes: 2, BusBuffer: 2048, BusHistory: 256}
+		if mode == "propagated" {
+			// Tracers on every node, sampling disabled: steady state
+			// between retained samples, same as the other paths.
+			opts.TraceSampleEvery = -1
+		}
+		fn, cleanup, err := setupFleetForward(mode, opts)
+		if err != nil {
+			return nil, fmt.Errorf("obs fleet_forward %s: %w", mode, err)
+		}
+		defer cleanup()
+		fwdModes = append(fwdModes, obsMode{mode, fn})
+	}
+	cells = append(cells, measureObsPath("fleet_forward", fwdOps, fwdModes)...)
 	return cells, nil
+}
+
+// setupFleetForward builds a warmed two-node fleet and returns the per-op
+// closure for one fleet_forward mode.
+func setupFleetForward(mode string, opts fleet.Options) (fn func(), cleanup func(), err error) {
+	db, err := store.Open(store.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fleet.New(db, opts)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	cleanup = func() { f.Close(); db.Close() }
+	fail := func(e error) (func(), func(), error) {
+		cleanup()
+		return nil, nil, e
+	}
+
+	admin := catalog.Ctx{Principal: "admin", Metastore: "fwd-ms", TrustedEngine: true}
+	if _, _, err := f.CreateMetastore("fwd-ms", "fwd", "region-1", "admin", "s3://root/fwd"); err != nil {
+		return fail(err)
+	}
+	if err := f.Do("fwd-ms", func(svc *catalog.Service) error {
+		if _, err := svc.CreateCatalog(admin, "cat", ""); err != nil {
+			return err
+		}
+		if _, err := svc.CreateSchema(admin, "cat", "s", ""); err != nil {
+			return err
+		}
+		_, err := svc.CreateTable(admin, "cat.s", "t", catalog.TableSpec{
+			Columns: []catalog.ColumnInfo{{Name: "id", Type: "BIGINT"}},
+		}, "")
+		return err
+	}); err != nil {
+		return fail(err)
+	}
+	read := func(svc *catalog.Service, sc obs.SpanContext) error {
+		ctx := admin
+		ctx.Trace = sc
+		_, err := svc.GetAsset(ctx, "cat.s.t")
+		return err
+	}
+	// Warm both nodes' caches so the measured loop is the routing + hop
+	// cost, not cold misses.
+	for i := 0; i < 8; i++ {
+		if err := f.DoTraced(obs.SpanContext{}, "fwd-ms", read); err != nil {
+			return fail(err)
+		}
+	}
+
+	tracer := obs.NewTracer(-1, 0)
+	fn = func() { f.DoTraced(obs.SpanContext{}, "fwd-ms", read) }
+	if mode == "propagated" {
+		fn = func() {
+			t := tracer.StartTrace()
+			f.DoTraced(tracer.Root(t), "fwd-ms", read)
+			tracer.Finish(t, "bench.fleet_forward")
+		}
+	}
+	return fn, cleanup, nil
 }
 
 // ObsExperiment renders the grid with per-path overhead percentages.
@@ -126,12 +306,15 @@ func ObsExperiment(o Options) (*Table, error) {
 	var findings []string
 	for _, c := range cells {
 		over := "-"
-		if c.Mode == "traced" {
-			if base, ok := off[c.Path]; ok && base.NsPerOp > 0 {
-				pct := (c.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
-				over = fmt.Sprintf("%+.1f%%", pct)
-				findings = append(findings, fmt.Sprintf("%s %+.1f%%", c.Path, pct))
+		if c.Mode != "off" {
+			pct := c.OverheadPct
+			if pct == 0 {
+				if base, ok := off[c.Path]; ok && base.NsPerOp > 0 {
+					pct = (c.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+				}
 			}
+			over = fmt.Sprintf("%+.1f%%", pct)
+			findings = append(findings, fmt.Sprintf("%s/%s %+.1f%%", c.Path, c.Mode, pct))
 		}
 		t.Rows = append(t.Rows, []string{c.Path, c.Mode, fi(c.Ops), f(c.NsPerOp), f(c.AllocsPerOp), over})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitycatalog/internal/audit"
@@ -55,6 +56,10 @@ type Config struct {
 	// SoftDeleteRetention is how long soft-deleted entities are kept before
 	// garbage collection (default 7 days).
 	SoftDeleteRetention time.Duration
+	// Usage, when set, attributes authorized catalog operations to
+	// principals (per-tenant metering). A fleet passes the shared meter
+	// here so forwarded work is attributed on the node that executes it.
+	Usage *obs.UsageMeter
 }
 
 // Service is the Unity Catalog core service.
@@ -73,6 +78,11 @@ type Service struct {
 	stsRetry    retry.Policy
 	tokenCache  *tokenCache
 	gcRetention time.Duration
+
+	// usage is the per-tenant meter (nil disables). Atomic because the
+	// server attaches its meter after construction (SetUsage) while fleet
+	// nodes may already be serving.
+	usage atomic.Pointer[obs.UsageMeter]
 
 	mu    sync.RWMutex
 	metas map[string]*metaState
@@ -131,6 +141,9 @@ func New(cfg Config) (*Service, error) {
 		stsRetry:    cfg.STSRetry,
 		gcRetention: cfg.SoftDeleteRetention,
 		metas:       map[string]*metaState{},
+	}
+	if cfg.Usage != nil {
+		s.usage.Store(cfg.Usage)
 	}
 	if !cfg.DisableTokenCache {
 		s.tokenCache = newTokenCache(cfg.Clock)
@@ -480,13 +493,21 @@ func (s *Service) checkOwner(ctx Ctx, r erm.Reader, id ids.ID, op string) error 
 	return nil
 }
 
-// apiAudit records an API request outcome.
+// SetUsage attaches (or with nil detaches) the per-tenant usage meter.
+// The server calls this before serving; safe to call while requests run.
+func (s *Service) SetUsage(m *obs.UsageMeter) { s.usage.Store(m) }
+
+// apiAudit records an API request outcome and attributes the operation to
+// its tenant when metering is on.
 func (s *Service) apiAudit(ctx Ctx, op string, sec ids.ID, readOnly bool, err error) {
 	s.audit.Append(audit.Record{
 		Kind: audit.KindAPIRequest, Metastore: ctx.Metastore, Principal: string(ctx.Principal),
 		Operation: op, Securable: sec, Allowed: err == nil, ReadOnly: readOnly,
 		Detail: errDetail(err), TraceID: ctx.Trace.TraceID(),
 	})
+	if m := s.usage.Load(); m != nil {
+		m.ObserveOp(string(ctx.Principal))
+	}
 }
 
 func errDetail(err error) string {

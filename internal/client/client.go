@@ -22,6 +22,7 @@ import (
 	"unitycatalog/internal/ids"
 	"unitycatalog/internal/lineage"
 	"unitycatalog/internal/mlregistry"
+	"unitycatalog/internal/obs"
 	"unitycatalog/internal/privilege"
 	"unitycatalog/internal/retry"
 	"unitycatalog/internal/search"
@@ -53,6 +54,11 @@ type Client struct {
 	// so one slow attempt fails fast and the retry budget is spent on fresh
 	// attempts (0 = rely on the http.Client's overall timeout alone).
 	RequestTimeout time.Duration
+	// Trace, when active, is propagated on every request (trace ID, parent
+	// span, sampling decision) so a service calling another UC node — or a
+	// traced test harness — stitches the downstream work into its own
+	// trace. The zero value sends no propagation headers.
+	Trace obs.SpanContext
 
 	// vcache remembers ETag validators and bodies for conditional GET. A
 	// pointer so Client stays copyable (Resolve clones per principal) and so
@@ -169,6 +175,13 @@ func (c *Client) roundTrip(method, path string, body []byte, jsonBody bool) ([]b
 		}
 		req.Header.Set("Authorization", "Bearer "+c.Principal)
 		req.Header.Set("X-UC-Metastore", c.Metastore)
+		if pc, ok := c.Trace.Propagation(); ok {
+			req.Header.Set(obs.TraceIDHeader, pc.TraceID)
+			req.Header.Set(obs.ParentSpanHeader, strconv.Itoa(int(pc.Parent)))
+			if pc.Sampled {
+				req.Header.Set(obs.SampledHeader, "1")
+			}
+		}
 		if jsonBody && body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}

@@ -57,6 +57,19 @@ type Options struct {
 	BusBuffer, BusHistory int
 	// Clock supplies time to the services (nil = real time).
 	Clock clock.Clock
+	// TraceSampleEvery/TraceSlowThreshold give every node a tracer with the
+	// given retention policy (both zero = no per-node tracers; forwarded
+	// requests then serve without starting remote trace segments). All node
+	// tracers share one TraceStore so cross-node traces stitch into one
+	// tree.
+	TraceSampleEvery   int
+	TraceSlowThreshold time.Duration
+	// TraceKeep bounds the shared retained-trace ring (0 = 32).
+	TraceKeep int
+	// Usage, when set, is the shared per-tenant meter every node's catalog
+	// service feeds, so forwarded operations are attributed on the node
+	// that executes them.
+	Usage *obs.UsageMeter
 }
 
 // Node is one catalog service instance in the fleet.
@@ -66,10 +79,17 @@ type Node struct {
 
 	f        *Fleet
 	coherer  *cache.Coherer
+	tracer   *obs.Tracer   // nil unless Options enabled tracing
 	sem      chan struct{} // nil = unlimited
 	requests obs.Counter
 	attachMu sync.Mutex
 }
+
+// Name returns the node's attribution label in stitched traces.
+func (n *Node) Name() string { return fmt.Sprintf("node-%d", n.ID) }
+
+// Tracer returns the node's tracer (nil when fleet tracing is off).
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
 
 // Coherence returns the node's coherence-loop counters.
 func (n *Node) Coherence() cache.CohererMetrics { return n.coherer.Metrics() }
@@ -82,6 +102,15 @@ func (n *Node) Requests() int64 { return n.requests.Load() }
 // use. The Router calls it; tests and the benchmark may target a specific
 // node directly to model cross-node traffic.
 func (n *Node) Serve(msID string, fn func(*catalog.Service) error) error {
+	return n.ServeTraced(obs.SpanContext{}, msID, func(svc *catalog.Service, _ obs.SpanContext) error {
+		return fn(svc)
+	})
+}
+
+// ServeTraced is Serve with a trace context threaded through: fn receives
+// the SpanContext its catalog.Ctx should carry, so spans and audit records
+// land on the right trace whether the request is local or forwarded.
+func (n *Node) ServeTraced(sc obs.SpanContext, msID string, fn func(*catalog.Service, obs.SpanContext) error) error {
 	if n.sem != nil {
 		n.sem <- struct{}{}
 		defer func() { <-n.sem }()
@@ -93,7 +122,18 @@ func (n *Node) Serve(msID string, fn func(*catalog.Service) error) error {
 	if err := n.ensureAttached(msID); err != nil {
 		return err
 	}
-	return fn(n.Service)
+	return fn(n.Service, sc)
+}
+
+// serveRemote is the receiving half of a cross-node hop: start a remote
+// trace segment continuing the propagated context (adopting the origin's
+// trace ID and sampling decision), serve, then finish the segment so it
+// lands in the shared store for stitching.
+func (n *Node) serveRemote(pc obs.PropagationContext, msID, op string, fn func(*catalog.Service, obs.SpanContext) error) error {
+	t := n.tracer.StartRemote(pc)
+	err := n.ServeTraced(n.tracer.Root(t), msID, fn)
+	n.tracer.Finish(t, op)
+	return err
 }
 
 // ensureAttached opens the metastore on this node on first contact — the
@@ -142,10 +182,15 @@ type Fleet struct {
 	routed      obs.Counter
 	forwarded   obs.Counter
 	localServes obs.Counter
+	// propagated counts cross-node hops that carried a trace context.
+	propagated obs.Counter
 
 	// staleness aggregates publish→apply latency across all nodes' coherers
 	// (the fleet-wide staleness window).
 	staleness *obs.Histogram
+	// traces is the shared retention store all node tracers write to, so a
+	// forwarded request's origin and remote segments stitch into one tree.
+	traces *obs.TraceStore
 }
 
 // New builds a fleet of opts.Nodes nodes over db. The nodes share the
@@ -170,6 +215,7 @@ func New(db *store.DB, opts Options) (*Fleet, error) {
 		clk:       opts.Clock,
 		metas:     map[string]bool{},
 		staleness: obs.NewLatencyHistogram(),
+		traces:    obs.NewTraceStore(opts.TraceKeep),
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		if _, err := f.AddNode(); err != nil {
@@ -190,6 +236,7 @@ func (f *Fleet) AddNode() (*Node, error) {
 		Bus:       bus,
 		Registry:  f.reg,
 		CacheOpts: f.opts.CacheOpts,
+		Usage:     f.opts.Usage,
 	})
 	if err != nil {
 		return nil, err
@@ -198,6 +245,11 @@ func (f *Fleet) AddNode() (*Node, error) {
 	defer f.mu.Unlock()
 	n := &Node{ID: f.nextID, Service: svc, f: f}
 	f.nextID++
+	if f.opts.TraceSampleEvery != 0 || f.opts.TraceSlowThreshold != 0 {
+		n.tracer = obs.NewTracer(f.opts.TraceSampleEvery, f.opts.TraceSlowThreshold)
+		n.tracer.Node = n.Name()
+		n.tracer.Store = f.traces
+	}
 	if f.opts.Capacity > 0 {
 		n.sem = make(chan struct{}, f.opts.Capacity)
 	}
@@ -281,6 +333,22 @@ func (f *Fleet) CreateMetastore(id, name, region string, owner privilege.Princip
 // balancer's pick) forwards to the ring owner, except every
 // LocalServeEvery-th misroute, which the entry node serves itself.
 func (f *Fleet) Do(msID string, fn func(*catalog.Service) error) error {
+	return f.DoTraced(obs.SpanContext{}, msID, func(svc *catalog.Service, _ obs.SpanContext) error {
+		return fn(svc)
+	})
+}
+
+// DoTraced is Do with cross-node trace propagation: sc is the originating
+// request's span context (from the entry node's HTTP server). A hop to
+// another node opens a "fleet.forward" span under sc, carries the context
+// in wire form, and the target node records the work as a remote trace
+// segment that adopted the origin's trace ID — so /debug/traces shows one
+// stitched tree and audit records on the executing node carry the
+// originating request's trace ID, not a fresh one minted at the hop.
+//
+// fn receives the SpanContext to thread into its catalog.Ctx: sc itself on
+// a local serve, the remote segment's root after a hop.
+func (f *Fleet) DoTraced(sc obs.SpanContext, msID string, fn func(*catalog.Service, obs.SpanContext) error) error {
 	f.mu.RLock()
 	if len(f.nodes) == 0 {
 		f.mu.RUnlock()
@@ -300,11 +368,42 @@ func (f *Fleet) Do(msID string, fn func(*catalog.Service) error) error {
 			f.forwarded.Inc()
 		}
 	}
-	return target.Serve(msID, fn)
+	if target == entry || target.tracer == nil {
+		// No node boundary crossed (or tracing off): the caller's context
+		// flows straight through.
+		return target.ServeTraced(sc, msID, fn)
+	}
+	fsc, span := sc.StartDetail("fleet.forward", target.Name())
+	defer span.End()
+	pc, ok := fsc.Propagation()
+	if ok {
+		f.propagated.Inc()
+	}
+	return target.serveRemote(pc, msID, "forwarded "+msID, fn)
 }
 
 // Forwarded returns how many requests were forwarded entry→owner.
 func (f *Fleet) Forwarded() int64 { return f.forwarded.Load() }
+
+// Propagated returns how many cross-node hops carried a trace context.
+func (f *Fleet) Propagated() int64 { return f.propagated.Load() }
+
+// TraceStore returns the shared retention store node tracers write to.
+// An HTTP front end sets its own tracer's Store to this so origin and
+// remote segments stitch; /debug/traces renders TraceStore.Stitched.
+func (f *Fleet) TraceStore() *obs.TraceStore { return f.traces }
+
+// StalenessCheck returns a flight-recorder watchdog check that trips when
+// the fleet's version lag exceeds maxLag (a staleness spike: some node's
+// cache has fallen behind the shared store by more than the budget).
+func (f *Fleet) StalenessCheck(maxLag uint64) func() (bool, string) {
+	return func() (bool, string) {
+		if lag := f.MaxVersionLag(); lag > maxLag {
+			return true, fmt.Sprintf("fleet staleness: version lag %d exceeds budget %d", lag, maxLag)
+		}
+		return false, ""
+	}
+}
 
 // Routed returns how many requests the router has dispatched.
 func (f *Fleet) Routed() int64 { return f.routed.Load() }
@@ -385,6 +484,7 @@ func (f *Fleet) RegisterMetrics(r *obs.Registry) {
 	r.RegisterCounter("uc_fleet_requests_forwarded_total", "Requests forwarded from the entry node to the metastore's ring owner.", &f.forwarded)
 	r.RegisterCounter("uc_fleet_requests_local_total", "Misrouted requests served at the entry node (stale LB view model).", &f.localServes)
 	r.RegisterCounter("uc_fleet_requests_total", "Requests dispatched by the fleet router.", &f.routed)
+	r.RegisterCounter("uc_fleet_trace_propagated_total", "Cross-node hops that carried a trace context.", &f.propagated)
 	r.RegisterGaugeFunc("uc_fleet_nodes", "Live service nodes in the fleet.", func() float64 {
 		f.mu.RLock()
 		defer f.mu.RUnlock()

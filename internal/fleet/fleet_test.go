@@ -3,9 +3,11 @@ package fleet
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"unitycatalog/internal/audit"
 	"unitycatalog/internal/catalog"
 	"unitycatalog/internal/obs"
 	"unitycatalog/internal/store"
@@ -289,5 +291,181 @@ func TestRingDistribution(t *testing.T) {
 	// Determinism: same key always maps to the same node.
 	if f.Owner("metastore-7") != f.Owner("metastore-7") {
 		t.Error("ownership not deterministic")
+	}
+}
+
+// TestFleetTracePropagation: a request forwarded entry→owner must produce
+// ONE stitched trace tree — origin spans plus the remote segment with node
+// attribution — and audit records written on the executing node must carry
+// the ORIGINATING request's trace ID, not one minted at the hop.
+func TestFleetTracePropagation(t *testing.T) {
+	f, _ := newFleet(t, Options{Nodes: 2, TraceSampleEvery: 1})
+	if _, _, err := f.CreateMetastore("ms1", "m", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	// The "entry node's HTTP server": a tracer sharing the fleet's store.
+	origin := obs.NewTracer(1, 0)
+	origin.Node = "origin"
+	origin.Store = f.TraceStore()
+	admin := adminCtx("ms1")
+
+	var traceID string
+	var execSvc *catalog.Service
+	for i := 0; i < 64 && traceID == ""; i++ {
+		before := f.Forwarded()
+		ot := origin.StartTrace()
+		sc, sp := origin.Root(ot).Start("http")
+		var remoteSC obs.SpanContext
+		err := f.DoTraced(sc, "ms1", func(svc *catalog.Service, rsc obs.SpanContext) error {
+			remoteSC = rsc
+			execSvc = svc
+			ctx := admin
+			ctx.Trace = rsc
+			_, err := svc.CreateCatalog(ctx, fmt.Sprintf("cat%02d", i), "")
+			return err
+		})
+		sp.End()
+		origin.Finish(ot, "POST /catalogs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Forwarded() > before {
+			traceID = ot.ID()
+			// The satellite fix, asserted at the seam: the span context the
+			// forwarded handler runs under carries the ORIGIN trace ID.
+			if remoteSC.TraceID() != traceID {
+				t.Fatalf("forwarded handler trace = %s, want origin %s", remoteSC.TraceID(), traceID)
+			}
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no request was forwarded in 64 attempts")
+	}
+	if got := f.Propagated(); got == 0 {
+		t.Fatal("propagated counter did not move")
+	}
+
+	// The executing node (the ring owner for this hop) wrote the audit
+	// records; they must carry the originating trace ID end-to-end.
+	recs := execSvc.Audit().Filter(func(r audit.Record) bool { return r.TraceID == traceID })
+	if len(recs) == 0 {
+		t.Fatalf("no audit records on executing node carry origin trace %s", traceID)
+	}
+	sawWrite := false
+	for _, r := range recs {
+		if !r.ReadOnly {
+			sawWrite = true
+		}
+	}
+	if !sawWrite {
+		t.Fatalf("audit records for %s are all read-only; want the forwarded write", traceID)
+	}
+
+	// One stitched tree in the shared store: the origin trace with the
+	// remote segment grafted under fleet.forward, attributed to its node.
+	var execNode *Node
+	for _, n := range f.Nodes() {
+		if n.Service == execSvc {
+			execNode = n
+		}
+	}
+	if execNode == nil {
+		t.Fatal("executing service not found among nodes")
+	}
+	var tree *obs.TraceSummary
+	for _, s := range f.TraceStore().Stitched() {
+		if s.ID == traceID {
+			if s.Remote {
+				t.Fatalf("trace %s surfaced as unstitched remote segment", traceID)
+			}
+			if tree != nil {
+				t.Fatalf("trace %s appears twice in stitched output", traceID)
+			}
+			tree = s
+		}
+	}
+	if tree == nil {
+		t.Fatalf("trace %s not in stitched store", traceID)
+	}
+	var remote *obs.SpanView
+	var under string
+	var walk func(spans []obs.SpanView, parent string)
+	walk = func(spans []obs.SpanView, parent string) {
+		for i := range spans {
+			if spans[i].Name == "remote" {
+				remote = &spans[i]
+				under = parent
+			}
+			walk(spans[i].Children, spans[i].Name)
+		}
+	}
+	walk(tree.Spans, "")
+	if remote == nil {
+		t.Fatalf("no remote span in stitched tree: %+v", tree.Spans)
+	}
+	if under != "fleet.forward" {
+		t.Fatalf("remote segment grafted under %q, want fleet.forward", under)
+	}
+	if remote.Node != execNode.Name() {
+		t.Fatalf("remote span node = %q, want %q", remote.Node, execNode.Name())
+	}
+	if len(remote.Children) == 0 {
+		t.Fatal("remote segment carried no spans from the executing node")
+	}
+}
+
+// TestFleetTracePropagationConcurrent hammers DoTraced from many goroutines
+// while the stitched view is read, for the race detector.
+func TestFleetTracePropagationConcurrent(t *testing.T) {
+	f, _ := newFleet(t, Options{Nodes: 3, TraceSampleEvery: 4})
+	if _, _, err := f.CreateMetastore("ms1", "m", "r", "admin", "s3://root/ms1"); err != nil {
+		t.Fatal(err)
+	}
+	admin := adminCtx("ms1")
+	if err := f.Do("ms1", func(svc *catalog.Service) error {
+		_, err := svc.CreateCatalog(admin, "c", "")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	origin := obs.NewTracer(4, 0)
+	origin.Store = f.TraceStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ot := origin.StartTrace()
+				sc := origin.Root(ot)
+				err := f.DoTraced(sc, "ms1", func(svc *catalog.Service, rsc obs.SpanContext) error {
+					ctx := admin
+					ctx.Trace = rsc
+					_, err := svc.GetAsset(ctx, "c")
+					return err
+				})
+				origin.Finish(ot, "GET /assets")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				f.TraceStore().Stitched()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if f.Propagated() == 0 {
+		t.Fatal("no hops propagated a trace")
 	}
 }

@@ -1,0 +1,562 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- propagation + stitching ---
+
+func TestPropagationRoundTrip(t *testing.T) {
+	tr := NewTracer(1, 0) // sample everything
+	trace := tr.StartTrace()
+	root := tr.Root(trace)
+	sc, sp := root.Start("server")
+	pc, ok := sc.Propagation()
+	if !ok {
+		t.Fatal("Propagation() not ok on active span")
+	}
+	if pc.TraceID != trace.ID() || !pc.Sampled || pc.Parent != 0 {
+		t.Fatalf("propagation = %+v, want id=%s sampled parent=0", pc, trace.ID())
+	}
+	// Wire round-trip through the header parser.
+	got, ok := ParsePropagation(pc.TraceID, fmt.Sprint(pc.Parent), "1")
+	if !ok || got != pc {
+		t.Fatalf("ParsePropagation = %+v ok=%v, want %+v", got, ok, pc)
+	}
+	sp.End()
+	tr.Finish(trace, "op")
+
+	if _, ok := (SpanContext{}).Propagation(); ok {
+		t.Fatal("zero SpanContext must not propagate")
+	}
+	if _, ok := ParsePropagation("", "0", "1"); ok {
+		t.Fatal("empty trace ID must not parse")
+	}
+	if _, ok := ParsePropagation(strings.Repeat("x", 65), "0", "1"); ok {
+		t.Fatal("oversized trace ID must not parse")
+	}
+}
+
+func TestRemoteTraceAdoptsIdentity(t *testing.T) {
+	origin := NewTracer(0, 0) // never samples on its own
+	remote := NewTracer(0, 0)
+	remote.Node = "node-1"
+	pc := PropagationContext{TraceID: "cafe0000cafe0000", Parent: 3, Sampled: true}
+	rt := remote.StartRemote(pc)
+	if rt.ID() != pc.TraceID {
+		t.Fatalf("remote trace ID = %s, want adopted %s", rt.ID(), pc.TraceID)
+	}
+	if !rt.Sampled() {
+		t.Fatal("remote trace must honor origin sampling decision")
+	}
+	_, sp := remote.Root(rt).Start("work")
+	sp.End()
+	remote.Finish(rt, "forwarded-op")
+	recent := remote.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("retained %d remote traces, want 1", len(recent))
+	}
+	if !recent[0].Remote || recent[0].ParentSpan != 3 || recent[0].Node != "node-1" {
+		t.Fatalf("summary = %+v, want remote parent=3 node-1", recent[0])
+	}
+	_ = origin
+}
+
+func TestSharedStoreStitchesRemoteSegments(t *testing.T) {
+	store := NewTraceStore(16)
+	a := NewTracer(1, 0)
+	a.Node = "node-0"
+	a.Store = store
+	b := NewTracer(0, 0)
+	b.Node = "node-1"
+	b.Store = store
+
+	// Origin: root span "http", child "fleet.forward" which crosses nodes.
+	ot := a.StartTrace()
+	sc, httpSp := a.Root(ot).Start("http")
+	fsc, fwdSp := sc.Start("fleet.forward")
+	pc, _ := fsc.Propagation()
+
+	// Remote segment on node-1 continuing the trace.
+	rt := b.StartRemote(pc)
+	_, w := b.Root(rt).Start("catalog.get")
+	w.End()
+	b.Finish(rt, "GET table")
+
+	fwdSp.End()
+	httpSp.End()
+	a.Finish(ot, "GET /api")
+
+	stitched := store.Stitched()
+	if len(stitched) != 1 {
+		t.Fatalf("stitched count = %d, want 1 (remote merged into origin)", len(stitched))
+	}
+	tree := stitched[0]
+	if tree.ID != ot.ID() || tree.Remote {
+		t.Fatalf("stitched root = %+v, want origin trace", tree)
+	}
+	// Find the grafted remote span under fleet.forward.
+	var remoteSpan *SpanView
+	var walk func(spans []SpanView, under string)
+	var foundUnder string
+	walk = func(spans []SpanView, under string) {
+		for i := range spans {
+			if spans[i].Name == "remote" {
+				remoteSpan = &spans[i]
+				foundUnder = under
+			}
+			walk(spans[i].Children, spans[i].Name)
+		}
+	}
+	walk(tree.Spans, "")
+	if remoteSpan == nil {
+		t.Fatalf("no remote span grafted; tree: %+v", tree.Spans)
+	}
+	if foundUnder != "fleet.forward" {
+		t.Fatalf("remote span grafted under %q, want fleet.forward", foundUnder)
+	}
+	if remoteSpan.Node != "node-1" {
+		t.Fatalf("remote span node = %q, want node-1", remoteSpan.Node)
+	}
+	if len(remoteSpan.Children) != 1 || remoteSpan.Children[0].Name != "catalog.get" {
+		t.Fatalf("remote children = %+v, want [catalog.get]", remoteSpan.Children)
+	}
+
+	// Stitched output must be what WriteJSON renders.
+	var buf bytes.Buffer
+	if err := store.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("WriteJSON output not a JSON array: %v", err)
+	}
+	if len(arr) != 1 {
+		t.Fatalf("JSON traces = %d, want 1", len(arr))
+	}
+}
+
+func TestOrphanRemoteSegmentSurfaces(t *testing.T) {
+	store := NewTraceStore(8)
+	b := NewTracer(0, 0)
+	b.Node = "node-1"
+	b.Store = store
+	rt := b.StartRemote(PropagationContext{TraceID: "feed0000feed0000", Parent: 0, Sampled: true})
+	b.Finish(rt, "orphan")
+	st := store.Stitched()
+	if len(st) != 1 || !st[0].Remote {
+		t.Fatalf("orphan remote segment must surface standalone, got %+v", st)
+	}
+}
+
+// --- top-K sketch ---
+
+func TestTopKHeavyHitters(t *testing.T) {
+	tk := NewTopK(4)
+	// Two heavy tenants among a stream of 40 singletons.
+	for i := 0; i < 100; i++ {
+		tk.Observe("alice", 1)
+	}
+	for i := 0; i < 60; i++ {
+		tk.Observe("bob", 1)
+	}
+	for i := 0; i < 40; i++ {
+		tk.Observe(fmt.Sprintf("noise-%d", i), 1)
+	}
+	entries := tk.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("tracked %d keys, want 4", len(entries))
+	}
+	if entries[0].Key != "alice" || entries[1].Key != "bob" {
+		t.Fatalf("top-2 = %s,%s, want alice,bob", entries[0].Key, entries[1].Key)
+	}
+	// Space-saving guarantee: count-err <= true count <= count.
+	if entries[0].Count-entries[0].Err > 100 || entries[0].Count < 100 {
+		t.Fatalf("alice estimate [%d-%d, %d] excludes true 100", entries[0].Count, entries[0].Err, entries[0].Count)
+	}
+	if got := tk.Total(); got != 200 {
+		t.Fatalf("total = %d, want 200", got)
+	}
+	if res := tk.Residual(); res < 0 || res > 200 {
+		t.Fatalf("residual = %d out of range", res)
+	}
+	// Lower bounds + residual must cover the total.
+	var lower int64
+	for _, e := range entries {
+		lower += e.Count - e.Err
+	}
+	if lower+tk.Residual() < tk.Total() {
+		t.Fatalf("lower bounds %d + residual %d < total %d", lower, tk.Residual(), tk.Total())
+	}
+}
+
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tk.Observe(fmt.Sprintf("tenant-%d", i%16), 1)
+				tk.Observe("whale", 2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tk.Total(); got != 8*500*3 {
+		t.Fatalf("total = %d, want %d", got, 8*500*3)
+	}
+	if entries := tk.Entries(); entries[0].Key != "whale" {
+		t.Fatalf("top key = %s, want whale", entries[0].Key)
+	}
+}
+
+// --- usage meter ---
+
+func TestUsageMeterExposition(t *testing.T) {
+	m := NewUsageMeter(4)
+	m.ObserveRequest("alice", 1000, 2*time.Millisecond)
+	m.ObserveRequest("alice", 500, time.Millisecond)
+	m.ObserveRequest("bob", 100, time.Millisecond)
+	m.ObserveOp("alice")
+	m.ObserveRequest("", 1, time.Second) // anonymous: not attributed
+
+	reg := NewRegistry()
+	m.RegisterMetrics(reg)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`uc_tenant_requests_total{tenant="alice"} 2`,
+		`uc_tenant_requests_total{tenant="bob"} 1`,
+		`uc_tenant_bytes_total{tenant="alice"} 1500`,
+		`uc_tenant_catalog_ops_total{tenant="alice"} 1`,
+		`uc_tenant_requests_total{tenant="_other"}`,
+		"# TYPE uc_tenant_cost_seconds_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cost is exported in seconds.
+	if !strings.Contains(out, `uc_tenant_cost_seconds_total{tenant="alice"} 0.003`) {
+		t.Fatalf("cost not scaled to seconds:\n%s", out)
+	}
+
+	var js bytes.Buffer
+	if err := m.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var dims map[string]struct {
+		Total int64       `json:"total"`
+		Top   []TopKEntry `json:"top"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &dims); err != nil {
+		t.Fatal(err)
+	}
+	if dims["requests"].Total != 3 || dims["requests"].Top[0].Key != "alice" {
+		t.Fatalf("JSON requests dim = %+v", dims["requests"])
+	}
+}
+
+// --- vec cardinality bounds ---
+
+func TestVecCardinalityBound(t *testing.T) {
+	v := NewCounterVec("tenant").Bound(4)
+	for i := 0; i < 10; i++ {
+		v.With(fmt.Sprintf("t%d", i)).Inc()
+	}
+	if folds := v.Folds(); folds != 6 {
+		t.Fatalf("folds = %d, want 6", folds)
+	}
+	// All folded increments share the "other" child.
+	if got := v.With(VecOverflowValue).Load(); got != 6 {
+		t.Fatalf("overflow child = %d, want 6", got)
+	}
+	// Existing children keep working past the cap.
+	v.With("t0").Inc()
+	if got := v.With("t0").Load(); got != 2 {
+		t.Fatalf("t0 = %d, want 2", got)
+	}
+	reg := NewRegistry()
+	reg.RegisterCounterVec("uc_test_bound_total", "t", v)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `uc_test_bound_total{tenant="other"} 6`) {
+		t.Fatalf("overflow child not exported:\n%s", buf.String())
+	}
+
+	h := NewHistogramVec(SizeBuckets(), 1, "route").Bound(2)
+	h.With("a").Observe(1)
+	h.With("b").Observe(1)
+	h.With("c").Observe(1)
+	h.With("d").Observe(1)
+	if h.Folds() != 2 {
+		t.Fatalf("hist folds = %d, want 2", h.Folds())
+	}
+	if h.With(VecOverflowValue).Count() != 2 {
+		t.Fatalf("hist overflow count = %d, want 2", h.With(VecOverflowValue).Count())
+	}
+
+	g := NewGaugeVec("node").Bound(1)
+	g.With("n0").Set(1)
+	g.With("n1").Set(9)
+	if g.Folds() != 1 || g.With(VecOverflowValue).Load() != 9 {
+		t.Fatalf("gauge fold broken: folds=%d other=%d", g.Folds(), g.With(VecOverflowValue).Load())
+	}
+}
+
+func TestVecBoundConcurrent(t *testing.T) {
+	v := NewCounterVec("k").Bound(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v.With(fmt.Sprintf("key-%d", i)).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every increment landed somewhere: tracked children + overflow == 1600.
+	var sum int64
+	for _, k := range v.sortedKeys() {
+		v.mu.RLock()
+		sum += v.children[k].Load()
+		v.mu.RUnlock()
+	}
+	if sum != 8*200 {
+		t.Fatalf("sum over children = %d, want %d", sum, 8*200)
+	}
+}
+
+// --- exemplars ---
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveT(1500, "")             // unsampled: no exemplar
+	h.ObserveT(2500, "abc123def456") // sampled
+	reg := NewRegistry()
+	reg.RegisterHistogram("uc_test_seconds", "t", h)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `# {trace_id="abc123def456"}`) {
+		t.Fatalf("exemplar missing:\n%s", out)
+	}
+	// Exactly one bucket carries it (the 2500ns one), and the unsampled
+	// observation produced none.
+	if n := strings.Count(out, "# {trace_id="); n != 1 {
+		t.Fatalf("exemplar count = %d, want 1", n)
+	}
+}
+
+// --- flight recorder ---
+
+func TestFlightRecorderTripFreezesWindow(t *testing.T) {
+	fr := NewFlightRecorder(4, 8)
+	var lag int64
+	fr.AddSnapshot("lag", func() any { return lag })
+	fr.AddCheck("staleness", func() (bool, string) {
+		if lag > 5 {
+			return true, fmt.Sprintf("version lag %d", lag)
+		}
+		return false, ""
+	})
+
+	tr := NewTracer(0, 0)
+	tr.Flight = fr
+	for i := 0; i < 3; i++ {
+		tt := tr.StartTrace()
+		tr.Finish(tt, fmt.Sprintf("op-%d", i))
+	}
+
+	fr.Poll() // healthy
+	if fr.Incident() != nil {
+		t.Fatal("tripped while healthy")
+	}
+	lag = 10
+	fr.Poll() // trips
+	inc := fr.Incident()
+	if inc == nil {
+		t.Fatal("watchdog did not trip")
+	}
+	if inc.Check != "staleness" || !strings.Contains(inc.Reason, "version lag 10") {
+		t.Fatalf("incident = %+v", inc)
+	}
+	// Pre-incident window: both the healthy and the tripping frame, and the
+	// traces finished before the trip.
+	if len(inc.Frames) != 2 {
+		t.Fatalf("incident frames = %d, want 2", len(inc.Frames))
+	}
+	if inc.Frames[0].Snapshots["lag"] != int64(0) {
+		t.Fatalf("first frame lag = %v, want healthy 0", inc.Frames[0].Snapshots["lag"])
+	}
+	if len(inc.Traces) != 3 || inc.Traces[0].Op != "op-0" {
+		t.Fatalf("incident traces = %+v, want 3 ops oldest-first", inc.Traces)
+	}
+	for _, tl := range inc.Traces {
+		if len(tl.ID) != 16 {
+			t.Fatalf("trace ID %q not resolved to 16 hex chars", tl.ID)
+		}
+	}
+
+	// Frozen: later churn must not mutate the incident.
+	lag = 100
+	fr.Poll()
+	if got := fr.Incident(); len(got.Frames) != 2 {
+		t.Fatalf("incident mutated after freeze: %d frames", len(got.Frames))
+	}
+	fr.Rearm()
+	if fr.Incident() == nil {
+		// rearmed and still breaching: next poll trips fresh
+		fr.Poll()
+		if fr.Incident() == nil {
+			t.Fatal("did not re-trip after rearm")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := fr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var state map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &state); err != nil {
+		t.Fatal(err)
+	}
+	if state["incident"] == nil {
+		t.Fatal("WriteJSON missing incident")
+	}
+}
+
+func TestFlightRecorderRings(t *testing.T) {
+	fr := NewFlightRecorder(2, 3)
+	tr := NewTracer(0, 0)
+	tr.Flight = fr
+	for i := 0; i < 5; i++ {
+		tt := tr.StartTrace()
+		tr.Finish(tt, fmt.Sprintf("op-%d", i))
+	}
+	fr.AddCheck("always", func() (bool, string) { return true, "boom" })
+	fr.Poll()
+	inc := fr.Incident()
+	if len(inc.Traces) != 3 {
+		t.Fatalf("trace ring kept %d, want 3", len(inc.Traces))
+	}
+	if inc.Traces[0].Op != "op-2" || inc.Traces[2].Op != "op-4" {
+		t.Fatalf("ring order wrong: %+v", inc.Traces)
+	}
+}
+
+func TestFlightRecorderStartStop(t *testing.T) {
+	fr := NewFlightRecorder(4, 4)
+	fr.AddSnapshot("x", func() any { return 1 })
+	fr.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		_ = fr.WriteJSON(&buf)
+		if strings.Contains(buf.String(), `"snapshots"`) && strings.Contains(buf.String(), `"x": 1`) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fr.Stop()
+	fr.Stop() // idempotent
+}
+
+func TestFlightRecorderConcurrentNotes(t *testing.T) {
+	fr := NewFlightRecorder(8, 64)
+	tr := NewTracer(4, 0)
+	tr.Flight = fr
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tt := tr.StartTrace()
+				_, sp := tr.Root(tt).Start("w")
+				sp.End()
+				tr.Finish(tt, "concurrent")
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				fr.Poll()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	var buf bytes.Buffer
+	if err := fr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- windowed SLO quantiles ---
+
+func TestHistogramWindowDelta(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(1e6) // 1ms burst in the past
+	}
+	w := NewHistogramWindow(h)
+	q, n := w.Advance(0.99)
+	if n != 0 || q != 0 {
+		t.Fatalf("fresh window saw history: q=%v n=%d", q, n)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(4e8) // 400ms in this window
+	}
+	q, n = w.Advance(0.99)
+	if n != 10 {
+		t.Fatalf("window count = %d, want 10", n)
+	}
+	if q < 2e8 || q > 5e8 {
+		t.Fatalf("windowed p99 = %v ns, want ~4e8", q)
+	}
+	// Window advanced: the burst is history now.
+	if _, n = w.Advance(0.99); n != 0 {
+		t.Fatalf("window did not advance, n=%d", n)
+	}
+}
+
+func TestSLOCheckTripsOnWindowedP99(t *testing.T) {
+	vec := NewHistogramVec(LatencyBuckets(), 1e-9, "route")
+	vec.With("GET /fast").Observe(1e5)
+	check := SLOCheck(vec, 0.99, 50*1e6) // 50ms budget
+	// First poll sees whole history — fast route stays under budget.
+	if bad, _ := check(); bad {
+		t.Fatal("tripped on fast route")
+	}
+	for i := 0; i < 20; i++ {
+		vec.With("GET /slow").Observe(4e8)
+	}
+	bad, reason := check()
+	if !bad {
+		t.Fatal("did not trip on slow route")
+	}
+	if !strings.Contains(reason, "GET /slow") {
+		t.Fatalf("reason %q does not name route", reason)
+	}
+	// Breach is windowed: with no new slow observations the next poll is clean.
+	if bad, _ := check(); bad {
+		t.Fatal("stale breach re-tripped")
+	}
+}

@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is the anomaly flight recorder: an always-on bounded ring
+// of recent trace summaries plus periodic metric snapshots, and a watchdog
+// of named checks. The moment a check trips, both rings are frozen into an
+// Incident — the pre-incident window — so the first SLO breach, staleness
+// spike, or WAL error preserves the context that led up to it instead of
+// being paged about after the rings have churned past it.
+//
+// The recorder is passive by default: Poll must be driven, either by the
+// Start ticker or lazily by the /debug/flightrecorder handler. Trace notes
+// arrive on every Tracer.Finish (see Tracer.Flight) and cost one mutexed
+// ring-slot write.
+type FlightRecorder struct {
+	mu sync.Mutex
+
+	frames      []Frame // metric-snapshot ring
+	frameTotal  uint64
+	frameKeep   int
+	traces      []TraceLite // trace-summary ring (every finished trace)
+	traceTotal  uint64
+	traceKeep   int
+	checks      []flightCheck
+	snapSources []snapSource
+	incident    *Incident
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	started  bool
+}
+
+type flightCheck struct {
+	name string
+	fn   func() (bool, string)
+}
+
+type snapSource struct {
+	name string
+	fn   func() any
+}
+
+// TraceLite is one entry in the always-on trace ring: just the identity and
+// timing of a finished trace, no span tree. The ID for local traces stays a
+// raw uint64 until dump time so noting a trace never formats a string.
+type TraceLite struct {
+	ID         string    `json:"trace_id"`
+	Op         string    `json:"op,omitempty"`
+	Node       string    `json:"node,omitempty"`
+	Began      time.Time `json:"began"`
+	DurationUs float64   `json:"duration_us"`
+	Slow       bool      `json:"slow,omitempty"`
+
+	idNum uint64 // formatted into ID lazily at dump time
+}
+
+func (t *TraceLite) resolveID() {
+	if t.ID == "" && t.idNum != 0 {
+		t.ID = fmt.Sprintf("%016x", t.idNum)
+	}
+}
+
+// Frame is one periodic metric snapshot.
+type Frame struct {
+	At        time.Time      `json:"at"`
+	Snapshots map[string]any `json:"snapshots"`
+}
+
+// Incident is the frozen pre-incident window.
+type Incident struct {
+	At     time.Time   `json:"at"`
+	Check  string      `json:"check"`
+	Reason string      `json:"reason"`
+	Frames []Frame     `json:"frames"`
+	Traces []TraceLite `json:"traces"`
+}
+
+// NewFlightRecorder builds a recorder keeping the last frames metric
+// snapshots (default 32) and the last traces trace summaries (default 256).
+func NewFlightRecorder(frames, traces int) *FlightRecorder {
+	if frames <= 0 {
+		frames = 32
+	}
+	if traces <= 0 {
+		traces = 256
+	}
+	return &FlightRecorder{frameKeep: frames, traceKeep: traces, stopCh: make(chan struct{})}
+}
+
+// AddCheck registers a watchdog condition. fn returns (tripped, reason);
+// it is called on every Poll and must be cheap and non-blocking.
+func (fr *FlightRecorder) AddCheck(name string, fn func() (bool, string)) {
+	fr.mu.Lock()
+	fr.checks = append(fr.checks, flightCheck{name: name, fn: fn})
+	fr.mu.Unlock()
+}
+
+// AddSnapshot registers a metric source sampled into every frame. fn's
+// return value must be JSON-marshalable.
+func (fr *FlightRecorder) AddSnapshot(name string, fn func() any) {
+	fr.mu.Lock()
+	fr.snapSources = append(fr.snapSources, snapSource{name: name, fn: fn})
+	fr.mu.Unlock()
+}
+
+// noteTrace records a finished trace into the ring (called by Tracer.Finish
+// for every trace, retained or not).
+func (fr *FlightRecorder) noteTrace(t TraceLite) {
+	fr.mu.Lock()
+	if len(fr.traces) < fr.traceKeep {
+		fr.traces = append(fr.traces, t)
+	} else {
+		fr.traces[fr.traceTotal%uint64(fr.traceKeep)] = t
+	}
+	fr.traceTotal++
+	fr.mu.Unlock()
+}
+
+// Poll captures one metric frame and evaluates the watchdog. On the first
+// tripped check (while armed) the current rings are frozen into the
+// incident; later trips are ignored until Rearm. Check and snapshot
+// callbacks run outside the recorder lock so they may touch subsystems
+// that themselves note traces.
+func (fr *FlightRecorder) Poll() {
+	fr.mu.Lock()
+	sources := append([]snapSource(nil), fr.snapSources...)
+	checks := append([]flightCheck(nil), fr.checks...)
+	fr.mu.Unlock()
+
+	frame := Frame{At: time.Now(), Snapshots: make(map[string]any, len(sources))}
+	for _, s := range sources {
+		frame.Snapshots[s.name] = s.fn()
+	}
+	type trip struct{ name, reason string }
+	var tripped *trip
+	for _, c := range checks {
+		if bad, reason := c.fn(); bad {
+			tripped = &trip{name: c.name, reason: reason}
+			break
+		}
+	}
+
+	fr.mu.Lock()
+	if len(fr.frames) < fr.frameKeep {
+		fr.frames = append(fr.frames, frame)
+	} else {
+		fr.frames[fr.frameTotal%uint64(fr.frameKeep)] = frame
+	}
+	fr.frameTotal++
+	if tripped != nil && fr.incident == nil {
+		fr.incident = &Incident{
+			At:     frame.At,
+			Check:  tripped.name,
+			Reason: tripped.reason,
+			Frames: fr.framesLocked(),
+			Traces: fr.tracesLocked(),
+		}
+	}
+	fr.mu.Unlock()
+}
+
+// framesLocked copies the frame ring oldest-first. Caller holds fr.mu.
+func (fr *FlightRecorder) framesLocked() []Frame {
+	if len(fr.frames) < fr.frameKeep { // not yet wrapped: slots are in order
+		return append([]Frame(nil), fr.frames...)
+	}
+	n := uint64(fr.frameKeep)
+	out := make([]Frame, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, fr.frames[(fr.frameTotal+i)%n])
+	}
+	return out
+}
+
+// tracesLocked copies the trace ring oldest-first with IDs resolved.
+// Caller holds fr.mu.
+func (fr *FlightRecorder) tracesLocked() []TraceLite {
+	out := make([]TraceLite, 0, len(fr.traces))
+	if len(fr.traces) < fr.traceKeep {
+		out = append(out, fr.traces...)
+	} else {
+		n := uint64(fr.traceKeep)
+		for i := uint64(0); i < n; i++ {
+			out = append(out, fr.traces[(fr.traceTotal+i)%n])
+		}
+	}
+	for i := range out {
+		out[i].resolveID()
+	}
+	return out
+}
+
+// Incident returns the frozen incident, or nil while armed.
+func (fr *FlightRecorder) Incident() *Incident {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.incident
+}
+
+// Rearm clears the incident so the watchdog can trip again.
+func (fr *FlightRecorder) Rearm() {
+	fr.mu.Lock()
+	fr.incident = nil
+	fr.mu.Unlock()
+}
+
+// Start drives Poll on a background ticker until Stop. Safe to call once;
+// deployments that prefer zero background goroutines can skip Start and
+// rely on the /debug/flightrecorder handler polling lazily.
+func (fr *FlightRecorder) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	fr.mu.Lock()
+	if fr.started {
+		fr.mu.Unlock()
+		return
+	}
+	fr.started = true
+	fr.mu.Unlock()
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fr.Poll()
+			case <-fr.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the Start ticker (idempotent; no-op if never started).
+func (fr *FlightRecorder) Stop() { fr.stopOnce.Do(func() { close(fr.stopCh) }) }
+
+// WriteJSON renders the recorder state for /debug/flightrecorder: the live
+// rings plus the frozen incident (null while armed).
+func (fr *FlightRecorder) WriteJSON(w io.Writer) error {
+	fr.mu.Lock()
+	out := struct {
+		Armed    bool        `json:"armed"`
+		Incident *Incident   `json:"incident"`
+		Frames   []Frame     `json:"frames"`
+		Traces   []TraceLite `json:"traces"`
+	}{
+		Armed:    fr.incident == nil,
+		Incident: fr.incident,
+		Frames:   fr.framesLocked(),
+		Traces:   fr.tracesLocked(),
+	}
+	fr.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// --- windowed quantiles for the SLO watchdog ---
+
+// quantileOf estimates the p-th quantile from bucket counts over the given
+// bounds (same interpolation as Histogram.Quantile, but over a plain count
+// snapshot so it works on windowed deltas).
+func quantileOf(bounds []int64, counts []int64, p float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := lo * 2
+			if i < len(bounds) {
+				hi = bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += n
+	}
+	return float64(bounds[len(bounds)-1])
+}
+
+// HistogramWindow computes quantiles over the observations that arrived
+// since the previous Advance — histograms are lifetime-cumulative, so SLO
+// checks need the delta or a single slow burst would page forever.
+type HistogramWindow struct {
+	h    *Histogram
+	prev []int64
+}
+
+// NewHistogramWindow starts a window at h's current state.
+func NewHistogramWindow(h *Histogram) *HistogramWindow {
+	return &HistogramWindow{h: h, prev: h.Counts()}
+}
+
+// Advance returns (quantile, windowCount) for the observations since the
+// last Advance (native units), then moves the window forward.
+func (w *HistogramWindow) Advance(p float64) (float64, int64) {
+	cur := w.h.Counts()
+	delta := make([]int64, len(cur))
+	var total int64
+	for i := range cur {
+		delta[i] = cur[i] - w.prev[i]
+		total += delta[i]
+	}
+	w.prev = cur
+	if total == 0 {
+		return 0, 0
+	}
+	return quantileOf(w.h.Bounds(), delta, p), total
+}
+
+// SLOCheck builds a watchdog check over a latency HistogramVec: it trips
+// when any child's windowed p-quantile exceeds budget (native units, i.e.
+// nanoseconds for latency histograms). Windows are tracked per child across
+// calls; children appearing later are picked up on their first poll.
+func SLOCheck(vec *HistogramVec, p float64, budget int64) func() (bool, string) {
+	windows := map[string]*HistogramWindow{}
+	var mu sync.Mutex
+	return func() (bool, string) {
+		mu.Lock()
+		defer mu.Unlock()
+		bad := false
+		var reason string
+		vec.Each(func(values []string, h *Histogram) {
+			key := strings.Join(values, "\x00")
+			w, ok := windows[key]
+			if !ok {
+				// First sighting: the whole history is the window, so a
+				// child born slow still trips on its first poll.
+				w = &HistogramWindow{h: h, prev: make([]int64, len(h.Counts()))}
+				windows[key] = w
+			}
+			q, n := w.Advance(p)
+			if !bad && n > 0 && q > float64(budget) {
+				bad = true
+				reason = fmt.Sprintf("p%d %.3fms over budget %.3fms for %s (n=%d)",
+					int(p*100), q/1e6, float64(budget)/1e6, strings.Join(values, " "), n)
+			}
+		})
+		return bad, reason
+	}
+}

@@ -78,6 +78,16 @@ type Histogram struct {
 	counts []atomic.Int64
 	sum    atomic.Int64
 	count  atomic.Int64
+	// exemplars holds the most recent sampled-trace observation per bucket
+	// (OpenMetrics-style), so a p99 bucket on /metrics links to a concrete
+	// trace in /debug/traces. Written only for sampled traces (~1/SampleEvery
+	// requests), read only at exposition time.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+type exemplar struct {
+	traceID string
+	value   int64 // native units
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
@@ -86,6 +96,7 @@ type Histogram struct {
 func NewHistogram(bounds []int64, scale float64) *Histogram {
 	h := &Histogram{bounds: bounds, scale: scale}
 	h.counts = make([]atomic.Int64, len(bounds)+1)
+	h.exemplars = make([]atomic.Pointer[exemplar], len(bounds)+1)
 	return h
 }
 
@@ -123,6 +134,37 @@ func (h *Histogram) Observe(v int64) {
 
 // ObserveDuration records a duration into a nanosecond histogram.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveT records one value and, when traceID is non-empty (a sampled
+// trace), pins it as the bucket's exemplar. The traceID=="" path is
+// identical to Observe, keeping the unsampled hot path allocation-free.
+func (h *Histogram) ObserveT(v int64, traceID string) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
+// Bounds returns the bucket upper bounds (native units). Callers must not
+// mutate the returned slice.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Counts returns a snapshot of per-bucket counts (len(Bounds())+1; the last
+// entry is the overflow bucket). Used by windowed-delta consumers like the
+// flight-recorder SLO watchdog.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -184,11 +226,45 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // --- labeled families ---
 
+// DefaultMaxChildren caps the number of distinct label-value children per
+// vec. Labels in this repo are either closed sets (routes, operations) far
+// below the cap or already sketched (tenants go through TopK, not labels),
+// so hitting the cap means a label was fed unbounded input — the overflow
+// folds into a single child with every label value set to VecOverflowValue
+// rather than growing the registry (and every scrape) without bound.
+const DefaultMaxChildren = 1024
+
+// VecOverflowValue is the label value children folded past the cap share.
+const VecOverflowValue = "other"
+
+// vecLimit is the shared cardinality-bounding state embedded in each vec.
+type vecLimit struct {
+	max   int
+	folds atomic.Int64
+}
+
+func (l *vecLimit) bound() int {
+	if l.max <= 0 {
+		return DefaultMaxChildren
+	}
+	return l.max
+}
+
+// overflowKey builds the joined key with every label folded to "other".
+func overflowKey(labels []string) string {
+	vals := make([]string, len(labels))
+	for i := range vals {
+		vals[i] = VecOverflowValue
+	}
+	return strings.Join(vals, "\x00")
+}
+
 // CounterVec is a family of counters distinguished by label values.
 type CounterVec struct {
 	labels   []string
 	mu       sync.RWMutex
 	children map[string]*Counter
+	limit    vecLimit
 }
 
 // NewCounterVec builds an unregistered counter family.
@@ -196,8 +272,17 @@ func NewCounterVec(labels ...string) *CounterVec {
 	return &CounterVec{labels: labels, children: map[string]*Counter{}}
 }
 
+// Bound caps the family at max distinct children (default
+// DefaultMaxChildren); further label combinations fold into the "other"
+// child. Returns v for chaining.
+func (v *CounterVec) Bound(max int) *CounterVec { v.limit.max = max; return v }
+
+// Folds reports how many With calls were folded into the overflow child.
+func (v *CounterVec) Folds() int64 { return v.limit.folds.Load() }
+
 // With returns the child counter for the label values, creating it on first
-// use. values must match the family's label names positionally.
+// use. values must match the family's label names positionally. Past the
+// cardinality bound, new combinations share the "other" overflow child.
 func (v *CounterVec) With(values ...string) *Counter {
 	k := strings.Join(values, "\x00")
 	v.mu.RLock()
@@ -211,6 +296,13 @@ func (v *CounterVec) With(values ...string) *Counter {
 	if c, ok = v.children[k]; ok {
 		return c
 	}
+	if len(v.children) >= v.limit.bound() {
+		v.limit.folds.Add(1)
+		k = overflowKey(v.labels)
+		if c, ok = v.children[k]; ok {
+			return c
+		}
+	}
 	c = &Counter{}
 	v.children[k] = c
 	return c
@@ -223,6 +315,7 @@ type HistogramVec struct {
 	scale    float64
 	mu       sync.RWMutex
 	children map[string]*Histogram
+	limit    vecLimit
 }
 
 // NewHistogramVec builds an unregistered histogram family.
@@ -230,7 +323,14 @@ func NewHistogramVec(bounds []int64, scale float64, labels ...string) *Histogram
 	return &HistogramVec{labels: labels, bounds: bounds, scale: scale, children: map[string]*Histogram{}}
 }
 
-// With returns the child histogram for the label values.
+// Bound caps the family at max distinct children (see CounterVec.Bound).
+func (v *HistogramVec) Bound(max int) *HistogramVec { v.limit.max = max; return v }
+
+// Folds reports how many With calls were folded into the overflow child.
+func (v *HistogramVec) Folds() int64 { return v.limit.folds.Load() }
+
+// With returns the child histogram for the label values. Past the
+// cardinality bound, new combinations share the "other" overflow child.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	k := strings.Join(values, "\x00")
 	v.mu.RLock()
@@ -244,9 +344,29 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	if h, ok = v.children[k]; ok {
 		return h
 	}
+	if len(v.children) >= v.limit.bound() {
+		v.limit.folds.Add(1)
+		k = overflowKey(v.labels)
+		if h, ok = v.children[k]; ok {
+			return h
+		}
+	}
 	h = NewHistogram(v.bounds, v.scale)
 	v.children[k] = h
 	return h
+}
+
+// Each calls fn for every child with its label values, in sorted key order.
+// Used by the flight-recorder watchdog to poll per-route latency windows.
+func (v *HistogramVec) Each(fn func(values []string, h *Histogram)) {
+	for _, k := range v.sortedKeys() {
+		v.mu.RLock()
+		h := v.children[k]
+		v.mu.RUnlock()
+		if h != nil {
+			fn(strings.Split(k, "\x00"), h)
+		}
+	}
 }
 
 // GaugeVec is a family of gauges distinguished by label values.
@@ -254,6 +374,7 @@ type GaugeVec struct {
 	labels   []string
 	mu       sync.RWMutex
 	children map[string]*Gauge
+	limit    vecLimit
 }
 
 // NewGaugeVec builds an unregistered gauge family.
@@ -261,8 +382,15 @@ func NewGaugeVec(labels ...string) *GaugeVec {
 	return &GaugeVec{labels: labels, children: map[string]*Gauge{}}
 }
 
+// Bound caps the family at max distinct children (see CounterVec.Bound).
+func (v *GaugeVec) Bound(max int) *GaugeVec { v.limit.max = max; return v }
+
+// Folds reports how many With calls were folded into the overflow child.
+func (v *GaugeVec) Folds() int64 { return v.limit.folds.Load() }
+
 // With returns the child gauge for the label values, creating it on first
-// use. values must match the family's label names positionally.
+// use. values must match the family's label names positionally. Past the
+// cardinality bound, new combinations share the "other" overflow child.
 func (v *GaugeVec) With(values ...string) *Gauge {
 	k := strings.Join(values, "\x00")
 	v.mu.RLock()
@@ -275,6 +403,13 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	defer v.mu.Unlock()
 	if g, ok = v.children[k]; ok {
 		return g
+	}
+	if len(v.children) >= v.limit.bound() {
+		v.limit.folds.Add(1)
+		k = overflowKey(v.labels)
+		if g, ok = v.children[k]; ok {
+			return g
+		}
 	}
 	g = &Gauge{}
 	v.children[k] = g
@@ -449,7 +584,9 @@ func escapeLabel(s string) string {
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', 9, 64) }
 
 // writeHistogram renders one histogram in exposition format. extra is a
-// pre-rendered label prefix ("" for unlabeled histograms).
+// pre-rendered label prefix ("" for unlabeled histograms). Buckets that
+// hold a sampled-trace exemplar get an OpenMetrics-style
+// ` # {trace_id="..."} <value>` suffix linking the bucket to /debug/traces.
 func writeHistogram(w io.Writer, name, extra string, h *Histogram) {
 	sep := ""
 	if extra != "" {
@@ -458,10 +595,10 @@ func writeHistogram(w io.Writer, name, extra string, h *Histogram) {
 	var cum int64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, extra, sep, formatFloat(float64(b)*h.scale), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d%s\n", name, extra, sep, formatFloat(float64(b)*h.scale), cum, exemplarSuffix(h, i))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extra, sep, cum)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d%s\n", name, extra, sep, cum, exemplarSuffix(h, len(h.bounds)))
 	if extra != "" {
 		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, extra, formatFloat(float64(h.Sum())*h.scale))
 		fmt.Fprintf(w, "%s_count{%s} %d\n", name, extra, h.Count())
@@ -469,6 +606,26 @@ func writeHistogram(w io.Writer, name, extra string, h *Histogram) {
 	}
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(h.Sum())*h.scale))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar for bucket i, or "".
+func exemplarSuffix(h *Histogram, i int) string {
+	if h.exemplars == nil || i >= len(h.exemplars) {
+		return ""
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(e.traceID), formatFloat(float64(e.value)*h.scale))
+}
+
+// RegisterCustom exposes a family rendered entirely by write, for sources
+// whose sample set is dynamic (the tenant usage meter's top-K labels). kind
+// is the TYPE line value ("counter", "gauge"); write must emit full sample
+// lines itself, using the given family name.
+func (r *Registry) RegisterCustom(name, help, kind string, write func(w io.Writer, name string)) {
+	r.add(name, help, kind, write)
 }
 
 // WritePrometheus renders every registered family in registration order.

@@ -3,8 +3,8 @@ package obs
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +15,60 @@ import (
 // the deepest real path in the stack (HTTP → catalog → authz → cache →
 // store → cloudsim) with a wide margin for fan-out.
 const maxSpans = 64
+
+// Propagation header names. A node forwarding a request (the fleet router,
+// the HTTP client) carries its SpanContext in these headers; the receiving
+// node adopts the trace ID, parents its spans under the forwarder's span,
+// and honors the origin's sampling decision so both segments are retained
+// (or both recycled) together.
+const (
+	// TraceIDHeader carries the 16-hex trace ID. The server also stamps it
+	// on every response, so the same header name serves both directions.
+	TraceIDHeader = "X-UC-Trace-Id"
+	// ParentSpanHeader carries the forwarder's span index within the trace;
+	// the remote segment grafts under it when /debug/traces stitches.
+	ParentSpanHeader = "X-UC-Parent-Span"
+	// SampledHeader is "1" when the origin decided to retain this trace.
+	SampledHeader = "X-UC-Trace-Sampled"
+)
+
+// PropagationContext is the wire form of a SpanContext: everything a remote
+// node needs to continue the trace.
+type PropagationContext struct {
+	TraceID string
+	Parent  int32
+	Sampled bool
+}
+
+// maxWireTraceID bounds accepted remote trace IDs so a hostile client
+// cannot bloat retained summaries through the propagation headers.
+const maxWireTraceID = 64
+
+// hex16 formats v as 16 lowercase hex chars. Hand-rolled because trace-ID
+// materialization sits on the audited hot path: one string allocation, no
+// fmt machinery.
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParsePropagation assembles a PropagationContext from header values; ok is
+// false when no trace is being propagated (empty or oversized ID).
+func ParsePropagation(traceID, parent, sampled string) (PropagationContext, bool) {
+	if traceID == "" || len(traceID) > maxWireTraceID {
+		return PropagationContext{}, false
+	}
+	pc := PropagationContext{TraceID: traceID, Parent: -1, Sampled: sampled == "1"}
+	if n, err := strconv.Atoi(parent); err == nil && n >= 0 && n < maxSpans {
+		pc.Parent = int32(n)
+	}
+	return pc, true
+}
 
 // spanRec is one recorded span. Offsets are monotonic nanoseconds since the
 // trace began, so span math never touches the wall clock after Start.
@@ -36,15 +90,25 @@ type Trace struct {
 
 	// Lazy ID: a random 64-bit prefix fixed at Tracer construction plus a
 	// per-trace sequence number, formatted only when something actually
-	// needs the string (response header, audit record, retention).
+	// needs the string (response header, audit record, retention). Remote
+	// traces adopt the origin's ID verbatim instead.
 	seq    uint64
 	id     atomic.Pointer[string]
 	n      atomic.Int32 // spans used (may exceed maxSpans; clamp on read)
 	spans  [maxSpans]spanRec
 	capped atomic.Int64 // spans dropped past maxSpans
+
+	// sampled is the retention decision, fixed at StartTrace (or adopted
+	// from the wire) so it can propagate to downstream nodes before Finish.
+	sampled bool
+	// remote marks a trace segment continuing another node's trace;
+	// remoteParent is the forwarder's span index (-1 = root).
+	remote       bool
+	remoteParent int32
 }
 
-// ID formats and caches the trace ID (16 hex chars, stable per trace).
+// ID formats and caches the trace ID (16 hex chars, stable per trace;
+// remote traces return the adopted origin ID).
 func (t *Trace) ID() string {
 	if t == nil {
 		return ""
@@ -52,10 +116,13 @@ func (t *Trace) ID() string {
 	if p := t.id.Load(); p != nil {
 		return *p
 	}
-	s := fmt.Sprintf("%016x", t.tracer.idPrefix^t.seq)
+	s := hex16(t.tracer.idPrefix ^ t.seq)
 	t.id.CompareAndSwap(nil, &s)
 	return *t.id.Load()
 }
+
+// Sampled reports the trace's retention decision (fixed at start).
+func (t *Trace) Sampled() bool { return t != nil && t.sampled }
 
 // start reserves a span slot and returns its index, or -1 if the buffer is
 // full. One atomic add, no locks.
@@ -89,6 +156,18 @@ func (sc SpanContext) Active() bool { return sc.tr != nil }
 
 // TraceID returns the trace's ID, or "" when no trace is attached.
 func (sc SpanContext) TraceID() string { return sc.tr.ID() }
+
+// Sampled reports whether the attached trace will be retained.
+func (sc SpanContext) Sampled() bool { return sc.tr.Sampled() }
+
+// Propagation returns the wire form of sc for forwarding to another node;
+// ok is false when no trace is attached (nothing to propagate).
+func (sc SpanContext) Propagation() (PropagationContext, bool) {
+	if sc.tr == nil {
+		return PropagationContext{}, false
+	}
+	return PropagationContext{TraceID: sc.tr.ID(), Parent: sc.parent, Sampled: sc.tr.sampled}, true
+}
 
 // Span is an open span handle; call End when the operation completes.
 type Span struct {
@@ -132,7 +211,8 @@ func (s Span) SetDetail(detail string) {
 }
 
 // Tracer creates, samples, and retains traces. Retention policy: a trace is
-// kept if it was probabilistically selected (1 in SampleEvery) OR its total
+// kept if it was probabilistically selected (1 in SampleEvery, decided at
+// StartTrace so the decision can propagate across nodes) OR its total
 // duration reached SlowThreshold. Spans are recorded for every started
 // trace — retention is decided at Finish — so a slow outlier always has its
 // full span tree. The cost of that choice ("enabled but unsampled") is the
@@ -143,16 +223,25 @@ type Tracer struct {
 	SampleEvery int
 	// SlowThreshold retains any trace at least this slow. 0 disables.
 	SlowThreshold time.Duration
-	// Keep bounds the retained-trace ring buffer (default 32).
+	// Keep bounds the retained-trace ring buffer (default 32). Ignored
+	// when Store is set explicitly.
 	Keep int
+	// Node attributes this tracer's retained traces to a fleet node
+	// ("node-3") or host. Empty means single-node deployment.
+	Node string
+	// Store receives retained summaries. Fleet nodes share one store so
+	// /debug/traces can stitch cross-node traces; nil means a private
+	// store created on first retention.
+	Store *TraceStore
+	// Flight, when set, receives a TraceLite for every finished trace
+	// (retained or not) — the flight recorder's always-on trace ring.
+	Flight *FlightRecorder
 
 	idPrefix uint64
 	seq      atomic.Uint64
 	pool     sync.Pool
 
-	mu     sync.Mutex
-	recent []*TraceSummary // ring, newest at highest index mod Keep
-	total  uint64          // traces finished (for ring ordering)
+	mu sync.Mutex // guards lazy Store creation
 }
 
 // NewTracer builds a tracer with the given retention policy.
@@ -163,7 +252,19 @@ func NewTracer(sampleEvery int, slowThreshold time.Duration) *Tracer {
 	return t
 }
 
-// StartTrace begins a new trace rooted at now.
+// store returns the retention store, creating a private one sized by Keep
+// on first use (so post-construction Keep tweaks are honored).
+func (tr *Tracer) store() *TraceStore {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.Store == nil {
+		tr.Store = NewTraceStore(tr.Keep)
+	}
+	return tr.Store
+}
+
+// StartTrace begins a new trace rooted at now. The sampling decision is
+// made here — not at Finish — so it can ride the propagation headers.
 func (tr *Tracer) StartTrace() *Trace {
 	t := tr.pool.Get().(*Trace)
 	t.tracer = tr
@@ -172,6 +273,26 @@ func (tr *Tracer) StartTrace() *Trace {
 	t.id.Store(nil)
 	t.n.Store(0)
 	t.capped.Store(0)
+	t.sampled = tr.SampleEvery > 0 && t.seq%uint64(tr.SampleEvery) == 0
+	t.remote = false
+	t.remoteParent = -1
+	return t
+}
+
+// StartRemote begins a trace segment continuing a trace propagated from
+// another node: it adopts the origin's trace ID and sampling decision and
+// remembers the forwarder's span index so stitching can graft this
+// segment's spans under it.
+func (tr *Tracer) StartRemote(pc PropagationContext) *Trace {
+	t := tr.StartTrace()
+	if pc.TraceID == "" {
+		return t
+	}
+	id := pc.TraceID
+	t.id.Store(&id)
+	t.remote = true
+	t.remoteParent = pc.Parent
+	t.sampled = pc.Sampled
 	return t
 }
 
@@ -182,20 +303,30 @@ func (tr *Tracer) Root(t *Trace) SpanContext { return SpanContext{tr: t, parent:
 type SpanView struct {
 	Name     string     `json:"name"`
 	Detail   string     `json:"detail,omitempty"`
+	Node     string     `json:"node,omitempty"` // set on grafted remote roots
 	StartUs  float64    `json:"start_us"`
 	Duration float64    `json:"duration_us"`
 	Children []SpanView `json:"children,omitempty"`
+
+	idx int32 // flat span index, for stitching remote segments under it
 }
 
-// TraceSummary is one retained trace, ready for /debug/traces.
+// TraceSummary is one retained trace (or trace segment), ready for
+// /debug/traces.
 type TraceSummary struct {
 	ID       string     `json:"trace_id"`
+	Node     string     `json:"node,omitempty"`
 	Began    time.Time  `json:"began"`
 	Duration float64    `json:"duration_ms"`
 	Slow     bool       `json:"slow"`
 	Dropped  int64      `json:"dropped_spans,omitempty"`
 	Op       string     `json:"op,omitempty"`
+	Remote   bool       `json:"remote,omitempty"`
 	Spans    []SpanView `json:"spans"`
+
+	// ParentSpan is the forwarder's span index for remote segments (-1 when
+	// unknown); stitching grafts the segment under that span.
+	ParentSpan int32 `json:"-"`
 }
 
 // Finish closes the trace, decides retention, and recycles the Trace when it
@@ -204,32 +335,32 @@ type TraceSummary struct {
 func (tr *Tracer) Finish(t *Trace, op string) {
 	took := time.Since(t.begun)
 	slow := tr.SlowThreshold > 0 && took >= tr.SlowThreshold
-	sampled := tr.SampleEvery > 0 && t.seq%uint64(tr.SampleEvery) == 0
-	if !slow && !sampled {
+	if fr := tr.Flight; fr != nil {
+		lite := TraceLite{Op: op, Node: tr.Node, Began: t.begun, DurationUs: float64(took) / 1e3, Slow: slow}
+		if p := t.id.Load(); p != nil {
+			lite.ID = *p
+		} else {
+			lite.idNum = tr.idPrefix ^ t.seq
+		}
+		fr.noteTrace(lite)
+	}
+	if !slow && !t.sampled {
 		tr.pool.Put(t)
 		return
 	}
 	sum := &TraceSummary{
-		ID:       t.ID(),
-		Began:    t.begun,
-		Duration: float64(took) / 1e6,
-		Slow:     slow,
-		Dropped:  t.capped.Load(),
-		Op:       op,
-		Spans:    t.tree(),
+		ID:         t.ID(),
+		Node:       tr.Node,
+		Began:      t.begun,
+		Duration:   float64(took) / 1e6,
+		Slow:       slow,
+		Dropped:    t.capped.Load(),
+		Op:         op,
+		Remote:     t.remote,
+		ParentSpan: t.remoteParent,
+		Spans:      t.tree(),
 	}
-	tr.mu.Lock()
-	keep := tr.Keep
-	if keep <= 0 {
-		keep = 32
-	}
-	if len(tr.recent) < keep {
-		tr.recent = append(tr.recent, sum)
-	} else {
-		tr.recent[tr.total%uint64(keep)] = sum
-	}
-	tr.total++
-	tr.mu.Unlock()
+	tr.store().add(sum)
 	// Retained traces are not pooled: their span strings are referenced by
 	// the summary-building loop above only by copy, but recycling here would
 	// save little and risks racing a late Span.End from a leaked goroutine.
@@ -253,6 +384,7 @@ func (t *Trace) tree() []SpanView {
 			Detail:   s.detail,
 			StartUs:  float64(s.startNs) / 1e3,
 			Duration: float64(end-s.startNs) / 1e3,
+			idx:      int32(i),
 		}
 	}
 	var roots []SpanView
@@ -269,29 +401,165 @@ func (t *Trace) tree() []SpanView {
 	return roots
 }
 
-// Recent returns retained traces, newest first.
-func (tr *Tracer) Recent() []*TraceSummary {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	out := make([]*TraceSummary, 0, len(tr.recent))
-	keep := tr.Keep
+// Recent returns retained traces (raw segments, unstitched), newest first.
+func (tr *Tracer) Recent() []*TraceSummary { return tr.store().Recent() }
+
+// WriteRecentJSON writes the retained traces as a JSON array, with remote
+// segments stitched into their origin trees (see TraceStore.Stitched).
+func (tr *Tracer) WriteRecentJSON(w interface{ Write([]byte) (int, error) }) error {
+	return tr.store().WriteJSON(w)
+}
+
+// --- shared retention store and cross-node stitching ---
+
+// TraceStore is a ring of retained trace summaries. A single-node stack has
+// one per tracer; a fleet shares one store across all node tracers so
+// /debug/traces shows each logical request as one stitched tree.
+type TraceStore struct {
+	mu     sync.Mutex
+	keep   int
+	recent []*TraceSummary // ring, newest at highest index mod keep
+	total  uint64          // summaries added (for ring ordering)
+}
+
+// NewTraceStore returns a store retaining up to keep summaries (0 = 32).
+func NewTraceStore(keep int) *TraceStore {
 	if keep <= 0 {
 		keep = 32
 	}
-	for i := 0; i < len(tr.recent); i++ {
-		idx := (tr.total - 1 - uint64(i)) % uint64(keep)
-		if int(idx) < len(tr.recent) && tr.recent[idx] != nil {
-			out = append(out, tr.recent[idx])
+	return &TraceStore{keep: keep}
+}
+
+func (s *TraceStore) add(sum *TraceSummary) {
+	s.mu.Lock()
+	if len(s.recent) < s.keep {
+		s.recent = append(s.recent, sum)
+	} else {
+		s.recent[s.total%uint64(s.keep)] = sum
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Recent returns retained summaries, newest first.
+func (s *TraceStore) Recent() []*TraceSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*TraceSummary, 0, len(s.recent))
+	for i := 0; i < len(s.recent); i++ {
+		idx := (s.total - 1 - uint64(i)) % uint64(s.keep)
+		if int(idx) < len(s.recent) && s.recent[idx] != nil {
+			out = append(out, s.recent[idx])
 		}
 	}
 	return out
 }
 
-// WriteRecentJSON writes the retained traces as a JSON array.
-func (tr *Tracer) WriteRecentJSON(w interface{ Write([]byte) (int, error) }) error {
+// Stitched returns retained traces with remote segments merged into their
+// origin trees: a remote segment whose trace ID matches a retained origin
+// trace is grafted under the origin span that forwarded it (a synthetic
+// "remote" span carrying the segment's node), with its span offsets shifted
+// onto the origin's clock. Remote segments whose origin was not retained
+// (or was evicted) appear as standalone entries.
+func (s *TraceStore) Stitched() []*TraceSummary {
+	all := s.Recent()
+	remotes := map[string][]*TraceSummary{}
+	origins := map[string]bool{}
+	for _, t := range all {
+		if t.Remote {
+			remotes[t.ID] = append(remotes[t.ID], t)
+		} else {
+			origins[t.ID] = true
+		}
+	}
+	out := make([]*TraceSummary, 0, len(all))
+	for _, t := range all {
+		if t.Remote {
+			if !origins[t.ID] {
+				out = append(out, t) // orphan segment: origin not retained
+			}
+			continue
+		}
+		segs := remotes[t.ID]
+		if len(segs) == 0 {
+			out = append(out, t)
+			continue
+		}
+		cp := *t
+		cp.Spans = cloneSpans(t.Spans)
+		for i := len(segs) - 1; i >= 0; i-- { // oldest segment first
+			r := segs[i]
+			shift := float64(r.Began.Sub(t.Began)) / 1e3 // µs on origin clock
+			graft := SpanView{
+				Name:     "remote",
+				Detail:   r.Op,
+				Node:     r.Node,
+				StartUs:  shift,
+				Duration: r.Duration * 1e3,
+				Children: shiftSpans(r.Spans, shift),
+				idx:      -1,
+			}
+			if !attachAt(cp.Spans, r.ParentSpan, graft) {
+				cp.Spans = append(cp.Spans, graft)
+			}
+		}
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// cloneSpans deep-copies a span tree so grafting never mutates the retained
+// summary.
+func cloneSpans(in []SpanView) []SpanView {
+	if in == nil {
+		return nil
+	}
+	out := make([]SpanView, len(in))
+	for i, s := range in {
+		out[i] = s
+		out[i].Children = cloneSpans(s.Children)
+	}
+	return out
+}
+
+// shiftSpans deep-copies a remote segment's spans with start offsets moved
+// onto the origin trace's clock.
+func shiftSpans(in []SpanView, byUs float64) []SpanView {
+	if in == nil {
+		return nil
+	}
+	out := make([]SpanView, len(in))
+	for i, s := range in {
+		out[i] = s
+		out[i].StartUs = s.StartUs + byUs
+		out[i].Children = shiftSpans(s.Children, byUs)
+	}
+	return out
+}
+
+// attachAt appends child under the span with flat index idx, returning
+// false when no such span exists in the tree.
+func attachAt(spans []SpanView, idx int32, child SpanView) bool {
+	if idx < 0 {
+		return false
+	}
+	for i := range spans {
+		if spans[i].idx == idx {
+			spans[i].Children = append(spans[i].Children, child)
+			return true
+		}
+		if attachAt(spans[i].Children, idx, child) {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON writes the stitched retained traces as a JSON array.
+func (s *TraceStore) WriteJSON(w interface{ Write([]byte) (int, error) }) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(tr.Recent())
+	return enc.Encode(s.Stitched())
 }
 
 // --- context.Context plumbing for the HTTP layer ---

@@ -65,6 +65,8 @@ type Server struct {
 	httpAllocs   *obs.GaugeVec
 	encodeErrors *obs.Counter
 	allocs       *allocSampler
+	tenants      *obs.UsageMeter
+	flight       *obs.FlightRecorder
 	logMu        sync.Mutex
 
 	mux  *http.ServeMux

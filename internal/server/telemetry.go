@@ -50,6 +50,22 @@ type Config struct {
 	// ETagMaxAge bounds the lifetime of a conditional-GET validator
 	// (default 30s; negative disables conditional handling). See etag.go.
 	ETagMaxAge time.Duration
+	// Node attributes this server's trace spans to a fleet node or host in
+	// stitched cross-node traces (empty = single-node deployment).
+	Node string
+	// TenantTopK sizes the per-tenant usage sketches (default 32; negative
+	// disables tenant metering entirely).
+	TenantTopK int
+	// SLORouteP99 is the per-route p99 latency budget the flight-recorder
+	// watchdog enforces over poll windows (0 disables the SLO check).
+	SLORouteP99 time.Duration
+	// FlightFrames / FlightTraces size the flight-recorder rings (defaults
+	// 32 frames / 256 traces).
+	FlightFrames int
+	FlightTraces int
+	// FlightInterval starts a background watchdog ticker (0 = no goroutine;
+	// /debug/flightrecorder polls lazily on scrape instead).
+	FlightInterval time.Duration
 }
 
 // initTelemetry assembles the registry, tracer, and HTTP metric families.
@@ -73,8 +89,12 @@ func (s *Server) initTelemetry(cfg Config) {
 	} else if cfg.ETagMaxAge < 0 {
 		cfg.ETagMaxAge = 0
 	}
+	if cfg.TenantTopK == 0 {
+		cfg.TenantTopK = 32
+	}
 	s.cfg = cfg
 	s.tracer = obs.NewTracer(cfg.SampleEvery, cfg.SlowThreshold)
+	s.tracer.Node = cfg.Node
 	s.metrics = obs.NewRegistry()
 	s.Service.RegisterMetrics(s.metrics)
 	s.httpReqs = obs.NewCounterVec("route", "code")
@@ -86,7 +106,58 @@ func (s *Server) initTelemetry(cfg Config) {
 	s.metrics.RegisterHistogramVec("uc_http_request_seconds", "API request latency by route.", s.httpSeconds)
 	s.metrics.RegisterGaugeVec("uc_http_allocs_per_request", "Sampled heap allocations per request by route.", s.httpAllocs)
 	s.metrics.RegisterCounter("uc_http_encode_errors", "Response bodies that failed to encode (served as 500).", s.encodeErrors)
+	if cfg.TenantTopK > 0 {
+		s.tenants = obs.NewUsageMeter(cfg.TenantTopK)
+		s.tenants.RegisterMetrics(s.metrics)
+		s.Service.SetUsage(s.tenants)
+	}
+	s.initFlightRecorder(cfg)
 }
+
+// initFlightRecorder wires the anomaly flight recorder: the tracer feeds
+// its always-on trace ring, the watchdog checks cover the SLO budget, WAL
+// health, and cache degradation, and frames snapshot the signals an
+// incident post-mortem needs first.
+func (s *Server) initFlightRecorder(cfg Config) {
+	s.flight = obs.NewFlightRecorder(cfg.FlightFrames, cfg.FlightTraces)
+	s.tracer.Flight = s.flight
+	if cfg.SLORouteP99 > 0 {
+		s.flight.AddCheck("slo_route_p99", obs.SLOCheck(s.httpSeconds, 0.99, int64(cfg.SLORouteP99)))
+	}
+	s.flight.AddCheck("wal_error", func() (bool, string) {
+		if err := s.Service.DB().WALErr(); err != nil {
+			return true, "wal: " + err.Error()
+		}
+		return false, ""
+	})
+	s.flight.AddCheck("cache_degraded", func() (bool, string) {
+		if s.Service.CacheDegraded() {
+			return true, "metadata cache serving degraded"
+		}
+		return false, ""
+	})
+	s.flight.AddSnapshot("routes", func() any {
+		out := map[string]obs.HistogramSnapshot{}
+		s.httpSeconds.Each(func(values []string, h *obs.Histogram) {
+			out[strings.Join(values, " ")] = h.Snapshot()
+		})
+		return out
+	})
+	s.flight.AddSnapshot("wal", func() any { return s.Service.DB().WALStats() })
+	s.flight.AddSnapshot("cache", func() any { return s.Service.CacheHealth() })
+	if cfg.FlightInterval > 0 {
+		s.flight.Start(cfg.FlightInterval)
+	}
+}
+
+// Flight exposes the anomaly flight recorder (for embedding hosts, the
+// fleet, and tests).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// Close releases background resources (the flight-recorder ticker, when
+// FlightInterval started one). The HTTP listener, if any, is owned by the
+// caller.
+func (s *Server) Close() { s.flight.Stop() }
 
 // Metrics exposes the server's registry (for embedding hosts and tests).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
@@ -101,20 +172,28 @@ func opsPath(p string) bool {
 	return p == "/healthz" || p == "/metrics" || strings.HasPrefix(p, "/debug/")
 }
 
-// statusWriter captures the response status and, via writeErr/encodeFail,
-// the underlying error, so the access log can report what a 5xx actually
-// was. srv links back to the owning server so encoding failures can bump
-// its uc_http_encode_errors counter from the package-level write helpers.
+// statusWriter captures the response status, the response-body byte count
+// (for per-tenant metering), and, via writeErr/encodeFail, the underlying
+// error, so the access log can report what a 5xx actually was. srv links
+// back to the owning server so encoding failures can bump its
+// uc_http_encode_errors counter from the package-level write helpers.
 type statusWriter struct {
 	http.ResponseWriter
 	srv    *Server
 	status int
+	bytes  int64
 	err    error
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // allocSampler measures heap allocations across a sampled subset of
@@ -156,13 +235,25 @@ func (a *allocSampler) end(before uint64) uint64 {
 	return delta
 }
 
-// serveTraced is the request path for API endpoints: start a trace, expose
-// its ID, dispatch (or fail with an injected fault), then record metrics,
-// the access log line, and trace retention.
+// serveTraced is the request path for API endpoints: start (or continue) a
+// trace, expose its ID, dispatch (or fail with an injected fault), then
+// record metrics, tenant usage, the access log line, and trace retention.
 func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
-	t := s.tracer.StartTrace()
+	// A request carrying propagation headers is a forwarded hop of a trace
+	// begun elsewhere: adopt its identity, parent, and sampling decision so
+	// the segments stitch into one tree and retention is all-or-nothing.
+	var t *obs.Trace
+	if pc, ok := obs.ParsePropagation(
+		r.Header.Get(obs.TraceIDHeader),
+		r.Header.Get(obs.ParentSpanHeader),
+		r.Header.Get(obs.SampledHeader),
+	); ok {
+		t = s.tracer.StartRemote(pc)
+	} else {
+		t = s.tracer.StartTrace()
+	}
 	sc := s.tracer.Root(t)
-	w.Header().Set("X-UC-Trace-Id", t.ID())
+	w.Header().Set(obs.TraceIDHeader, t.ID())
 	sw := &statusWriter{ResponseWriter: w, srv: s, status: http.StatusOK}
 	r = r.WithContext(obs.ContextWithSpan(r.Context(), sc))
 
@@ -184,7 +275,18 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
-	s.httpSeconds.With(route).ObserveDuration(took)
+	// Sampled traces pin an exemplar on their latency bucket, linking the
+	// /metrics histogram to the concrete trace in /debug/traces. Unsampled
+	// requests pass "" and skip the exemplar store entirely.
+	exemplar := ""
+	if t.Sampled() {
+		exemplar = t.ID()
+	}
+	s.httpSeconds.With(route).ObserveT(int64(took), exemplar)
+	if s.tenants != nil {
+		tenant := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		s.tenants.ObserveRequest(tenant, sw.bytes, took)
+	}
 	if s.cfg.AccessLog {
 		s.writeAccessLog(r, sw, took, t.ID())
 	}
@@ -220,10 +322,31 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	s.tracer.WriteRecentJSON(w)
 }
 
+// handleDebugTenants serves the per-tenant usage meter as JSON.
+func (s *Server) handleDebugTenants(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.tenants == nil {
+		w.Write([]byte("{}\n"))
+		return
+	}
+	s.tenants.WriteJSON(w)
+}
+
+// handleDebugFlight serves the flight recorder: a lazy Poll first (so
+// deployments without a background ticker still evaluate the watchdog on
+// every scrape), then the rings and any frozen incident.
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	s.flight.Poll()
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w)
+}
+
 // mountOps registers the operational endpoints on m.
 func (s *Server) mountOps(m *http.ServeMux) {
 	m.HandleFunc("GET /metrics", s.handleMetrics)
 	m.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	m.HandleFunc("GET /debug/tenants", s.handleDebugTenants)
+	m.HandleFunc("GET /debug/flightrecorder", s.handleDebugFlight)
 	if s.cfg.Pprof {
 		m.HandleFunc("/debug/pprof/", pprof.Index)
 		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
